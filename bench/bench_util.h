@@ -1,0 +1,47 @@
+// Shared helpers for the per-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/runner.h"
+
+namespace ppssd::bench {
+
+using core::ExperimentResult;
+using core::Runner;
+using core::Table;
+
+/// The full scheme × trace matrix at the default scale, grouped by trace.
+/// Each value holds results in paper_schemes() order (Baseline, MGA, IPU).
+inline std::map<std::string, std::vector<ExperimentResult>> matrix_by_trace(
+    Runner& runner, std::uint32_t pe_cycles = 4000) {
+  const auto traces = Runner::paper_traces();
+  const auto schemes = Runner::paper_schemes();
+  const auto results = runner.run_matrix(schemes, traces, pe_cycles);
+  // Optional flat export for external plotting.
+  if (const char* dir = std::getenv("PPSSD_CSV_DIR")) {
+    core::write_results_csv(std::string(dir) + "/matrix_pe" +
+                                std::to_string(pe_cycles) + ".csv",
+                            results);
+  }
+  std::map<std::string, std::vector<ExperimentResult>> grouped;
+  for (const auto& r : results) {
+    grouped[r.spec.trace].push_back(r);
+  }
+  return grouped;
+}
+
+inline void print_scale_banner(const char* what) {
+  const auto spec = Runner::default_spec();
+  std::printf(
+      "%s\n(device: %u blocks, trace scale: %.2f; set REPRO_FULL=1 for "
+      "paper scale)\n\n",
+      what, spec.total_blocks, spec.trace_scale);
+}
+
+}  // namespace ppssd::bench

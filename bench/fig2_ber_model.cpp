@@ -1,0 +1,31 @@
+// Figure 2: raw bit error rate of conventional vs partial programming as
+// P/E cycles grow (Zhang et al. [19] calibration).
+#include <cstdio>
+
+#include "common/config.h"
+#include "core/report.h"
+#include "ecc/ber_model.h"
+
+using namespace ppssd;
+
+int main() {
+  std::printf("Figure 2: bit error rate, conventional vs partial programming\n"
+              "(anchors: 2.8e-4 / 3.8e-4 at 4000 P/E, from [19])\n\n");
+
+  const SsdConfig cfg;
+  const ecc::BerModel model(cfg.ber);
+
+  core::Table table({"P/E cycles", "conventional", "partial", "ratio"});
+  for (std::uint32_t pe = 0; pe <= 12000; pe += 1000) {
+    const double conv = model.conventional_ber(pe);
+    const double part = model.partial_ber(pe, cfg.cache.max_partial_programs);
+    table.add_row({std::to_string(pe), core::Table::fmt(conv, 7),
+                   core::Table::fmt(part, 7),
+                   conv > 0 ? core::Table::fmt(part / conv, 3) : "n/a"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape checks: partial > conventional everywhere; the absolute gap\n"
+      "widens with P/E (Section 2.2).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 5: I/O response time per trace for Baseline / MGA / IPU.
+//
+// Paper shape: vs Baseline, MGA cuts overall time ~6.4% and IPU ~14.9% on
+// average; IPU cuts write latency 23.8% vs Baseline and 17.9% vs MGA, and
+// read latency up to 6.3% vs MGA.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace ppssd;
+using namespace ppssd::bench;
+
+int main() {
+  print_scale_banner("Figure 5: I/O response time distribution");
+
+  Runner runner;
+  const auto grouped = matrix_by_trace(runner);
+
+  Table table({"Trace", "scheme", "read ms", "write ms", "overall ms",
+               "vs Baseline"});
+  std::vector<double> base_overall, mga_overall, ipu_overall;
+  std::vector<double> base_write, mga_write, ipu_write;
+  std::vector<double> mga_read, ipu_read;
+  for (const auto& trace : Runner::paper_traces()) {
+    const auto& cells = grouped.at(trace);
+    const auto& base = cells[0];
+    for (const auto& r : cells) {
+      table.add_row({trace, cache::scheme_name(r.spec.scheme),
+                     Table::fmt(r.avg_read_ms),
+                     Table::fmt(r.avg_write_ms),
+                     Table::fmt(r.avg_overall_ms),
+                     core::delta_pct(r.avg_overall_ms, base.avg_overall_ms)});
+    }
+    base_overall.push_back(base.avg_overall_ms);
+    mga_overall.push_back(cells[1].avg_overall_ms);
+    ipu_overall.push_back(cells[2].avg_overall_ms);
+    base_write.push_back(base.avg_write_ms);
+    mga_write.push_back(cells[1].avg_write_ms);
+    ipu_write.push_back(cells[2].avg_write_ms);
+    mga_read.push_back(cells[1].avg_read_ms);
+    ipu_read.push_back(cells[2].avg_read_ms);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (const double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  std::printf("averages:\n");
+  std::printf("  overall: MGA vs Baseline %s, IPU vs Baseline %s "
+              "(paper: -6.4%% / -14.9%%)\n",
+              core::delta_pct(mean(mga_overall), mean(base_overall)).c_str(),
+              core::delta_pct(mean(ipu_overall), mean(base_overall)).c_str());
+  std::printf("  write:   IPU vs Baseline %s, IPU vs MGA %s "
+              "(paper: -23.8%% / -17.9%%)\n",
+              core::delta_pct(mean(ipu_write), mean(base_write)).c_str(),
+              core::delta_pct(mean(ipu_write), mean(mga_write)).c_str());
+  std::printf("  read:    IPU vs MGA %s (paper: up to -6.3%%)\n",
+              core::delta_pct(mean(ipu_read), mean(mga_read)).c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 1: size distribution of updated requests in the block I/O traces.
+//
+// Regenerates the paper's table from the synthetic trace profiles (or,
+// with the real MSR files on disk, from them via trace_replay --file).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "trace/profiles.h"
+#include "trace/synthetic.h"
+#include "trace/trace_stats.h"
+
+using namespace ppssd;
+
+int main() {
+  bench::print_scale_banner(
+      "Table 1: size distribution of updated requests");
+
+  const auto spec = core::Runner::default_spec();
+  const SsdConfig cfg = core::config_for(spec);
+  const std::uint64_t logical_bytes =
+      nand::Geometry(cfg.geometry, cfg.cache.slc_ratio).logical_subpages() *
+      kSubpageBytes;
+
+  core::Table table({"Trace", "Size<=4K", "4K<Size<=8K", "Size>8K",
+                     "paper<=4K", "paper(4,8K]", "paper>8K"});
+  for (const auto& profile : trace::paper_profiles()) {
+    trace::SyntheticWorkload workload(profile, logical_bytes,
+                                      spec.trace_scale);
+    const auto stats = trace::analyze(workload);
+    table.add_row({profile.name, core::Table::pct(stats.update_frac_le_4k()),
+                   core::Table::pct(stats.update_frac_le_8k()),
+                   core::Table::pct(stats.update_frac_gt_8k()),
+                   core::Table::pct(profile.write_sizes.le_4k),
+                   core::Table::pct(profile.write_sizes.le_8k),
+                   core::Table::pct(1.0 - profile.write_sizes.le_4k -
+                                    profile.write_sizes.le_8k)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 3: specifications of the selected traces (ordered by write ratio).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "trace/profiles.h"
+#include "trace/synthetic.h"
+#include "trace/trace_stats.h"
+
+using namespace ppssd;
+
+int main() {
+  bench::print_scale_banner("Table 3: trace specifications");
+
+  const auto spec = core::Runner::default_spec();
+  const SsdConfig cfg = core::config_for(spec);
+  const std::uint64_t logical_bytes =
+      nand::Geometry(cfg.geometry, cfg.cache.slc_ratio).logical_subpages() *
+      kSubpageBytes;
+
+  core::Table table({"Trace", "# of Req.", "Write R", "Write SZ",
+                     "Hot write", "paper WR", "paper SZ", "paper HW"});
+  for (const auto& profile : trace::paper_profiles()) {
+    trace::SyntheticWorkload workload(profile, logical_bytes,
+                                      spec.trace_scale);
+    const auto stats = trace::analyze(workload);
+    table.add_row(
+        {profile.name, core::Table::count(stats.requests),
+         core::Table::pct(stats.write_ratio()),
+         core::Table::fmt(stats.mean_write_kb(), 1) + "KB",
+         core::Table::pct(stats.hot_write_fraction),
+         core::Table::pct(profile.write_ratio),
+         core::Table::fmt(profile.mean_write_kb, 1) + "KB",
+         core::Table::pct(profile.hot_write)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Device-lifetime study: how the choice of cache scheme translates into
+// device endurance, using the paper's Section 4.3.2 argument — SLC-mode
+// blocks endure ~10x the P/E cycles of MLC blocks [8], so shifting erase
+// traffic into the cache extends overall lifetime.
+//
+//   ./wear_study [trace] [scale]
+#include <cstdio>
+#include <string>
+
+#include "core/report.h"
+#include "sim/replayer.h"
+#include "sim/ssd.h"
+#include "trace/profiles.h"
+#include "trace/synthetic.h"
+
+using namespace ppssd;
+
+namespace {
+
+struct WearResult {
+  std::uint64_t slc_erases;
+  std::uint64_t mlc_erases;
+  double slc_life_consumed;  // fraction of SLC endurance budget
+  double mlc_life_consumed;
+  double replays_to_death;   // how many such workloads until wear-out
+};
+
+WearResult run(cache::SchemeKind kind, const std::string& trace,
+               double scale) {
+  const SsdConfig cfg = SsdConfig::scaled(4096);
+  sim::Ssd ssd(cfg, kind);
+  trace::SyntheticWorkload workload(trace::profile_by_name(trace),
+                                    ssd.logical_bytes(), scale);
+  sim::Replayer replayer(ssd);
+  const auto res = replayer.replay(workload);
+  ssd.drain_background(res.makespan);
+
+  const auto& c = ssd.scheme().array().counters();
+  const auto& geom = ssd.scheme().array().geometry();
+
+  WearResult out{};
+  out.slc_erases = c.slc_erases;
+  out.mlc_erases = c.mlc_erases;
+  // Endurance budget: erases the region can absorb in total.
+  const double slc_budget = static_cast<double>(geom.slc_block_count()) *
+                            cfg.wear.slc_endurance;
+  const double mlc_budget = static_cast<double>(geom.mlc_block_count()) *
+                            cfg.wear.mlc_endurance;
+  out.slc_life_consumed = static_cast<double>(c.slc_erases) / slc_budget;
+  out.mlc_life_consumed = static_cast<double>(c.mlc_erases) / mlc_budget;
+  const double worst =
+      std::max(out.slc_life_consumed, out.mlc_life_consumed);
+  out.replays_to_death = worst > 0 ? 1.0 / worst : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace = argc > 1 ? argv[1] : "ts0";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  std::printf("Endurance study on %s (scale %.2f): SLC endures %ux, MLC %ux "
+              "P/E cycles\n\n",
+              trace.c_str(), scale, SsdConfig{}.wear.slc_endurance,
+              SsdConfig{}.wear.mlc_endurance);
+
+  core::Table table({"scheme", "SLC erases", "MLC erases", "SLC life used",
+                     "MLC life used", "lifetime (replays)"});
+  for (const auto kind :
+       {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
+        cache::SchemeKind::kIpu}) {
+    const WearResult r = run(kind, trace, scale);
+    table.add_row({cache::scheme_name(kind), core::Table::count(r.slc_erases),
+                   core::Table::count(r.mlc_erases),
+                   core::Table::fmt(r.slc_life_consumed * 100.0, 4) + "%",
+                   core::Table::fmt(r.mlc_life_consumed * 100.0, 4) + "%",
+                   r.replays_to_death > 0
+                       ? core::Table::fmt(r.replays_to_death, 0)
+                       : std::string("unbounded")});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading the table: the binding constraint is whichever region's\n"
+      "life fraction is larger. Schemes that absorb update traffic in the\n"
+      "SLC-mode cache (IPU) spend the cheap 10x-endurance budget instead\n"
+      "of the scarce MLC budget — the paper's Section 4.3.2 argument.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Baseline: dynamic page-level mapping without partial programming.
+//
+// Every host write consumes fresh SLC pages — a request smaller than a
+// page leaves the remainder of the page unprogrammed forever (the internal
+// fragmentation of Section 1). SLC GC uses the conventional greedy policy
+// and evicts all valid data of the victim to the MLC region.
+#pragma once
+
+#include "cache/scheme.h"
+
+namespace ppssd::cache {
+
+class BaselineScheme final : public Scheme {
+ public:
+  explicit BaselineScheme(const SsdConfig& cfg) : Scheme(cfg) {}
+
+  [[nodiscard]] SchemeKind kind() const override {
+    return SchemeKind::kBaseline;
+  }
+
+ protected:
+  void place_write(Lsn lsn, std::uint32_t count, SimTime now,
+                   std::vector<PhysOp>& ops) override;
+  void relocate_slc_page(BlockId victim, PageId page, SimTime now,
+                         std::vector<PhysOp>& ops) override;
+  [[nodiscard]] const ftl::GcPolicy& slc_policy() const override {
+    return greedy_;
+  }
+};
+
+}  // namespace ppssd::cache

@@ -1,0 +1,586 @@
+#include "cache/scheme.h"
+
+#include <algorithm>
+#include <array>
+
+#include "cache/baseline_scheme.h"
+#include "cache/ipu_scheme.h"
+#include "cache/mga_scheme.h"
+#include "common/check.h"
+#include "nand/page.h"
+
+namespace ppssd::cache {
+
+namespace {
+/// Bound on GC passes triggered by a single host request, so one request
+/// cannot stall forever on a pathological cache state (incremental GC).
+constexpr std::uint32_t kMaxGcPassesPerRequest = 1;
+}  // namespace
+
+const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kBaseline:
+      return "Baseline";
+    case SchemeKind::kMga:
+      return "MGA";
+    case SchemeKind::kIpu:
+      return "IPU";
+  }
+  return "?";
+}
+
+Scheme::Scheme(const SsdConfig& cfg)
+    : cfg_(cfg),
+      array_(cfg),
+      bm_(array_),
+      map_(array_.geometry().logical_subpages()),
+      ber_model_(cfg.ber),
+      ecc_model_(cfg.ecc),
+      versions_(array_.geometry().logical_subpages(), 0),
+      spp_(cfg.geometry.subpages_per_page()) {}
+
+std::uint32_t Scheme::next_plane() {
+  const std::uint32_t p = rr_plane_;
+  rr_plane_ = (rr_plane_ + 1) % array_.geometry().planes();
+  return p;
+}
+
+std::uint32_t Scheme::bump_version(Lsn lsn) {
+  PPSSD_CHECK(lsn < versions_.size());
+  return ++versions_[lsn];
+}
+
+double Scheme::ber_of(const PhysicalAddress& addr) const {
+  return ber_model_.raw_ber(
+      array_.disturb_of(addr.block, addr.page, addr.subpage));
+}
+
+void Scheme::emit_program(BlockId block, std::uint32_t subpages,
+                          bool background, std::vector<PhysOp>& ops) {
+  const auto& geom = array_.geometry();
+  PhysOp op;
+  op.chip = geom.chip_of(block);
+  op.channel = geom.channel_of(block);
+  op.kind = PhysOp::Kind::kProgram;
+  op.mode = array_.block(block).mode();
+  op.subpages = subpages;
+  op.background = background;
+  ops.push_back(op);
+}
+
+void Scheme::emit_page_read(BlockId block, PageId /*page*/,
+                            std::uint32_t subpages, double max_ber,
+                            bool background, std::vector<PhysOp>& ops) {
+  const auto& geom = array_.geometry();
+  PhysOp op;
+  op.chip = geom.chip_of(block);
+  op.channel = geom.channel_of(block);
+  op.kind = PhysOp::Kind::kRead;
+  op.mode = array_.block(block).mode();
+  op.subpages = subpages;
+  op.ber = max_ber;
+  op.background = background;
+  ops.push_back(op);
+  array_.count_read(block);
+}
+
+void Scheme::emit_erase(BlockId block, std::vector<PhysOp>& ops) {
+  const auto& geom = array_.geometry();
+  PhysOp op;
+  op.chip = geom.chip_of(block);
+  op.channel = geom.channel_of(block);
+  op.kind = PhysOp::Kind::kErase;
+  op.mode = array_.block(block).mode();
+  op.subpages = 0;
+  op.background = true;
+  ops.push_back(op);
+}
+
+// ---- invalidation ----------------------------------------------------------
+
+void Scheme::retire_slot(Lsn lsn, const PhysicalAddress& addr) {
+  array_.invalidate(addr.block, addr.page, addr.subpage);
+  map_.clear(lsn);
+  if (array_.geometry().is_slc_block(addr.block)) {
+    on_slc_slot_invalidated(addr);
+  }
+}
+
+void Scheme::invalidate_previous(Lsn lsn) {
+  const PhysicalAddress addr = map_.lookup(lsn);
+  if (addr.valid()) {
+    retire_slot(lsn, addr);
+  }
+}
+
+// ---- placement helpers -------------------------------------------------------
+
+std::optional<ftl::PageAlloc> Scheme::program_new_slc_page(
+    std::uint32_t plane, BlockLevel level, std::span<const Lsn> lsns,
+    std::span<const std::uint32_t> versions, SimTime now, bool host,
+    std::vector<PhysOp>& ops) {
+  PPSSD_CHECK(!lsns.empty() && lsns.size() <= spp_);
+  PPSSD_CHECK(lsns.size() == versions.size());
+  const auto alloc = bm_.allocate_page(plane, level);
+  if (!alloc) return std::nullopt;
+
+  std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
+  for (std::size_t i = 0; i < lsns.size(); ++i) {
+    // Whether this is a host supersede or a GC move, the previous copy
+    // retires first; the map transition is then a clean clear+set.
+    invalidate_previous(lsns[i]);
+    writes[i] = {static_cast<SubpageId>(i), lsns[i], versions[i]};
+  }
+  array_.program(alloc->block, alloc->page,
+                 std::span<const nand::SlotWrite>(writes.data(), lsns.size()),
+                 now);
+  for (std::size_t i = 0; i < lsns.size(); ++i) {
+    map_.set(lsns[i], PhysicalAddress{alloc->block, alloc->page,
+                                      static_cast<SubpageId>(i)});
+  }
+  on_slc_page_programmed(alloc->block, alloc->page, lsns, /*first=*/true);
+
+  metrics_.slc_subpages_written += lsns.size();
+  if (host) {
+    metrics_.host_subpages_written += lsns.size();
+    metrics_.level_subpages[static_cast<std::size_t>(alloc->level)] +=
+        lsns.size();
+  } else {
+    metrics_.gc_moved_subpages += lsns.size();
+  }
+  emit_program(alloc->block, static_cast<std::uint32_t>(lsns.size()),
+               /*background=*/!host, ops);
+  return alloc;
+}
+
+void Scheme::program_mlc_page(std::span<const Lsn> lsns,
+                              std::span<const std::uint32_t> versions,
+                              SimTime now, bool host, bool background,
+                              std::vector<PhysOp>& ops,
+                              std::uint32_t plane_hint) {
+  PPSSD_CHECK(!lsns.empty() && lsns.size() <= spp_);
+  // GC evictions stay plane-local (SSDsim-style copy out of the victim's
+  // plane); host-path MLC writes stripe round-robin.
+  std::uint32_t plane = plane_hint != UINT32_MAX ? plane_hint : next_plane();
+  std::optional<ftl::PageAlloc> alloc;
+  for (std::uint32_t attempt = 0; attempt < array_.geometry().planes();
+       ++attempt) {
+    maybe_mlc_gc(plane, now, ops);
+    alloc = bm_.allocate_page(plane, BlockLevel::kHighDensity);
+    if (alloc) break;
+    plane = next_plane();
+  }
+  PPSSD_CHECK_MSG(alloc.has_value(), "MLC region exhausted beyond recovery");
+
+  std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
+  for (std::size_t i = 0; i < lsns.size(); ++i) {
+    invalidate_previous(lsns[i]);
+    writes[i] = {static_cast<SubpageId>(i), lsns[i], versions[i]};
+  }
+  array_.program(alloc->block, alloc->page,
+                 std::span<const nand::SlotWrite>(writes.data(), lsns.size()),
+                 now);
+  for (std::size_t i = 0; i < lsns.size(); ++i) {
+    map_.set(lsns[i], PhysicalAddress{alloc->block, alloc->page,
+                                      static_cast<SubpageId>(i)});
+  }
+  metrics_.mlc_subpages_written += lsns.size();
+  if (host) metrics_.host_subpages_written += lsns.size();
+  emit_program(alloc->block, static_cast<std::uint32_t>(lsns.size()),
+               background, ops);
+}
+
+void Scheme::evict_page_to_mlc(BlockId victim, PageId page, SimTime now,
+                               std::vector<PhysOp>& ops) {
+  // Stage and retire the page's valid data; the staged buffer flushes
+  // into packed MLC pages at the end of the GC pass.
+  nand::Block& blk = array_.block(victim);
+  const auto& pg = blk.page(page);
+  for (std::uint32_t s = 0; s < spp_; ++s) {
+    const auto& sp = pg.subpage(static_cast<SubpageId>(s));
+    if (sp.state != nand::SubpageState::kValid) continue;
+    staged_evictions_.push_back({sp.owner_lsn, sp.version});
+    retire_slot(sp.owner_lsn,
+                PhysicalAddress{victim, page, static_cast<SubpageId>(s)});
+  }
+  if (staged_evictions_.size() >= 4 * spp_) {
+    flush_evictions(array_.geometry().plane_of(victim), now, ops);
+  }
+}
+
+void Scheme::flush_evictions(std::uint32_t plane, SimTime now,
+                             std::vector<PhysOp>& ops) {
+  std::size_t i = 0;
+  std::array<Lsn, nand::kMaxSubpagesPerPage> lsns;
+  std::array<std::uint32_t, nand::kMaxSubpagesPerPage> versions;
+  while (i < staged_evictions_.size()) {
+    std::size_t n = 0;
+    while (n < spp_ && i < staged_evictions_.size()) {
+      lsns[n] = staged_evictions_[i].lsn;
+      versions[n] = staged_evictions_[i].version;
+      ++n;
+      ++i;
+    }
+    program_mlc_page(std::span<const Lsn>(lsns.data(), n),
+                     std::span<const std::uint32_t>(versions.data(), n), now,
+                     /*host=*/false, /*background=*/true, ops, plane);
+    metrics_.evicted_subpages += n;
+  }
+  staged_evictions_.clear();
+}
+
+void Scheme::direct_mlc_write(Lsn lsn, std::uint32_t count, SimTime now,
+                              std::vector<PhysOp>& ops) {
+  std::uint32_t i = 0;
+  std::vector<Lsn> chunk;
+  std::vector<std::uint32_t> vers;
+  while (i < count) {
+    chunk.clear();
+    vers.clear();
+    while (i < count && chunk.size() < spp_) {
+      chunk.push_back(lsn + i);
+      vers.push_back(bump_version(lsn + i));
+      ++i;
+    }
+    program_mlc_page(chunk, vers, now, /*host=*/true, /*background=*/false,
+                     ops);
+  }
+}
+
+std::uint64_t Scheme::prefill_mlc(std::uint64_t max_subpages,
+                                  std::uint32_t free_floor_blocks) {
+  const auto& geom = array_.geometry();
+  max_subpages = std::min(max_subpages, geom.logical_subpages());
+  std::uint64_t filled = 0;
+  std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
+  while (filled < max_subpages) {
+    // Stop once the region is as full as an aged drive would run.
+    std::uint32_t plane = next_plane();
+    bool room = false;
+    for (std::uint32_t attempts = 0; attempts < geom.planes(); ++attempts) {
+      if (bm_.free_blocks(plane, CellMode::kMlc) > free_floor_blocks) {
+        room = true;
+        break;
+      }
+      plane = next_plane();
+    }
+    if (!room) break;
+
+    const auto alloc = bm_.allocate_page(plane, BlockLevel::kHighDensity);
+    PPSSD_CHECK(alloc.has_value());
+    std::size_t n = 0;
+    while (n < spp_ && filled < max_subpages) {
+      const Lsn lsn = filled++;
+      writes[n] = {static_cast<SubpageId>(n), lsn, bump_version(lsn)};
+      ++n;
+    }
+    array_.program(alloc->block, alloc->page,
+                   std::span<const nand::SlotWrite>(writes.data(), n),
+                   /*now=*/0);
+    for (std::size_t i = 0; i < n; ++i) {
+      map_.set(writes[i].lsn, PhysicalAddress{alloc->block, alloc->page,
+                                              static_cast<SubpageId>(i)});
+    }
+  }
+  reset_metrics();
+  return filled;
+}
+
+// ---- garbage collection -----------------------------------------------------
+
+void Scheme::maybe_slc_gc(std::uint32_t plane, SimTime now,
+                          std::vector<PhysOp>& ops) {
+  for (std::uint32_t pass = 0;
+       pass < kMaxGcPassesPerRequest && bm_.needs_gc(plane, CellMode::kSlc);
+       ++pass) {
+    if (!slc_gc_once(plane, now, ops)) break;
+  }
+}
+
+void Scheme::maybe_mlc_gc(std::uint32_t plane, SimTime now,
+                          std::vector<PhysOp>& ops) {
+  // Write-amplification guard: defer MLC GC until a victim reclaims a
+  // worthwhile share of a block. The bar lowers as free space shrinks so
+  // the region degrades gracefully instead of hitting a reclamation cliff.
+  const std::uint32_t total_subpages =
+      array_.geometry().pages_per_block(CellMode::kMlc) * spp_;
+  const std::uint32_t free = bm_.free_blocks(plane, CellMode::kMlc);
+  const std::uint32_t threshold = bm_.gc_threshold_blocks(CellMode::kMlc);
+  std::uint32_t min_invalid = total_subpages / 4;
+  if (free < threshold) {
+    min_invalid = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<std::uint64_t>(min_invalid) * free / threshold));
+  }
+  for (std::uint32_t pass = 0;
+       pass < kMaxGcPassesPerRequest && bm_.needs_gc(plane, CellMode::kMlc);
+       ++pass) {
+    if (!mlc_gc_once(plane, now, ops, min_invalid)) break;
+  }
+}
+
+bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
+                         std::vector<PhysOp>& ops) {
+  BlockId victim =
+      slc_policy().select_victim(array_, bm_, plane, CellMode::kSlc, now);
+  if (victim == kInvalidBlock) {
+    // The cache may be full of entirely-valid data (a pure cold flood):
+    // no policy victim exists, but the cache must still drain. Fall back
+    // to the block holding the oldest data (FIFO-ish eviction).
+    double oldest = -1.0;
+    bm_.for_each_candidate(plane, CellMode::kSlc, [&](BlockId b) {
+      const auto& blk = array_.block(b);
+      if (blk.programmed_subpages() == 0) return;
+      const auto [sum, count] = ftl::IsrPolicy::age_sum(blk, now);
+      const double age = count ? sum / static_cast<double>(count) : 0.0;
+      if (age > oldest) {
+        oldest = age;
+        victim = b;
+      }
+    });
+    if (victim == kInvalidBlock) return false;
+  }
+
+  nand::Block& blk = array_.block(victim);
+  ++metrics_.slc_gc_count;
+  metrics_.gc_utilization.add(static_cast<double>(blk.programmed_subpages()) /
+                              blk.total_subpages());
+
+  for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
+    const auto page_id = static_cast<PageId>(p);
+    const auto& page = blk.page(page_id);
+    std::uint32_t valid = 0;
+    double max_ber = 0.0;
+    for (std::uint32_t s = 0; s < spp_; ++s) {
+      if (page.subpage(static_cast<SubpageId>(s)).state ==
+          nand::SubpageState::kValid) {
+        ++valid;
+        max_ber = std::max(
+            max_ber,
+            ber_of(PhysicalAddress{victim, page_id,
+                                   static_cast<SubpageId>(s)}));
+      }
+    }
+    if (valid == 0) continue;
+    emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
+    relocate_slc_page(victim, page_id, now, ops);
+    PPSSD_CHECK_MSG(
+        blk.page(page_id).count(nand::SubpageState::kValid, spp_) == 0,
+        "relocate_slc_page left valid data behind");
+  }
+  flush_evictions(array_.geometry().plane_of(victim), now, ops);
+
+  emit_erase(victim, ops);
+  array_.erase(victim, now);
+  on_slc_block_erased(victim);
+  bm_.release_block(victim);
+  return true;
+}
+
+bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
+                         std::vector<PhysOp>& ops,
+                         std::uint32_t min_invalid) {
+  const BlockId victim =
+      greedy_.select_victim(array_, bm_, plane, CellMode::kMlc, now);
+  if (victim == kInvalidBlock) return false;
+
+  nand::Block& blk = array_.block(victim);
+  if (blk.invalid_subpages() < min_invalid) return false;
+  ++metrics_.mlc_gc_count;
+
+  // Pack the victim's valid subpages into fresh MLC pages of the same
+  // plane: one read per source page, one program per packed destination.
+  std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> pack;
+  std::size_t packed = 0;
+  auto flush_pack = [&] {
+    if (packed == 0) return;
+    const auto alloc = bm_.allocate_page(plane, BlockLevel::kHighDensity);
+    PPSSD_CHECK_MSG(alloc.has_value(),
+                    "no MLC destination during GC (threshold too low)");
+    for (std::size_t i = 0; i < packed; ++i) {
+      pack[i].slot = static_cast<SubpageId>(i);
+      invalidate_previous(pack[i].lsn);
+    }
+    array_.program(alloc->block, alloc->page,
+                   std::span<const nand::SlotWrite>(pack.data(), packed),
+                   now);
+    for (std::size_t i = 0; i < packed; ++i) {
+      map_.set(pack[i].lsn, PhysicalAddress{alloc->block, alloc->page,
+                                            static_cast<SubpageId>(i)});
+    }
+    metrics_.mlc_subpages_written += packed;
+    emit_program(alloc->block, static_cast<std::uint32_t>(packed),
+                 /*background=*/true, ops);
+    packed = 0;
+  };
+
+  for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
+    const auto page_id = static_cast<PageId>(p);
+    const auto& page = blk.page(page_id);
+    std::uint32_t valid = 0;
+    double max_ber = 0.0;
+    for (std::uint32_t s = 0; s < spp_; ++s) {
+      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      if (sp.state != nand::SubpageState::kValid) continue;
+      ++valid;
+      max_ber = std::max(
+          max_ber, ber_of(PhysicalAddress{victim, page_id,
+                                          static_cast<SubpageId>(s)}));
+    }
+    if (valid == 0) continue;
+    emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
+    for (std::uint32_t s = 0; s < spp_; ++s) {
+      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      if (sp.state != nand::SubpageState::kValid) continue;
+      pack[packed++] = {0, sp.owner_lsn, sp.version};
+      if (packed == spp_) flush_pack();
+    }
+  }
+  flush_pack();
+
+  emit_erase(victim, ops);
+  array_.erase(victim, now);
+  bm_.release_block(victim);
+  return true;
+}
+
+// ---- host entry points -------------------------------------------------------
+
+void Scheme::host_write(Lsn lsn, std::uint32_t count, SimTime now,
+                        std::vector<PhysOp>& ops) {
+  PPSSD_CHECK(count > 0);
+  PPSSD_CHECK(lsn + count <= array_.geometry().logical_subpages());
+  place_write(lsn, count, now, ops);
+  // Algorithm 1: insert, then collect where thresholds are crossed.
+  for (std::uint32_t p = 0; p < array_.geometry().planes(); ++p) {
+    if (bm_.needs_gc(p, CellMode::kSlc)) maybe_slc_gc(p, now, ops);
+    if (bm_.needs_gc(p, CellMode::kMlc)) maybe_mlc_gc(p, now, ops);
+  }
+}
+
+void Scheme::host_read(Lsn lsn, std::uint32_t count, SimTime now,
+                       std::vector<PhysOp>& ops) {
+  PPSSD_CHECK(count > 0);
+  PPSSD_CHECK(lsn + count <= array_.geometry().logical_subpages());
+  (void)now;
+
+  // Resolve every subpage, then coalesce consecutive same-page hits into
+  // single page reads.
+  struct Resolved {
+    PhysicalAddress addr;  // invalid => unmapped
+    double ber;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(count);
+  const auto& geom = array_.geometry();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Lsn cur = lsn + i;
+    const PhysicalAddress addr = map_.lookup(cur);
+    if (!addr.valid()) {
+      // Never written: the FTL answers from the mapping table (zero-fill)
+      // without touching flash — no op, no error exposure.
+      resolved.push_back({PhysicalAddress{}, 0.0});
+      ++metrics_.host_reads_unmapped;
+      continue;
+    }
+    const double ber = ber_of(addr);
+    resolved.push_back({addr, ber});
+    metrics_.read_ber.add(ber);
+    if (geom.is_slc_block(addr.block)) {
+      ++metrics_.host_reads_slc;
+    } else {
+      ++metrics_.host_reads_mlc;
+    }
+  }
+
+  std::size_t i = 0;
+  while (i < resolved.size()) {
+    const auto& first = resolved[i];
+    std::size_t j = i + 1;
+    double max_ber = first.ber;
+    if (first.addr.valid()) {
+      while (j < resolved.size() && resolved[j].addr.valid() &&
+             resolved[j].addr.block == first.addr.block &&
+             resolved[j].addr.page == first.addr.page) {
+        max_ber = std::max(max_ber, resolved[j].ber);
+        ++j;
+      }
+      emit_page_read(first.addr.block, first.addr.page,
+                     static_cast<std::uint32_t>(j - i), max_ber,
+                     /*background=*/false, ops);
+    } else {
+      // Unmapped run: served from the mapping table, no flash work.
+      while (j < resolved.size() && !resolved[j].addr.valid()) {
+        ++j;
+      }
+    }
+    i = j;
+  }
+}
+
+// ---- footprint & invariants ---------------------------------------------------
+
+ftl::FootprintReport Scheme::footprint() const {
+  const ftl::MappingFootprint fp(array_.geometry());
+  switch (kind()) {
+    case SchemeKind::kBaseline:
+      return fp.baseline();
+    case SchemeKind::kMga:
+      return fp.mga();
+    case SchemeKind::kIpu:
+      return fp.ipu();
+  }
+  return {};
+}
+
+void Scheme::check_consistency() const {
+  const auto& geom = array_.geometry();
+
+  // Physical walk: every valid subpage is the current mapping of its
+  // owner, counters match, and versions agree.
+  std::uint64_t valid_total = 0;
+  for (BlockId b = 0; b < geom.total_blocks(); ++b) {
+    const auto& blk = array_.block(b);
+    std::uint32_t recount_valid = 0;
+    std::uint32_t recount_invalid = 0;
+    for (std::uint32_t p = 0; p < blk.page_count(); ++p) {
+      const auto& page = blk.page(static_cast<PageId>(p));
+      for (std::uint32_t s = 0; s < blk.subpages_per_page(); ++s) {
+        const auto& sp = page.subpage(static_cast<SubpageId>(s));
+        if (sp.state == nand::SubpageState::kInvalid) ++recount_invalid;
+        if (sp.state != nand::SubpageState::kValid) continue;
+        ++recount_valid;
+        ++valid_total;
+        const Lsn lsn = sp.owner_lsn;
+        const PhysicalAddress mapped = map_.lookup(lsn);
+        PPSSD_CHECK_MSG(mapped.valid(),
+                        "valid subpage whose owner is unmapped");
+        PPSSD_CHECK_MSG(mapped.block == b &&
+                            mapped.page == static_cast<PageId>(p) &&
+                            mapped.subpage == static_cast<SubpageId>(s),
+                        "valid subpage is not its owner's current mapping");
+        PPSSD_CHECK_MSG(sp.version == versions_[lsn],
+                        "stored version is stale");
+      }
+    }
+    PPSSD_CHECK(recount_valid == blk.valid_subpages());
+    PPSSD_CHECK(recount_invalid == blk.invalid_subpages());
+  }
+  // Bijection: mapped LSNs == valid physical subpages (each valid subpage
+  // points back at its unique mapping, counts close the loop).
+  PPSSD_CHECK(valid_total == map_.mapped_count());
+}
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SsdConfig& cfg) {
+  switch (kind) {
+    case SchemeKind::kBaseline:
+      return std::make_unique<BaselineScheme>(cfg);
+    case SchemeKind::kMga:
+      return std::make_unique<MgaScheme>(cfg);
+    case SchemeKind::kIpu:
+      return std::make_unique<IpuScheme>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace ppssd::cache

@@ -1,0 +1,276 @@
+// SLC-mode cache management schemes.
+//
+// A Scheme is the policy brain of the FTL: it decides where host data
+// lands (which SLC level, which page, partial vs conventional program),
+// when and how the SLC cache evicts to the MLC region, and how GC selects
+// and relocates. The three schemes of Section 4.1:
+//
+//  * BaselineScheme — dynamic page-level mapping, partial programming
+//    disabled: every write consumes fresh pages, never revisited.
+//  * MgaScheme — mapping-granularity-adaptive aggregation [12]: small
+//    writes of *different* requests are appended into the same open SLC
+//    page with partial programming (maximum space utilisation, maximum
+//    in-page disturb), backed by a two-level mapping table.
+//  * IpuScheme — the paper's contribution: updates are partial-programmed
+//    into the *same page* that holds the previous version (in-page disturb
+//    lands only on already-invalidated data), hot updates climb the
+//    Work -> Monitor -> Hot block levels, and GC uses the ISR policy with
+//    degraded cold-data movement (Sections 3.1-3.3, Algorithm 1).
+//
+// Schemes do not advance time; they emit PhysOps that the service model
+// (sim/service_model.h) prices against chip/channel availability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "ecc/ber_model.h"
+#include "ecc/latency_model.h"
+#include "ftl/block_manager.h"
+#include "ftl/gc_policy.h"
+#include "ftl/mapping.h"
+#include "ftl/mapping_footprint.h"
+#include "nand/flash_array.h"
+
+namespace ppssd::cache {
+
+/// One physical flash operation for the timing model.
+struct PhysOp {
+  enum class Kind : std::uint8_t { kRead = 0, kProgram = 1, kErase = 2 };
+
+  std::uint32_t chip = 0;
+  std::uint32_t channel = 0;
+  Kind kind = Kind::kRead;
+  CellMode mode = CellMode::kSlc;
+  std::uint32_t subpages = 1;  // transferred / ECC-decoded payload
+  double ber = 0.0;            // raw BER priced by ECC (reads only)
+  bool background = false;     // GC / migration work
+};
+
+enum class SchemeKind : std::uint8_t { kBaseline = 0, kMga = 1, kIpu = 2 };
+
+[[nodiscard]] const char* scheme_name(SchemeKind kind);
+
+/// Aggregated policy metrics for the paper's figures.
+struct SchemeMetrics {
+  // Figure 6: completed writes per region (subpages, host + GC/flush).
+  std::uint64_t slc_subpages_written = 0;
+  std::uint64_t mlc_subpages_written = 0;
+  // Host-only split.
+  std::uint64_t host_subpages_written = 0;
+  // Figure 7: host writes landing in each SLC level (index by BlockLevel).
+  std::uint64_t level_subpages[4] = {0, 0, 0, 0};
+  std::uint64_t intra_page_updates = 0;  // subpages updated in place
+  // GC activity.
+  std::uint64_t slc_gc_count = 0;
+  std::uint64_t mlc_gc_count = 0;
+  RunningStat gc_utilization;  // Figure 9: used/total subpages of victims
+  std::uint64_t gc_moved_subpages = 0;    // relocated within SLC
+  std::uint64_t evicted_subpages = 0;     // ejected SLC -> MLC
+  // Figure 8: raw BER observed by host subpage reads.
+  RunningStat read_ber;
+  std::uint64_t host_reads_slc = 0;
+  std::uint64_t host_reads_mlc = 0;
+  std::uint64_t host_reads_unmapped = 0;
+};
+
+class Scheme {
+ public:
+  explicit Scheme(const SsdConfig& cfg);
+  virtual ~Scheme() = default;
+
+  Scheme(const Scheme&) = delete;
+  Scheme& operator=(const Scheme&) = delete;
+
+  [[nodiscard]] virtual SchemeKind kind() const = 0;
+  [[nodiscard]] const char* name() const { return scheme_name(kind()); }
+
+  /// Serve a host write of `count` contiguous logical subpages starting at
+  /// `lsn`. Appends the physical operations to `ops` in issue order
+  /// (host programs first, then any triggered flush/GC work).
+  void host_write(Lsn lsn, std::uint32_t count, SimTime now,
+                  std::vector<PhysOp>& ops);
+
+  /// Serve a host read of `count` contiguous logical subpages.
+  void host_read(Lsn lsn, std::uint32_t count, SimTime now,
+                 std::vector<PhysOp>& ops);
+
+  [[nodiscard]] const nand::FlashArray& array() const { return array_; }
+  [[nodiscard]] nand::FlashArray& array() { return array_; }
+  [[nodiscard]] const ftl::BlockManager& blocks() const { return bm_; }
+  [[nodiscard]] const SchemeMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const SsdConfig& config() const { return cfg_; }
+  [[nodiscard]] const ftl::DeviceMap& device_map() const { return map_; }
+
+  /// Mapping-table memory model for this scheme (Figure 11).
+  [[nodiscard]] ftl::FootprintReport footprint() const;
+
+  /// Current stored version of an LSN (0 = never written).
+  [[nodiscard]] std::uint32_t version_of(Lsn lsn) const {
+    return versions_[lsn];
+  }
+
+  /// True if the LSN's current copy lives in the SLC-mode cache.
+  [[nodiscard]] bool cached_in_slc(Lsn lsn) const {
+    const PhysicalAddress addr = map_.lookup(lsn);
+    return addr.valid() && array_.geometry().is_slc_block(addr.block);
+  }
+
+  /// Walk every mapping and physical slot and abort on any violated
+  /// invariant (see DESIGN.md §5). O(device); test/diagnostic use.
+  void check_consistency() const;
+
+  /// Zero the policy metrics and array op counters (cache contents, maps
+  /// and wear are preserved). Called after cache warm-up.
+  void reset_metrics() {
+    metrics_ = SchemeMetrics{};
+    array_.reset_counters();
+  }
+
+  /// Pre-fill the MLC region with logical pages [0, max_subpages), as an
+  /// aged drive would be, stopping when every plane is down to
+  /// `free_floor_blocks` free MLC blocks. No timing is simulated; call
+  /// before replay. Returns the number of subpages filled.
+  std::uint64_t prefill_mlc(std::uint64_t max_subpages,
+                            std::uint32_t free_floor_blocks);
+
+ protected:
+  /// Scheme-specific write placement. Must handle map updates, old-version
+  /// invalidation, metrics, and emit program ops.
+  virtual void place_write(Lsn lsn, std::uint32_t count, SimTime now,
+                           std::vector<PhysOp>& ops) = 0;
+
+  /// Scheme-specific relocation of one victim page's valid data during SLC
+  /// GC.
+  virtual void relocate_slc_page(BlockId victim, PageId page, SimTime now,
+                                 std::vector<PhysOp>& ops) = 0;
+
+  /// Victim-selection policy for the SLC region.
+  [[nodiscard]] virtual const ftl::GcPolicy& slc_policy() const = 0;
+
+  /// Hook invoked when an SLC block is erased (clear side tables).
+  virtual void on_slc_block_erased(BlockId /*block*/) {}
+
+  /// Hook invoked after a fresh SLC page is programmed by the shared
+  /// placement helper (IPU tags the page's extent here).
+  virtual void on_slc_page_programmed(BlockId /*block*/, PageId /*page*/,
+                                      std::span<const Lsn> /*lsns*/,
+                                      bool /*first_program*/) {}
+
+  /// Hook invoked whenever an SLC slot is invalidated (MGA clears its
+  /// second-level table entry here).
+  virtual void on_slc_slot_invalidated(const PhysicalAddress& /*addr*/) {}
+
+  // ---- shared mechanisms available to subclasses -----------------------
+
+  [[nodiscard]] std::uint32_t subpages_per_page() const { return spp_; }
+
+  /// Next plane in round-robin order for new-page placement.
+  std::uint32_t next_plane();
+
+  /// Bump and return the LSN's version (host writes only).
+  std::uint32_t bump_version(Lsn lsn);
+
+  /// Drop the previous version of `lsn` wherever it lives. Safe to call
+  /// for never-written LSNs.
+  void invalidate_previous(Lsn lsn);
+
+  /// Retire one physical slot: invalidate in the array, clear the map,
+  /// fire the SLC hook. The slot must be the current mapping of `lsn`.
+  void retire_slot(Lsn lsn, const PhysicalAddress& addr);
+
+  /// Emit a program op for a page of `block`.
+  void emit_program(BlockId block, std::uint32_t subpages, bool background,
+                    std::vector<PhysOp>& ops);
+
+  /// Emit a read op of `subpages` subpages from one physical page,
+  /// pricing ECC by the max raw BER across the page's read subpages.
+  void emit_page_read(BlockId block, PageId page, std::uint32_t subpages,
+                      double max_ber, bool background,
+                      std::vector<PhysOp>& ops);
+
+  /// Emit an erase op for `block`.
+  void emit_erase(BlockId block, std::vector<PhysOp>& ops);
+
+  /// Raw BER of a stored subpage right now.
+  [[nodiscard]] double ber_of(const PhysicalAddress& addr) const;
+
+  /// Program freshly-allocated SLC page slots [0, n) with the given LSNs
+  /// (used by every scheme for new-page placement and GC moves). Updates
+  /// the map, emits the program op, and tallies level metrics when `host`
+  /// is true (host semantics also supersede prior copies). Returns the
+  /// allocation actually used (after level fallback) or nullopt when the
+  /// SLC region is exhausted.
+  std::optional<ftl::PageAlloc> program_new_slc_page(
+      std::uint32_t plane, BlockLevel level, std::span<const Lsn> lsns,
+      std::span<const std::uint32_t> versions, SimTime now, bool host,
+      std::vector<PhysOp>& ops);
+
+  /// Write the given LSNs into a fresh MLC page (packed slots). Same
+  /// host/GC semantics as program_new_slc_page. Runs MLC GC first when the
+  /// destination plane is below threshold.
+  void program_mlc_page(std::span<const Lsn> lsns,
+                        std::span<const std::uint32_t> versions, SimTime now,
+                        bool host, bool background, std::vector<PhysOp>& ops,
+                        std::uint32_t plane_hint = UINT32_MAX);
+
+  /// Evict one victim page's valid subpages to the MLC region (GC path).
+  /// Evictions within one GC pass are *packed*: the controller buffers
+  /// GC-out data and writes full MLC pages; flush_evictions() closes the
+  /// pass (called automatically by the GC driver).
+  void evict_page_to_mlc(BlockId victim, PageId page, SimTime now,
+                         std::vector<PhysOp>& ops);
+  void flush_evictions(std::uint32_t plane, SimTime now,
+                       std::vector<PhysOp>& ops);
+
+  /// Write host data directly to MLC (fallback when the SLC region cannot
+  /// take another page even after GC).
+  void direct_mlc_write(Lsn lsn, std::uint32_t count, SimTime now,
+                        std::vector<PhysOp>& ops);
+
+  /// Run SLC / MLC GC passes on `plane` while below threshold (bounded
+  /// passes per call).
+  void maybe_slc_gc(std::uint32_t plane, SimTime now,
+                    std::vector<PhysOp>& ops);
+  void maybe_mlc_gc(std::uint32_t plane, SimTime now,
+                    std::vector<PhysOp>& ops);
+
+  SsdConfig cfg_;
+  nand::FlashArray array_;
+  ftl::BlockManager bm_;
+  ftl::DeviceMap map_;
+  ecc::BerModel ber_model_;
+  ecc::EccLatencyModel ecc_model_;
+  ftl::GreedyPolicy greedy_;
+  SchemeMetrics metrics_;
+  std::vector<std::uint32_t> versions_;
+
+ private:
+  /// One GC pass on a plane's region; returns false if no victim.
+  bool slc_gc_once(std::uint32_t plane, SimTime now, std::vector<PhysOp>& ops);
+  /// MLC GC pass; victims below `min_invalid` reclaimable subpages are
+  /// deferred (write-amplification guard).
+  bool mlc_gc_once(std::uint32_t plane, SimTime now, std::vector<PhysOp>& ops,
+                   std::uint32_t min_invalid);
+
+  struct StagedEviction {
+    Lsn lsn;
+    std::uint32_t version;
+  };
+  std::vector<StagedEviction> staged_evictions_;
+
+  std::uint32_t spp_;
+  std::uint32_t rr_plane_ = 0;
+};
+
+/// Factory for the three paper schemes.
+[[nodiscard]] std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
+                                                  const SsdConfig& cfg);
+
+}  // namespace ppssd::cache

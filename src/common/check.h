@@ -1,0 +1,34 @@
+// Lightweight invariant checking.
+//
+// PPSSD_CHECK is active in all build types: the simulator's correctness
+// invariants (mapping consistency, no lost data, program-order rules) are
+// part of its contract, and the cost is negligible next to event handling.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppssd::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "ppssd check failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ppssd::detail
+
+#define PPSSD_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      ::ppssd::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (false)
+
+#define PPSSD_CHECK_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      ::ppssd::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,37 @@
+#include "common/latency_recorder.h"
+
+namespace ppssd {
+namespace {
+// Histogram range: 1 us .. 10 s in milliseconds.
+constexpr double kHistLoMs = 1e-3;
+constexpr double kHistHiMs = 1e4;
+}  // namespace
+
+LatencyRecorder::LatencyRecorder()
+    : read_hist_(kHistLoMs, kHistHiMs), write_hist_(kHistLoMs, kHistHiMs) {}
+
+void LatencyRecorder::record(OpType op, SimTime latency_ns) {
+  const double ms = ns_to_ms(latency_ns);
+  if (op == OpType::kRead) {
+    read_.add(ms);
+    read_hist_.add(ms);
+  } else {
+    write_.add(ms);
+    write_hist_.add(ms);
+  }
+}
+
+double LatencyRecorder::avg_overall_ms() const {
+  const auto n = read_.count() + write_.count();
+  if (n == 0) return 0.0;
+  return (read_.sum() + write_.sum()) / static_cast<double>(n);
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  read_.merge(other.read_);
+  write_.merge(other.write_);
+  read_hist_.merge(other.read_hist_);
+  write_hist_.merge(other.write_hist_);
+}
+
+}  // namespace ppssd

@@ -1,0 +1,39 @@
+// Per-operation-class latency accumulation for the replayer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace ppssd {
+
+/// Records read/write response times and exposes the aggregates the paper's
+/// Figure 5 / 13 report (average latency per class and overall).
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  void record(OpType op, SimTime latency_ns);
+
+  [[nodiscard]] double avg_read_ms() const { return read_.mean(); }
+  [[nodiscard]] double avg_write_ms() const { return write_.mean(); }
+  [[nodiscard]] double avg_overall_ms() const;
+  [[nodiscard]] std::uint64_t read_count() const { return read_.count(); }
+  [[nodiscard]] std::uint64_t write_count() const { return write_.count(); }
+  [[nodiscard]] double read_p99_ms() const { return read_hist_.quantile(0.99); }
+  [[nodiscard]] double write_p99_ms() const {
+    return write_hist_.quantile(0.99);
+  }
+
+  void merge(const LatencyRecorder& other);
+
+ private:
+  RunningStat read_;   // in ms
+  RunningStat write_;  // in ms
+  LogHistogram read_hist_;
+  LogHistogram write_hist_;
+};
+
+}  // namespace ppssd

@@ -1,0 +1,63 @@
+// Deterministic random number generation for workload synthesis.
+//
+// xoshiro256** (Blackman & Vigna) — fast, high quality, and stable across
+// platforms so every trace profile is reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ppssd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) via Lemire's method. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponential with mean `mean` (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Zipf(α) sampler over ranks [0, n): precomputes the CDF once and samples
+/// by binary search — O(log n) per draw, deterministic.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank k (for tests).
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ppssd

@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppssd {
+
+void RunningStat::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LogHistogram::LogHistogram(double lo, double hi, std::uint32_t buckets)
+    : lo_(lo), log_lo_(std::log(lo)) {
+  PPSSD_CHECK(lo > 0.0 && hi > lo && buckets >= 2);
+  log_ratio_ = (std::log(hi) - log_lo_) / buckets;
+  counts_.assign(buckets + 2, 0);  // +underflow +overflow
+}
+
+std::uint32_t LogHistogram::bucket_for(double x) const {
+  if (x < lo_) return 0;
+  const auto i =
+      static_cast<std::int64_t>((std::log(x) - log_lo_) / log_ratio_);
+  const auto nbuckets = static_cast<std::int64_t>(counts_.size()) - 2;
+  if (i >= nbuckets) return static_cast<std::uint32_t>(counts_.size() - 1);
+  return static_cast<std::uint32_t>(i + 1);
+}
+
+double LogHistogram::bucket_lo(std::uint32_t i) const {
+  if (i == 0) return 0.0;
+  return std::exp(log_lo_ + (i - 1) * log_ratio_);
+}
+
+void LogHistogram::add(double x) {
+  ++counts_[bucket_for(x)];
+  ++total_;
+  stat_.add(x);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  PPSSD_CHECK(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  stat_.merge(other.stat_);
+}
+
+double LogHistogram::quantile(double q) const {
+  PPSSD_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = 0;
+  for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] > target) {
+      // Interpolate within the bucket.
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : static_cast<double>(target - cum) /
+                    static_cast<double>(counts_[i]);
+      const double blo = bucket_lo(i);
+      const double bhi = i + 1 < counts_.size() ? bucket_lo(i + 1) : stat_.max();
+      return blo + frac * (bhi - blo);
+    }
+    cum += counts_[i];
+  }
+  return stat_.max();
+}
+
+}  // namespace ppssd

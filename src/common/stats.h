@@ -1,0 +1,64 @@
+// Streaming statistics and histograms used by the metric pipeline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ppssd {
+
+/// Welford's online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log-bucketed histogram for positive values (latencies in ns).
+///
+/// Buckets are geometric: bucket i covers [lo * g^i, lo * g^(i+1)).
+/// Quantiles are answered with linear interpolation inside a bucket — good
+/// to a few percent, constant memory, O(1) insert.
+class LogHistogram {
+ public:
+  /// Covers [lo, hi] with `buckets` geometric buckets.
+  LogHistogram(double lo, double hi, std::uint32_t buckets = 128);
+
+  void add(double x);
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const { return stat_.mean(); }
+  [[nodiscard]] double max() const { return stat_.max(); }
+  [[nodiscard]] const RunningStat& stat() const { return stat_; }
+
+ private:
+  [[nodiscard]] std::uint32_t bucket_for(double x) const;
+  [[nodiscard]] double bucket_lo(std::uint32_t i) const;
+
+  double lo_;
+  double log_lo_;
+  double log_ratio_;  // log(g)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  RunningStat stat_;
+};
+
+}  // namespace ppssd

@@ -1,0 +1,69 @@
+// Core scalar types and strong identifiers shared by every ppssd module.
+//
+// The simulator measures time in integer nanoseconds (SimTime) so that the
+// discrete-event queue is exactly ordered and runs are bit-reproducible.
+// All Table-2 latencies from the paper are expressed in milliseconds there;
+// conversion helpers live in units.h.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppssd {
+
+/// Simulation time in nanoseconds since replay start.
+using SimTime = std::uint64_t;
+
+/// Sentinel for "no time" / unset timestamps.
+inline constexpr SimTime kNoTime = std::numeric_limits<SimTime>::max();
+
+/// Logical subpage number: host address space in subpage (4 KiB) units.
+using Lsn = std::uint64_t;
+
+/// Logical page number (page = kSubpagesPerPage subpages).
+using Lpn = std::uint64_t;
+
+inline constexpr Lsn kInvalidLsn = std::numeric_limits<Lsn>::max();
+inline constexpr Lpn kInvalidLpn = std::numeric_limits<Lpn>::max();
+
+/// Flat physical block index across the whole flash array.
+using BlockId = std::uint32_t;
+/// Page index within a block.
+using PageId = std::uint16_t;
+/// Subpage slot index within a page.
+using SubpageId = std::uint8_t;
+
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+inline constexpr SubpageId kInvalidSubpage =
+    std::numeric_limits<SubpageId>::max();
+
+/// Physical address of one subpage slot.
+struct PhysicalAddress {
+  BlockId block = kInvalidBlock;
+  PageId page = kInvalidPage;
+  SubpageId subpage = kInvalidSubpage;
+
+  [[nodiscard]] constexpr bool valid() const { return block != kInvalidBlock; }
+  constexpr bool operator==(const PhysicalAddress&) const = default;
+};
+
+/// Block-level labels used by the IPU three-level SLC cache (Section 3.1).
+/// Values match Algorithm 1's block_flag convention.
+enum class BlockLevel : std::uint8_t {
+  kHighDensity = 0,  // native MLC region (not SLC-mode)
+  kWork = 1,
+  kMonitor = 2,
+  kHot = 3,
+};
+
+/// Flash cell operating mode of a block.
+enum class CellMode : std::uint8_t {
+  kSlc = 0,  // SLC-mode cache block: 1 bit/cell
+  kMlc = 1,  // native high-density block: 2 bit/cell
+};
+
+/// Host request direction.
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+}  // namespace ppssd

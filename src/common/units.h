@@ -1,0 +1,38 @@
+// Size and time unit helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ppssd {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Subpage size: the partial-programming granularity (4 KiB in the paper).
+inline constexpr std::uint64_t kSubpageBytes = 4 * kKiB;
+
+/// Convert milliseconds (paper's Table-2 unit) to SimTime nanoseconds.
+constexpr SimTime ms_to_ns(double ms) {
+  return static_cast<SimTime>(ms * 1.0e6 + 0.5);
+}
+
+/// Convert microseconds to SimTime nanoseconds.
+constexpr SimTime us_to_ns(double us) {
+  return static_cast<SimTime>(us * 1.0e3 + 0.5);
+}
+
+/// Convert SimTime nanoseconds to milliseconds (for reporting).
+constexpr double ns_to_ms(SimTime ns) { return static_cast<double>(ns) / 1.0e6; }
+
+/// Convert SimTime nanoseconds to microseconds (for reporting).
+constexpr double ns_to_us(SimTime ns) { return static_cast<double>(ns) / 1.0e3; }
+
+/// Round a byte count up to whole subpages.
+constexpr std::uint64_t bytes_to_subpages(std::uint64_t bytes) {
+  return (bytes + kSubpageBytes - 1) / kSubpageBytes;
+}
+
+}  // namespace ppssd

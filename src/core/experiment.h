@@ -1,0 +1,96 @@
+// One experiment cell: a (scheme × trace × wear) trace-driven simulation,
+// and the flat result record every bench derives its figures from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/ipu_scheme.h"
+#include "cache/scheme.h"
+#include "common/config.h"
+
+namespace ppssd::core {
+
+struct ExperimentSpec {
+  cache::SchemeKind scheme = cache::SchemeKind::kIpu;
+  std::string trace;                 // profile name (profiles.h)
+  std::uint32_t pe_cycles = 4000;    // device wear at replay start
+  std::uint32_t total_blocks = 16384;  // device scale
+  double trace_scale = 0.15;         // fraction of the profile's requests
+  /// Ablation switches (only honoured for the IPU scheme).
+  std::optional<cache::IpuScheme::Options> ipu_options;
+
+  /// Stable identity string (cache key, log label).
+  [[nodiscard]] std::string key() const;
+};
+
+struct ExperimentResult {
+  ExperimentSpec spec;
+
+  // Figure 5 / 13: response times (ms).
+  double avg_read_ms = 0.0;
+  double avg_write_ms = 0.0;
+  double avg_overall_ms = 0.0;
+  double p99_read_ms = 0.0;
+  double p99_write_ms = 0.0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  // Figure 8 / 14: mean raw BER observed by host reads.
+  double read_ber = 0.0;
+
+  // Figure 6: completed subpage writes per region.
+  std::uint64_t slc_subpages = 0;
+  std::uint64_t mlc_subpages = 0;
+
+  // Figure 7: host subpage writes per SLC level (index = BlockLevel).
+  std::uint64_t level_subpages[4] = {0, 0, 0, 0};
+  std::uint64_t intra_page_updates = 0;
+
+  // Figure 9: mean used/total subpage ratio of GC victim blocks.
+  double gc_utilization = 0.0;
+
+  // Figure 10: erases per region.
+  std::uint64_t slc_erases = 0;
+  std::uint64_t mlc_erases = 0;
+
+  // Figure 11: mapping-table model (bytes).
+  std::uint64_t map_base_bytes = 0;
+  std::uint64_t map_extra_bytes = 0;
+  std::uint64_t map_aux_bytes = 0;
+
+  // GC activity.
+  std::uint64_t slc_gc_count = 0;
+  std::uint64_t mlc_gc_count = 0;
+  std::uint64_t evicted_subpages = 0;
+  std::uint64_t gc_moved_subpages = 0;
+
+  double avg_queue_depth = 0.0;
+  double wall_seconds = 0.0;
+
+  // Chip-occupancy breakdown (seconds of array time) for diagnosis.
+  double chip_fg_seconds = 0.0;   // host reads+programs
+  double chip_bg_seconds = 0.0;   // GC/migration reads+programs
+  double chip_erase_seconds = 0.0;
+
+  [[nodiscard]] double map_normalized() const {
+    return map_base_bytes == 0
+               ? 0.0
+               : static_cast<double>(map_base_bytes + map_extra_bytes) /
+                     static_cast<double>(map_base_bytes);
+  }
+
+  /// Serialise to key=value lines / parse back (runner's disk cache).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static std::optional<ExperimentResult> deserialize(
+      const std::string& text);
+};
+
+/// Build the SsdConfig for a spec (scale + wear applied).
+[[nodiscard]] SsdConfig config_for(const ExperimentSpec& spec);
+
+/// Run the cell end-to-end (synthesise trace, replay, collect).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace ppssd::core

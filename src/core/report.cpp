@@ -1,0 +1,117 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/experiment.h"
+
+namespace ppssd::core {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  PPSSD_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) {
+    os << title << '\n';
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Left-align the first column (labels), right-align numbers.
+      if (c == 0) {
+        os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::count(std::uint64_t v) { return std::to_string(v); }
+
+std::string delta_pct(double value, double base) {
+  if (base == 0.0) return "n/a";
+  const double d = (value - base) / base * 100.0;
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << (d >= 0 ? "+" : "") << d << "%";
+  return os.str();
+}
+
+bool write_results_csv(const std::string& path,
+                       const std::vector<ExperimentResult>& results) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "scheme,trace,pe_cycles,blocks,scale,avg_read_ms,avg_write_ms,"
+         "avg_overall_ms,p99_read_ms,p99_write_ms,reads,writes,read_ber,"
+         "slc_subpages,mlc_subpages,work_subpages,monitor_subpages,"
+         "hot_subpages,intra_page_updates,gc_utilization,slc_erases,"
+         "mlc_erases,map_total_bytes,slc_gc_count,mlc_gc_count,"
+         "evicted_subpages,gc_moved_subpages\n";
+  out.precision(10);
+  for (const auto& r : results) {
+    out << cache::scheme_name(r.spec.scheme) << ',' << r.spec.trace << ','
+        << r.spec.pe_cycles << ',' << r.spec.total_blocks << ','
+        << r.spec.trace_scale << ',' << r.avg_read_ms << ','
+        << r.avg_write_ms << ',' << r.avg_overall_ms << ',' << r.p99_read_ms
+        << ',' << r.p99_write_ms << ',' << r.reads << ',' << r.writes << ','
+        << r.read_ber << ',' << r.slc_subpages << ',' << r.mlc_subpages
+        << ',' << r.level_subpages[1] << ',' << r.level_subpages[2] << ','
+        << r.level_subpages[3] << ',' << r.intra_page_updates << ','
+        << r.gc_utilization << ',' << r.slc_erases << ',' << r.mlc_erases
+        << ',' << (r.map_base_bytes + r.map_extra_bytes) << ','
+        << r.slc_gc_count << ',' << r.mlc_gc_count << ','
+        << r.evicted_subpages << ',' << r.gc_moved_subpages << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    PPSSD_CHECK(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace ppssd::core

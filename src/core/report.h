@@ -1,0 +1,44 @@
+// Fixed-width table rendering for the bench binaries' paper-style output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppssd::core {
+
+/// Simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a title, column alignment, and a separator rule.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+  static std::string count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Relative change of `value` versus `base` as a signed percentage string.
+[[nodiscard]] std::string delta_pct(double value, double base);
+
+/// Geometric-mean helper over positive values.
+[[nodiscard]] double geomean(const std::vector<double>& values);
+
+// Forward declaration (core/experiment.h).
+struct ExperimentResult;
+
+/// Write a flat CSV of experiment results (one row per cell, header
+/// included) for external plotting. Returns false on I/O failure.
+bool write_results_csv(const std::string& path,
+                       const std::vector<ExperimentResult>& results);
+
+}  // namespace ppssd::core

@@ -1,0 +1,106 @@
+#include "core/runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/profiles.h"
+
+namespace ppssd::core {
+
+namespace {
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : fallback;
+}
+}  // namespace
+
+Runner::Runner()
+    : cache_dir_(env_or("PPSSD_NO_CACHE", "").empty()
+                     ? env_or("PPSSD_CACHE_DIR", ".ppssd_cache")
+                     : "") {}
+
+Runner::Runner(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {}
+
+std::string Runner::cache_path(const ExperimentSpec& spec) const {
+  return cache_dir_ + "/" + spec.key() + ".result";
+}
+
+ExperimentResult Runner::run(const ExperimentSpec& spec) {
+  if (!cache_dir_.empty()) {
+    std::ifstream in(cache_path(spec));
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (auto cached = ExperimentResult::deserialize(buf.str())) {
+        cached->spec = spec;
+        return *cached;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "[ppssd] simulating %s ...\n", spec.key().c_str());
+  ExperimentResult result = run_experiment(spec);
+  std::fprintf(stderr, "[ppssd]   done in %.1fs (%llu reqs)\n",
+               result.wall_seconds,
+               static_cast<unsigned long long>(result.reads + result.writes));
+
+  if (!cache_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir_, ec);
+    std::ofstream out(cache_path(spec));
+    if (out) out << result.serialize();
+  }
+  return result;
+}
+
+std::vector<ExperimentResult> Runner::run_matrix(
+    const std::vector<cache::SchemeKind>& schemes,
+    const std::vector<std::string>& traces, std::uint32_t pe_cycles) {
+  std::vector<ExperimentResult> results;
+  results.reserve(schemes.size() * traces.size());
+  for (const auto& trace : traces) {
+    for (const auto scheme : schemes) {
+      ExperimentSpec spec = default_spec();
+      spec.scheme = scheme;
+      spec.trace = trace;
+      spec.pe_cycles = pe_cycles;
+      results.push_back(run(spec));
+    }
+  }
+  return results;
+}
+
+ExperimentSpec Runner::default_spec() {
+  ExperimentSpec spec;
+  if (!env_or("REPRO_FULL", "").empty()) {
+    spec.total_blocks = 65536;
+    spec.trace_scale = 1.0;
+  }
+  const std::string blocks = env_or("PPSSD_BLOCKS", "");
+  if (!blocks.empty()) {
+    spec.total_blocks = static_cast<std::uint32_t>(std::stoul(blocks));
+  }
+  const std::string scale = env_or("PPSSD_SCALE", "");
+  if (!scale.empty()) {
+    spec.trace_scale = std::stod(scale);
+  }
+  return spec;
+}
+
+std::vector<std::string> Runner::paper_traces() {
+  std::vector<std::string> names;
+  for (const auto& p : trace::paper_profiles()) {
+    names.push_back(p.name);
+  }
+  return names;
+}
+
+std::vector<cache::SchemeKind> Runner::paper_schemes() {
+  return {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
+          cache::SchemeKind::kIpu};
+}
+
+}  // namespace ppssd::core

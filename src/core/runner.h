@@ -1,0 +1,53 @@
+// Experiment-matrix runner with a shared on-disk result cache.
+//
+// Every bench binary regenerates one paper table/figure; most need the
+// same scheme × trace matrix. The runner memoises completed cells under
+// $PPSSD_CACHE_DIR (default ".ppssd_cache" in the working directory), so
+// the full bench suite re-simulates each cell exactly once.
+//
+// Environment knobs honoured by default_spec():
+//   REPRO_FULL=1       paper-scale device (65536 blocks) and full traces
+//   PPSSD_BLOCKS=n     device scale override
+//   PPSSD_SCALE=f      trace-length fraction override
+//   PPSSD_NO_CACHE=1   disable the disk cache
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ppssd::core {
+
+class Runner {
+ public:
+  /// Uses $PPSSD_CACHE_DIR or ".ppssd_cache"; empty string disables cache.
+  Runner();
+  explicit Runner(std::string cache_dir);
+
+  /// Run (or load) one cell.
+  ExperimentResult run(const ExperimentSpec& spec);
+
+  /// Run the full scheme × trace matrix at the default scale.
+  std::vector<ExperimentResult> run_matrix(
+      const std::vector<cache::SchemeKind>& schemes,
+      const std::vector<std::string>& traces, std::uint32_t pe_cycles = 4000);
+
+  /// Spec template honouring the environment knobs.
+  [[nodiscard]] static ExperimentSpec default_spec();
+
+  /// All six paper trace names in Table 3 order.
+  [[nodiscard]] static std::vector<std::string> paper_traces();
+
+  /// The three paper schemes.
+  [[nodiscard]] static std::vector<cache::SchemeKind> paper_schemes();
+
+  [[nodiscard]] const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  [[nodiscard]] std::string cache_path(const ExperimentSpec& spec) const;
+
+  std::string cache_dir_;
+};
+
+}  // namespace ppssd::core

@@ -1,0 +1,202 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppssd::ecc {
+
+BchCode::BchCode(const GaloisField& gf, std::uint32_t t,
+                 std::uint32_t data_bits)
+    : gf_(&gf), t_(t), data_bits_(data_bits) {
+  PPSSD_CHECK(t >= 1);
+  const std::uint32_t n = gf.n();
+
+  // Generator polynomial: product of the distinct minimal polynomials of
+  // alpha^1 .. alpha^(2t). Build each minimal polynomial from its
+  // cyclotomic coset, then multiply into the generator over GF(2).
+  std::vector<bool> covered(n, false);
+  std::vector<std::uint32_t> gen{1};  // GF(2^m) coefficients, start g = 1
+  for (std::uint32_t j = 1; j <= 2 * t; ++j) {
+    if (covered[j % n]) continue;
+    // Cyclotomic coset of j under doubling mod n.
+    std::vector<std::uint32_t> coset;
+    std::uint32_t s = j % n;
+    while (!covered[s]) {
+      covered[s] = true;
+      coset.push_back(s);
+      s = static_cast<std::uint32_t>((2ull * s) % n);
+    }
+    // Minimal polynomial: prod_{s in coset} (x + alpha^s).
+    std::vector<std::uint32_t> minpoly{1};
+    for (std::uint32_t exp : coset) {
+      const std::uint32_t root = gf.exp(exp);
+      std::vector<std::uint32_t> next(minpoly.size() + 1, 0);
+      for (std::size_t i = 0; i < minpoly.size(); ++i) {
+        next[i + 1] = GaloisField::add(next[i + 1], minpoly[i]);
+        next[i] = GaloisField::add(next[i], gf.mul(minpoly[i], root));
+      }
+      minpoly = std::move(next);
+    }
+    // Multiply gen *= minpoly (minpoly has GF(2) coefficients in theory;
+    // verify below).
+    std::vector<std::uint32_t> prod(gen.size() + minpoly.size() - 1, 0);
+    for (std::size_t a = 0; a < gen.size(); ++a) {
+      if (gen[a] == 0) continue;
+      for (std::size_t b = 0; b < minpoly.size(); ++b) {
+        prod[a + b] = GaloisField::add(prod[a + b], gf.mul(gen[a], minpoly[b]));
+      }
+    }
+    gen = std::move(prod);
+  }
+  gen_.resize(gen.size());
+  for (std::size_t i = 0; i < gen.size(); ++i) {
+    PPSSD_CHECK_MSG(gen[i] <= 1, "BCH generator polynomial not binary");
+    gen_[i] = static_cast<std::uint8_t>(gen[i]);
+  }
+  parity_bits_ = static_cast<std::uint32_t>(gen_.size()) - 1;
+  PPSSD_CHECK_MSG(data_bits_ + parity_bits_ <= n,
+                  "data_bits too large for this code");
+}
+
+std::vector<std::uint8_t> BchCode::encode(
+    std::span<const std::uint8_t> data) const {
+  PPSSD_CHECK(data.size() == data_bits_);
+  // Systematic encoding: codeword = [parity | data] where parity is the
+  // remainder of data(x) * x^parity_bits modulo g(x), computed with an LFSR.
+  std::vector<std::uint8_t> lfsr(parity_bits_, 0);
+  // Feed data bits from the highest information position down.
+  for (std::size_t idx = data.size(); idx-- > 0;) {
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>(data[idx] ^ lfsr[parity_bits_ - 1]);
+    for (std::size_t i = parity_bits_ - 1; i > 0; --i) {
+      lfsr[i] = static_cast<std::uint8_t>(
+          lfsr[i - 1] ^ (feedback ? gen_[i] : 0));
+    }
+    lfsr[0] = static_cast<std::uint8_t>(feedback ? gen_[0] : 0);
+  }
+  std::vector<std::uint8_t> codeword(codeword_bits());
+  std::copy(lfsr.begin(), lfsr.end(), codeword.begin());
+  std::copy(data.begin(), data.end(), codeword.begin() + parity_bits_);
+  return codeword;
+}
+
+DecodeResult BchCode::decode(std::span<std::uint8_t> codeword) const {
+  PPSSD_CHECK(codeword.size() == codeword_bits());
+  const GaloisField& gf = *gf_;
+
+  // Syndromes S_j = r(alpha^j), j = 1..2t. Bit i of the (shortened)
+  // codeword is the coefficient of x^i.
+  std::vector<std::uint32_t> synd(2 * t_ + 1, 0);
+  bool any = false;
+  for (std::uint32_t j = 1; j <= 2 * t_; ++j) {
+    std::uint32_t s = 0;
+    for (std::uint32_t i = 0; i < codeword.size(); ++i) {
+      if (codeword[i]) {
+        s = GaloisField::add(
+            s, gf.exp(static_cast<std::uint32_t>(
+                   (static_cast<std::uint64_t>(j) * i) % gf.n())));
+      }
+    }
+    synd[j] = s;
+    any = any || s != 0;
+  }
+  if (!any) {
+    return {DecodeStatus::kClean, 0};
+  }
+
+  // Berlekamp–Massey: find the error-locator polynomial sigma.
+  GfPoly sigma{{1}};
+  GfPoly prev_sigma{{1}};
+  std::uint32_t prev_discrepancy = 1;
+  std::uint32_t mdiff = 1;  // x^mdiff multiplier for the correction term
+  std::uint32_t lfsr_len = 0;
+  for (std::uint32_t iter = 1; iter <= 2 * t_; ++iter) {
+    // Discrepancy d = S_iter + sum_{i=1..L} sigma_i * S_{iter-i}.
+    std::uint32_t d = synd[iter];
+    for (std::uint32_t i = 1; i <= lfsr_len && i < sigma.coeff.size(); ++i) {
+      if (iter >= i + 1 && iter - i >= 1) {
+        d = GaloisField::add(d, gf.mul(sigma.coeff[i], synd[iter - i]));
+      }
+    }
+    if (d == 0) {
+      ++mdiff;
+      continue;
+    }
+    if (2 * lfsr_len <= iter - 1) {
+      // Length change: save sigma before updating.
+      GfPoly saved = sigma;
+      const std::uint32_t scale = gf.div(d, prev_discrepancy);
+      // sigma -= scale * x^mdiff * prev_sigma
+      if (sigma.coeff.size() < prev_sigma.coeff.size() + mdiff) {
+        sigma.coeff.resize(prev_sigma.coeff.size() + mdiff, 0);
+      }
+      for (std::size_t i = 0; i < prev_sigma.coeff.size(); ++i) {
+        sigma.coeff[i + mdiff] = GaloisField::add(
+            sigma.coeff[i + mdiff], gf.mul(scale, prev_sigma.coeff[i]));
+      }
+      lfsr_len = iter - lfsr_len;
+      prev_sigma = std::move(saved);
+      prev_discrepancy = d;
+      mdiff = 1;
+    } else {
+      const std::uint32_t scale = gf.div(d, prev_discrepancy);
+      if (sigma.coeff.size() < prev_sigma.coeff.size() + mdiff) {
+        sigma.coeff.resize(prev_sigma.coeff.size() + mdiff, 0);
+      }
+      for (std::size_t i = 0; i < prev_sigma.coeff.size(); ++i) {
+        sigma.coeff[i + mdiff] = GaloisField::add(
+            sigma.coeff[i + mdiff], gf.mul(scale, prev_sigma.coeff[i]));
+      }
+      ++mdiff;
+    }
+  }
+
+  const int deg = sigma.degree();
+  if (deg < 0 || static_cast<std::uint32_t>(deg) > t_) {
+    return {DecodeStatus::kFailed, 0};
+  }
+
+  // Chien search over the *shortened* positions: error at position i iff
+  // sigma(alpha^{-i}) == 0.
+  std::vector<std::uint32_t> error_positions;
+  for (std::uint32_t i = 0; i < codeword.size(); ++i) {
+    const std::uint32_t x =
+        gf.exp((gf.n() - i % gf.n()) % gf.n());  // alpha^{-i}
+    if (sigma.eval(gf, x) == 0) {
+      error_positions.push_back(i);
+      if (error_positions.size() > t_) break;
+    }
+  }
+  if (error_positions.size() != static_cast<std::size_t>(deg)) {
+    // Roots outside the shortened range or repeated roots: uncorrectable.
+    return {DecodeStatus::kFailed, 0};
+  }
+  for (const std::uint32_t pos : error_positions) {
+    codeword[pos] ^= 1;
+  }
+  // Re-verify: corrected word must have zero syndromes.
+  for (std::uint32_t j = 1; j <= 2 * t_; ++j) {
+    std::uint32_t s = 0;
+    for (std::uint32_t i = 0; i < codeword.size(); ++i) {
+      if (codeword[i]) {
+        s = GaloisField::add(
+            s, gf.exp(static_cast<std::uint32_t>(
+                   (static_cast<std::uint64_t>(j) * i) % gf.n())));
+      }
+    }
+    if (s != 0) {
+      return {DecodeStatus::kFailed, 0};
+    }
+  }
+  return {DecodeStatus::kCorrected,
+          static_cast<std::uint32_t>(error_positions.size())};
+}
+
+std::vector<std::uint8_t> BchCode::extract_data(
+    std::span<const std::uint8_t> codeword) const {
+  PPSSD_CHECK(codeword.size() == codeword_bits());
+  return {codeword.begin() + parity_bits_, codeword.end()};
+}
+
+}  // namespace ppssd::ecc

@@ -1,0 +1,74 @@
+// Binary BCH codec: encode, syndrome decode (Berlekamp–Massey + Chien).
+//
+// NAND controllers protect each 512 B sector with a BCH code over
+// GF(2^13) (n = 8191) [26]. The codec here is fully functional — tests
+// round-trip random data through random error patterns — and the decode-
+// latency model (latency_model.h) is calibrated against its behaviour:
+// decode effort grows with the number of raw errors until the correction
+// capability t is exhausted.
+//
+// The code is used in *shortened* form: data_bits <= k = n - m*t, with the
+// unused leading information positions implicitly zero.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/galois.h"
+
+namespace ppssd::ecc {
+
+enum class DecodeStatus : std::uint8_t {
+  kClean = 0,      // syndromes all zero: no errors
+  kCorrected = 1,  // errors found and corrected
+  kFailed = 2,     // error weight beyond capability (detected failure)
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kClean;
+  std::uint32_t corrected = 0;
+};
+
+class BchCode {
+ public:
+  /// Code over `gf` correcting up to `t` bit errors, carrying `data_bits`
+  /// information bits (shortened if data_bits < k).
+  BchCode(const GaloisField& gf, std::uint32_t t, std::uint32_t data_bits);
+
+  [[nodiscard]] std::uint32_t t() const { return t_; }
+  [[nodiscard]] std::uint32_t n() const { return gf_->n(); }
+  [[nodiscard]] std::uint32_t data_bits() const { return data_bits_; }
+  [[nodiscard]] std::uint32_t parity_bits() const { return parity_bits_; }
+  /// Transmitted codeword length (shortened): data + parity bits.
+  [[nodiscard]] std::uint32_t codeword_bits() const {
+    return data_bits_ + parity_bits_;
+  }
+
+  /// Systematic encode: returns a codeword_bits()-long bit vector with
+  /// layout [parity | data].
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::span<const std::uint8_t> data) const;
+
+  /// Decode in place. Returns the decode outcome; on kCorrected the
+  /// codeword has been repaired.
+  DecodeResult decode(std::span<std::uint8_t> codeword) const;
+
+  /// Extract the data bits of a codeword.
+  [[nodiscard]] std::vector<std::uint8_t> extract_data(
+      std::span<const std::uint8_t> codeword) const;
+
+  /// Generator polynomial coefficients over GF(2), ascending degree.
+  [[nodiscard]] const std::vector<std::uint8_t>& generator() const {
+    return gen_;
+  }
+
+ private:
+  const GaloisField* gf_;
+  std::uint32_t t_;
+  std::uint32_t data_bits_;
+  std::uint32_t parity_bits_;
+  std::vector<std::uint8_t> gen_;  // generator poly bits, ascending degree
+};
+
+}  // namespace ppssd::ecc

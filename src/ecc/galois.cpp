@@ -1,0 +1,75 @@
+#include "ecc/galois.h"
+
+#include "common/check.h"
+
+namespace ppssd::ecc {
+
+GaloisField::GaloisField(unsigned m, std::uint32_t primitive_poly) : m_(m) {
+  PPSSD_CHECK(m >= 2 && m <= 16);
+  n_ = (1u << m) - 1;
+  exp_.resize(n_);
+  log_.assign(n_ + 1, 0);
+
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    exp_[i] = x;
+    PPSSD_CHECK_MSG(log_[x] == 0 || x == 1,
+                    "primitive polynomial is not primitive for this m");
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m)) {
+      x ^= primitive_poly;
+    }
+  }
+  PPSSD_CHECK_MSG(x == 1, "alpha does not have order 2^m - 1");
+}
+
+const GaloisField& GaloisField::gf13() {
+  // x^13 + x^4 + x^3 + x + 1 -> 0b1'0000'0001'1011
+  static const GaloisField field(13, 0x201B);
+  return field;
+}
+
+std::uint32_t GaloisField::log(std::uint32_t x) const {
+  PPSSD_CHECK_MSG(x != 0 && x <= n_, "log of zero or out-of-field element");
+  return log_[x];
+}
+
+std::uint32_t GaloisField::mul(std::uint32_t a, std::uint32_t b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[(log_[a] + log_[b]) % n_];
+}
+
+std::uint32_t GaloisField::div(std::uint32_t a, std::uint32_t b) const {
+  PPSSD_CHECK(b != 0);
+  if (a == 0) return 0;
+  return exp_[(log_[a] + n_ - log_[b]) % n_];
+}
+
+std::uint32_t GaloisField::inv(std::uint32_t a) const {
+  PPSSD_CHECK(a != 0);
+  return exp_[(n_ - log_[a]) % n_];
+}
+
+std::uint32_t GaloisField::pow(std::uint32_t a, std::uint64_t e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  return exp_[static_cast<std::uint32_t>((log_[a] * e) % n_)];
+}
+
+int GfPoly::degree() const {
+  for (int i = static_cast<int>(coeff.size()) - 1; i >= 0; --i) {
+    if (coeff[i] != 0) return i;
+  }
+  return -1;
+}
+
+std::uint32_t GfPoly::eval(const GaloisField& gf, std::uint32_t x) const {
+  // Horner's rule.
+  std::uint32_t acc = 0;
+  for (int i = static_cast<int>(coeff.size()) - 1; i >= 0; --i) {
+    acc = GaloisField::add(gf.mul(acc, x), coeff[i]);
+  }
+  return acc;
+}
+
+}  // namespace ppssd::ecc

@@ -1,0 +1,63 @@
+// GF(2^m) arithmetic for the BCH codec.
+//
+// Log/antilog table implementation over the primitive polynomial
+// x^13 + x^4 + x^3 + x + 1 (the standard choice for m = 13, giving the
+// n = 8191 code family used by NAND BCH controllers such as [26]).
+// The field size is a constructor parameter so tests can exercise small
+// fields (e.g. GF(2^4)) against hand-computed tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppssd::ecc {
+
+class GaloisField {
+ public:
+  /// Builds GF(2^m) from a primitive polynomial given as the bitmask of
+  /// its coefficients including the x^m term.
+  GaloisField(unsigned m, std::uint32_t primitive_poly);
+
+  /// Default field used by the codec: GF(2^13).
+  static const GaloisField& gf13();
+
+  [[nodiscard]] unsigned m() const { return m_; }
+  /// Multiplicative group order: 2^m - 1.
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  /// alpha^i for i in [0, n).
+  [[nodiscard]] std::uint32_t exp(std::uint32_t i) const {
+    return exp_[i % n_];
+  }
+  /// Discrete log of a nonzero element.
+  [[nodiscard]] std::uint32_t log(std::uint32_t x) const;
+
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+  [[nodiscard]] std::uint32_t inv(std::uint32_t a) const;
+  /// a^e with e >= 0.
+  [[nodiscard]] std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+  /// Addition in GF(2^m) is XOR; provided for readability.
+  [[nodiscard]] static std::uint32_t add(std::uint32_t a, std::uint32_t b) {
+    return a ^ b;
+  }
+
+ private:
+  unsigned m_;
+  std::uint32_t n_;
+  std::vector<std::uint32_t> exp_;
+  std::vector<std::uint32_t> log_;
+};
+
+/// Polynomial over GF(2^m), coefficients in ascending degree order.
+/// Utility operations used by Berlekamp–Massey and Chien search.
+struct GfPoly {
+  std::vector<std::uint32_t> coeff;  // coeff[i] multiplies x^i
+
+  [[nodiscard]] int degree() const;
+  [[nodiscard]] std::uint32_t eval(const GaloisField& gf,
+                                   std::uint32_t x) const;
+};
+
+}  // namespace ppssd::ecc

@@ -1,0 +1,16 @@
+#include "ecc/latency_model.h"
+
+#include <algorithm>
+
+namespace ppssd::ecc {
+
+SimTime EccLatencyModel::decode_time(double ber) const {
+  const double errors = expected_errors(ber);
+  const double load =
+      std::clamp(errors / static_cast<double>(cfg_.t_per_codeword), 0.0, 1.0);
+  const double span =
+      static_cast<double>(cfg_.max_decode - cfg_.min_decode);
+  return cfg_.min_decode + static_cast<SimTime>(span * load + 0.5);
+}
+
+}  // namespace ppssd::ecc

@@ -1,0 +1,41 @@
+// ECC decode-latency model (Table 2: ECC min/max time).
+//
+// BCH decode cost is dominated by the error-location stages whose work
+// grows with the number of raw bit errors; controllers short-circuit on
+// all-zero syndromes (min time) and saturate at the correction capability
+// (max time). Reads of disturbed pages therefore take longer — the paper's
+// mechanism linking partial programming to read latency (Sections 2.2, 4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace ppssd::ecc {
+
+class EccLatencyModel {
+ public:
+  explicit EccLatencyModel(const EccConfig& cfg) : cfg_(cfg) {}
+
+  /// Expected raw bit errors in one codeword at raw bit-error rate `ber`.
+  [[nodiscard]] double expected_errors(double ber) const {
+    return ber * 8.0 * cfg_.codeword_bytes;
+  }
+
+  /// Decode time for a codeword read observing raw BER `ber`:
+  ///   min + (max - min) * clamp(E[errors] / t, 0, 1).
+  [[nodiscard]] SimTime decode_time(double ber) const;
+
+  /// Decode time for `codewords` codewords decoded back-to-back.
+  [[nodiscard]] SimTime decode_time(double ber, std::uint32_t codewords) const {
+    return decode_time(ber) * codewords;
+  }
+
+  [[nodiscard]] const EccConfig& config() const { return cfg_; }
+
+ private:
+  EccConfig cfg_;
+};
+
+}  // namespace ppssd::ecc

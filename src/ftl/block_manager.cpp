@@ -1,0 +1,169 @@
+#include "ftl/block_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppssd::ftl {
+
+namespace {
+constexpr std::size_t level_index(BlockLevel level) {
+  return static_cast<std::size_t>(level);
+}
+}  // namespace
+
+BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
+  const auto& geom = array.geometry();
+  const auto& cache = array.config().cache;
+
+  planes_.resize(geom.planes());
+  state_.assign(geom.total_blocks(), State::kFree);
+
+  for (std::uint32_t p = 0; p < geom.planes(); ++p) {
+    const BlockId first = geom.plane_first_block(p);
+    for (std::uint32_t i = 0; i < geom.blocks_per_plane(); ++i) {
+      const BlockId b = first + i;
+      const auto& blk = array.block(b);
+      FreeEntry entry{blk.erase_count(), b};
+      if (blk.mode() == CellMode::kSlc) {
+        planes_[p].slc_free.push(entry);
+      } else {
+        planes_[p].mlc_free.push(entry);
+      }
+    }
+  }
+
+  const auto slc_per_plane = geom.slc_blocks_per_plane();
+  const auto mlc_per_plane = geom.blocks_per_plane() - slc_per_plane;
+  slc_threshold_ = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(
+             std::ceil(slc_per_plane * cache.gc_threshold)));
+  mlc_threshold_ = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(
+             std::ceil(mlc_per_plane * cache.gc_threshold)));
+  monitor_cap_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(slc_per_plane * cache.monitor_ratio));
+  hot_cap_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(slc_per_plane * cache.hot_ratio));
+}
+
+std::uint32_t BlockManager::level_cap(BlockLevel level) const {
+  switch (level) {
+    case BlockLevel::kMonitor:
+      return monitor_cap_;
+    case BlockLevel::kHot:
+      return hot_cap_;
+    default:
+      return UINT32_MAX;  // Work and MLC are bounded only by the free list
+  }
+}
+
+bool BlockManager::open_block(std::uint32_t plane, BlockLevel level) {
+  PlaneState& ps = planes_[plane];
+  FreeHeap& heap =
+      level == BlockLevel::kHighDensity ? ps.mlc_free : ps.slc_free;
+  if (heap.empty()) return false;
+  if (ps.level_counts[level_index(level)] >= level_cap(level)) return false;
+  const BlockId b = heap.top().block;
+  heap.pop();
+  PPSSD_CHECK(state_[b] == State::kFree);
+  state_[b] = State::kOpen;
+  array_->block(b).set_level(level);
+  ps.open[level_index(level)] = b;
+  ++ps.level_counts[level_index(level)];
+  return true;
+}
+
+void BlockManager::close_open(std::uint32_t plane, BlockLevel level) {
+  PlaneState& ps = planes_[plane];
+  const BlockId b = ps.open[level_index(level)];
+  PPSSD_CHECK(b != kInvalidBlock);
+  state_[b] = State::kUsed;
+  ps.open[level_index(level)] = kInvalidBlock;
+}
+
+std::optional<PageAlloc> BlockManager::allocate_page(std::uint32_t plane,
+                                                     BlockLevel level) {
+  PPSSD_CHECK(plane < planes_.size());
+  PlaneState& ps = planes_[plane];
+
+  // Try the requested level, degrading through lower SLC levels when the
+  // cap or free list blocks the allocation (Algorithm 1's fallback).
+  for (;;) {
+    BlockId open = ps.open[level_index(level)];
+    if (open != kInvalidBlock &&
+        !array_->block(open).has_free_page()) {
+      close_open(plane, level);
+      open = kInvalidBlock;
+    }
+    if (open == kInvalidBlock) {
+      if (!open_block(plane, level)) {
+        if (level == BlockLevel::kHot || level == BlockLevel::kMonitor) {
+          level = static_cast<BlockLevel>(static_cast<std::uint8_t>(level) - 1);
+          continue;
+        }
+        return std::nullopt;  // Work or MLC exhausted: caller must GC
+      }
+      open = ps.open[level_index(level)];
+    }
+    const auto frontier =
+        static_cast<PageId>(array_->block(open).write_frontier());
+    return PageAlloc{open, frontier, level};
+  }
+}
+
+std::uint32_t BlockManager::free_blocks(std::uint32_t plane,
+                                        CellMode mode) const {
+  const PlaneState& ps = planes_[plane];
+  return static_cast<std::uint32_t>(mode == CellMode::kSlc
+                                        ? ps.slc_free.size()
+                                        : ps.mlc_free.size());
+}
+
+std::uint32_t BlockManager::gc_threshold_blocks(CellMode mode) const {
+  return mode == CellMode::kSlc ? slc_threshold_ : mlc_threshold_;
+}
+
+void BlockManager::for_each_candidate(
+    std::uint32_t plane, CellMode mode,
+    const std::function<void(BlockId)>& fn) const {
+  const auto& geom = array_->geometry();
+  const BlockId first = geom.plane_first_block(plane);
+  const std::uint32_t slc = geom.slc_blocks_per_plane();
+  const std::uint32_t begin = mode == CellMode::kSlc ? 0 : slc;
+  const std::uint32_t end =
+      mode == CellMode::kSlc ? slc : geom.blocks_per_plane();
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const BlockId b = first + i;
+    if (is_candidate(b)) fn(b);
+  }
+}
+
+void BlockManager::release_block(BlockId b) {
+  PPSSD_CHECK_MSG(state_[b] == State::kUsed,
+                  "released block must be a closed, in-use block");
+  const auto& geom = array_->geometry();
+  nand::Block& blk = array_->block(b);
+  PPSSD_CHECK_MSG(blk.programmed_subpages() == 0,
+                  "released block was not erased");
+  PlaneState& ps = planes_[geom.plane_of(b)];
+  // Retire the level label.
+  const auto li = level_index(blk.level());
+  PPSSD_CHECK(ps.level_counts[li] > 0);
+  --ps.level_counts[li];
+  state_[b] = State::kFree;
+  FreeEntry entry{blk.erase_count(), b};
+  if (blk.mode() == CellMode::kSlc) {
+    ps.slc_free.push(entry);
+  } else {
+    ps.mlc_free.push(entry);
+  }
+}
+
+std::uint32_t BlockManager::level_count(std::uint32_t plane,
+                                        BlockLevel level) const {
+  return planes_[plane].level_counts[level_index(level)];
+}
+
+}  // namespace ppssd::ftl

@@ -1,0 +1,122 @@
+// Block allocation: per-plane free lists, open (active) blocks, wear-aware
+// selection, and GC-trigger accounting.
+//
+// Allocation policy follows the paper's Table 2 settings: dynamic page
+// allocation striped over planes, "static" wear-levelling realised as
+// lowest-erase-count-first free-block selection, and a GC threshold
+// expressed as a fraction of each plane's block budget per region.
+//
+// Open blocks: each plane keeps one append point per SLC level (Work,
+// Monitor, Hot) and one for the MLC region. IPU's level-capacity caps
+// (CacheConfig::monitor_ratio / hot_ratio) bound how many blocks of a
+// plane may carry the Monitor/Hot label; when a cap or the free list is
+// exhausted the allocator degrades to the next lower level, as Algorithm 1
+// prescribes ("lower level blocks can be instead selected only if no
+// available block can be found").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "nand/flash_array.h"
+
+namespace ppssd::ftl {
+
+struct PageAlloc {
+  BlockId block = kInvalidBlock;
+  PageId page = kInvalidPage;
+  BlockLevel level = BlockLevel::kWork;  // actual level after fallback
+};
+
+class BlockManager {
+ public:
+  explicit BlockManager(nand::FlashArray& array);
+
+  /// Allocate the next fresh page for (plane, level). SLC levels may
+  /// degrade (Hot -> Monitor -> Work) when caps or free blocks run out;
+  /// kHighDensity allocates in the MLC region. Returns nullopt only when
+  /// the region has neither an open page nor a free block.
+  std::optional<PageAlloc> allocate_page(std::uint32_t plane,
+                                         BlockLevel level);
+
+  /// Free blocks currently available in the plane's region.
+  [[nodiscard]] std::uint32_t free_blocks(std::uint32_t plane,
+                                          CellMode mode) const;
+
+  /// GC trigger threshold in blocks for one plane's region.
+  [[nodiscard]] std::uint32_t gc_threshold_blocks(CellMode mode) const;
+
+  [[nodiscard]] bool needs_gc(std::uint32_t plane, CellMode mode) const {
+    return free_blocks(plane, mode) <= gc_threshold_blocks(mode);
+  }
+
+  /// True if the block is fully erased and waiting in a free list.
+  [[nodiscard]] bool is_free(BlockId b) const { return state_[b] == State::kFree; }
+  /// True if the block is an active append point.
+  [[nodiscard]] bool is_open(BlockId b) const { return state_[b] == State::kOpen; }
+  /// GC victim candidacy: in use and not an append point.
+  [[nodiscard]] bool is_candidate(BlockId b) const {
+    return state_[b] == State::kUsed;
+  }
+
+  /// Invoke fn(block) for every GC candidate of the plane's region.
+  void for_each_candidate(std::uint32_t plane, CellMode mode,
+                          const std::function<void(BlockId)>& fn) const;
+
+  /// Return an erased block to its plane's free list. The caller must have
+  /// erased it via FlashArray::erase first.
+  void release_block(BlockId b);
+
+  /// Number of blocks currently carrying each SLC level label in a plane.
+  [[nodiscard]] std::uint32_t level_count(std::uint32_t plane,
+                                          BlockLevel level) const;
+
+  [[nodiscard]] std::uint32_t plane_count() const {
+    return static_cast<std::uint32_t>(planes_.size());
+  }
+
+ private:
+  enum class State : std::uint8_t { kFree = 0, kOpen = 1, kUsed = 2 };
+
+  struct FreeEntry {
+    std::uint32_t erase_count;
+    BlockId block;
+    bool operator>(const FreeEntry& o) const {
+      return erase_count != o.erase_count ? erase_count > o.erase_count
+                                          : block > o.block;
+    }
+  };
+  using FreeHeap =
+      std::priority_queue<FreeEntry, std::vector<FreeEntry>, std::greater<>>;
+
+  struct PlaneState {
+    FreeHeap slc_free;
+    FreeHeap mlc_free;
+    // Open block per SLC level (index by BlockLevel value; 0 = MLC open).
+    std::array<BlockId, 4> open{kInvalidBlock, kInvalidBlock, kInvalidBlock,
+                                kInvalidBlock};
+    std::array<std::uint32_t, 4> level_counts{};  // labelled blocks per level
+  };
+
+  /// Open a fresh block for (plane, level); returns false when impossible.
+  bool open_block(std::uint32_t plane, BlockLevel level);
+  /// Retire the plane's open block for a level (it became full).
+  void close_open(std::uint32_t plane, BlockLevel level);
+
+  [[nodiscard]] std::uint32_t level_cap(BlockLevel level) const;
+
+  nand::FlashArray* array_;
+  std::vector<PlaneState> planes_;
+  std::vector<State> state_;
+  std::uint32_t slc_threshold_;
+  std::uint32_t mlc_threshold_;
+  std::uint32_t monitor_cap_;
+  std::uint32_t hot_cap_;
+};
+
+}  // namespace ppssd::ftl

@@ -1,0 +1,106 @@
+#include "ftl/gc_policy.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ppssd::ftl {
+
+BlockId GreedyPolicy::select_victim(const nand::FlashArray& array,
+                                    const BlockManager& bm,
+                                    std::uint32_t plane, CellMode mode,
+                                    SimTime /*now*/) const {
+  BlockId best = kInvalidBlock;
+  std::uint32_t best_invalid = 0;
+  bm.for_each_candidate(plane, mode, [&](BlockId b) {
+    const auto& blk = array.block(b);
+    // A victim must reclaim at least one subpage, otherwise GC would churn.
+    const std::uint32_t invalid = blk.invalid_subpages();
+    if (invalid > best_invalid ||
+        (invalid == best_invalid && invalid > 0 && b < best)) {
+      best = b;
+      best_invalid = invalid;
+    }
+  });
+  return best_invalid == 0 ? kInvalidBlock : best;
+}
+
+std::pair<double, std::uint64_t> IsrPolicy::age_sum(const nand::Block& block,
+                                                    SimTime now) {
+  const auto now_ms = static_cast<double>(now / 1'000'000);
+  const std::uint32_t spp = block.subpages_per_page();
+  double sum = 0.0;
+  std::uint64_t valid = 0;
+  for (std::uint32_t p = 0; p < block.write_frontier(); ++p) {
+    const auto& page = block.page(static_cast<PageId>(p));
+    for (std::uint32_t s = 0; s < spp; ++s) {
+      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      if (sp.state == nand::SubpageState::kValid) {
+        sum += now_ms - sp.write_time_ms;
+        ++valid;
+      }
+    }
+  }
+  return {sum, valid};
+}
+
+double IsrPolicy::cold_weight(const nand::Block& block, SimTime now,
+                              double mean_age_ms) {
+  if (mean_age_ms <= 0.0) return 0.0;
+  const auto now_ms = static_cast<double>(now / 1'000'000);
+  const std::uint32_t spp = block.subpages_per_page();
+
+  // IS' sums the age weight of valid subpages in never-updated pages.
+  double weight = 0.0;
+  for (std::uint32_t p = 0; p < block.write_frontier(); ++p) {
+    const auto& page = block.page(static_cast<PageId>(p));
+    if (page_updated(page)) continue;
+    for (std::uint32_t s = 0; s < spp; ++s) {
+      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      if (sp.state == nand::SubpageState::kValid) {
+        const double age = now_ms - sp.write_time_ms;
+        weight += 1.0 - std::exp(-age / mean_age_ms);
+      }
+    }
+  }
+  return weight;
+}
+
+double IsrPolicy::isr(const nand::Block& block, SimTime now,
+                      double mean_age_ms) {
+  const double total = block.total_subpages();
+  return (block.invalid_subpages() + cold_weight(block, now, mean_age_ms)) /
+         total;
+}
+
+BlockId IsrPolicy::select_victim(const nand::FlashArray& array,
+                                 const BlockManager& bm, std::uint32_t plane,
+                                 CellMode mode, SimTime now) const {
+  // Pass 1: T = mean valid-subpage age over the plane's candidates.
+  double age_total = 0.0;
+  std::uint64_t valid_total = 0;
+  std::vector<BlockId> candidates;
+  bm.for_each_candidate(plane, mode, [&](BlockId b) {
+    candidates.push_back(b);
+    const auto [sum, count] = age_sum(array.block(b), now);
+    age_total += sum;
+    valid_total += count;
+  });
+  const double mean_age =
+      valid_total > 0 ? age_total / static_cast<double>(valid_total) : 0.0;
+
+  // Pass 2: score by Equation 1.
+  BlockId best = kInvalidBlock;
+  double best_isr = 0.0;
+  for (const BlockId b : candidates) {
+    const auto& blk = array.block(b);
+    if (blk.programmed_subpages() == 0) continue;  // nothing to reclaim
+    const double v = isr(blk, now, mean_age);
+    if (v > best_isr) {
+      best = b;
+      best_isr = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace ppssd::ftl

@@ -1,0 +1,18 @@
+#include "ftl/hotness.h"
+
+namespace ppssd::ftl {
+
+double UpdateTracker::hot_fraction() const {
+  std::uint64_t written = 0;
+  std::uint64_t hot = 0;
+  for (const auto c : counts_) {
+    if (c > 0) {
+      ++written;
+      if (c >= kHotThreshold) ++hot;
+    }
+  }
+  return written == 0 ? 0.0
+                      : static_cast<double>(hot) / static_cast<double>(written);
+}
+
+}  // namespace ppssd::ftl

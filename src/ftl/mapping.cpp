@@ -1,0 +1,3 @@
+#include "ftl/mapping.h"
+
+// DeviceMap is header-only; this TU anchors it in the library.

@@ -1,0 +1,58 @@
+// Mapping-table memory model (Figure 11 and Section 4.4.1).
+//
+// All schemes pay for the first-level page map. Partial programming adds
+// scheme-specific structures:
+//  * MGA: a two-level table over the SLC region — a per-logical-page
+//    pointer into the second level plus a per-subpage-slot entry
+//    (logical subpage id + state bits), the dominant overhead.
+//  * IPU: 2 bits per SLC page recording which slot holds the latest
+//    version of the page's single extent — no per-slot table.
+//  * IPU bookkeeping outside the map (reported separately, as the paper
+//    does in Sec. 4.4.1): 2-bit level labels per SLC block and one 4-byte
+//    IS' accumulator per SLC page.
+#pragma once
+
+#include <cstdint>
+
+#include "nand/geometry.h"
+
+namespace ppssd::ftl {
+
+struct FootprintReport {
+  std::uint64_t base_bytes = 0;       // first-level page map
+  std::uint64_t scheme_extra = 0;     // second-level / offset structures
+  std::uint64_t aux_bytes = 0;        // labels, IS' values (IPU)
+
+  [[nodiscard]] std::uint64_t mapping_total() const {
+    return base_bytes + scheme_extra;
+  }
+  /// Mapping size normalised to the Baseline table.
+  [[nodiscard]] double normalized() const {
+    return base_bytes == 0
+               ? 0.0
+               : static_cast<double>(mapping_total()) /
+                     static_cast<double>(base_bytes);
+  }
+};
+
+class MappingFootprint {
+ public:
+  explicit MappingFootprint(const nand::Geometry& geom) : geom_(&geom) {}
+
+  [[nodiscard]] FootprintReport baseline() const;
+  [[nodiscard]] FootprintReport mga() const;
+  [[nodiscard]] FootprintReport ipu() const;
+
+  /// Bits needed to address every physical page.
+  [[nodiscard]] std::uint32_t ppn_bits() const;
+  /// Bits needed to address every logical subpage.
+  [[nodiscard]] std::uint32_t lsn_bits() const;
+
+ private:
+  [[nodiscard]] std::uint64_t slc_pages() const;
+  [[nodiscard]] std::uint64_t slc_subpages() const;
+
+  const nand::Geometry* geom_;
+};
+
+}  // namespace ppssd::ftl

@@ -1,0 +1,119 @@
+#include "ftl/subpage_mapping.h"
+
+namespace ppssd::ftl {
+
+SecondLevelTable::SecondLevelTable(const nand::Geometry& geom)
+    : subpages_per_page_(geom.subpages_per_page()),
+      pages_per_block_(geom.pages_per_block(CellMode::kSlc)) {
+  slots_.assign(static_cast<std::size_t>(geom.slc_block_count()) *
+                    pages_per_block_ * subpages_per_page_,
+                kInvalidLsn);
+}
+
+std::size_t SecondLevelTable::index(const nand::Geometry& geom,
+                                    const PhysicalAddress& addr) const {
+  PPSSD_CHECK(addr.page < pages_per_block_ &&
+              addr.subpage < subpages_per_page_);
+  return (static_cast<std::size_t>(geom.slc_ordinal(addr.block)) *
+              pages_per_block_ +
+          addr.page) *
+             subpages_per_page_ +
+         addr.subpage;
+}
+
+void SecondLevelTable::set(const nand::Geometry& geom,
+                           const PhysicalAddress& addr, Lsn lsn) {
+  Lsn& slot = slots_[index(geom, addr)];
+  PPSSD_CHECK_MSG(slot == kInvalidLsn, "second-level slot already occupied");
+  slot = lsn;
+  ++live_;
+}
+
+void SecondLevelTable::clear(const nand::Geometry& geom,
+                             const PhysicalAddress& addr) {
+  Lsn& slot = slots_[index(geom, addr)];
+  PPSSD_CHECK_MSG(slot != kInvalidLsn, "clearing an empty second-level slot");
+  slot = kInvalidLsn;
+  PPSSD_CHECK(live_ > 0);
+  --live_;
+}
+
+void SecondLevelTable::clear_block(const nand::Geometry& geom,
+                                   BlockId block) {
+  const std::size_t base = static_cast<std::size_t>(geom.slc_ordinal(block)) *
+                           pages_per_block_ * subpages_per_page_;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(pages_per_block_) *
+                                  subpages_per_page_;
+       ++i) {
+    if (slots_[base + i] != kInvalidLsn) {
+      slots_[base + i] = kInvalidLsn;
+      PPSSD_CHECK(live_ > 0);
+      --live_;
+    }
+  }
+}
+
+Lsn SecondLevelTable::lookup(const nand::Geometry& geom,
+                             const PhysicalAddress& addr) const {
+  return slots_[index(geom, addr)];
+}
+
+IpuOffsetTable::IpuOffsetTable(const nand::Geometry& geom)
+    : pages_per_block_(geom.pages_per_block(CellMode::kSlc)) {
+  tags_.assign(
+      static_cast<std::size_t>(geom.slc_block_count()) * pages_per_block_,
+      Tag{});
+}
+
+std::size_t IpuOffsetTable::index(const nand::Geometry& geom, BlockId block,
+                                  PageId page) const {
+  PPSSD_CHECK(page < pages_per_block_);
+  return static_cast<std::size_t>(geom.slc_ordinal(block)) *
+             pages_per_block_ +
+         page;
+}
+
+void IpuOffsetTable::open_page(const nand::Geometry& geom, BlockId block,
+                               PageId page, Lsn extent_base,
+                               std::uint8_t extent_len, std::uint8_t offset) {
+  Tag& tag = tags_[index(geom, block, page)];
+  PPSSD_CHECK_MSG(tag.extent_base == kInvalidLsn,
+                  "opening an IPU page that already has an extent");
+  PPSSD_CHECK(extent_len >= 1);
+  tag.extent_base = extent_base;
+  tag.extent_len = extent_len;
+  tag.latest_offset = offset;
+  ++live_;
+}
+
+void IpuOffsetTable::update_offset(const nand::Geometry& geom, BlockId block,
+                                   PageId page, std::uint8_t offset) {
+  Tag& tag = tags_[index(geom, block, page)];
+  PPSSD_CHECK_MSG(tag.extent_base != kInvalidLsn,
+                  "updating offset of an untagged IPU page");
+  tag.latest_offset = offset;
+}
+
+void IpuOffsetTable::clear_page(const nand::Geometry& geom, BlockId block,
+                                PageId page) {
+  Tag& tag = tags_[index(geom, block, page)];
+  if (tag.extent_base != kInvalidLsn) {
+    tag = Tag{};
+    PPSSD_CHECK(live_ > 0);
+    --live_;
+  }
+}
+
+void IpuOffsetTable::clear_block(const nand::Geometry& geom, BlockId block) {
+  for (std::uint32_t p = 0; p < pages_per_block_; ++p) {
+    clear_page(geom, block, static_cast<PageId>(p));
+  }
+}
+
+const IpuOffsetTable::Tag& IpuOffsetTable::lookup(const nand::Geometry& geom,
+                                                  BlockId block,
+                                                  PageId page) const {
+  return tags_[index(geom, block, page)];
+}
+
+}  // namespace ppssd::ftl

@@ -1,0 +1,55 @@
+#include "nand/block.h"
+
+#include "common/check.h"
+
+namespace ppssd::nand {
+
+Block::Block(CellMode mode, std::uint32_t pages,
+             std::uint32_t subpages_per_page)
+    : pages_(pages),
+      mode_(mode),
+      level_(mode == CellMode::kMlc ? BlockLevel::kHighDensity
+                                    : BlockLevel::kWork),
+      subpages_per_page_(subpages_per_page) {
+  PPSSD_CHECK(pages > 0);
+  PPSSD_CHECK(subpages_per_page >= 1 &&
+              subpages_per_page <= kMaxSubpagesPerPage);
+}
+
+bool Block::program(PageId p, std::span<const SlotWrite> writes, SimTime now) {
+  PPSSD_CHECK(p < page_count());
+  for (const SlotWrite& w : writes) {
+    PPSSD_CHECK(w.slot < subpages_per_page_);
+  }
+  Page& pg = pages_[p];
+  if (!pg.programmed()) {
+    // First program of a page must land on the write frontier: NAND blocks
+    // are programmed page-sequentially after an erase.
+    PPSSD_CHECK_MSG(p == frontier_, "out-of-order first program of a page");
+    ++frontier_;
+  }
+  const bool partial = pg.program(writes, now);
+  valid_ += static_cast<std::uint32_t>(writes.size());
+  return partial;
+}
+
+void Block::invalidate(PageId p, SubpageId s) {
+  PPSSD_CHECK(p < page_count());
+  pages_[p].invalidate(s);
+  PPSSD_CHECK(valid_ > 0);
+  --valid_;
+  ++invalid_;
+}
+
+void Block::erase(SimTime now) {
+  for (auto& pg : pages_) {
+    pg.reset();
+  }
+  frontier_ = 0;
+  valid_ = 0;
+  invalid_ = 0;
+  ++erase_count_;
+  last_erase_time_ = now;
+}
+
+}  // namespace ppssd::nand

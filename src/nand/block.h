@@ -1,0 +1,84 @@
+// Flash block: the erase unit.
+//
+// A block operates in a fixed cell mode (SLC-mode cache block or native
+// MLC block). Pages within a block must be programmed in ascending order
+// for the *first* program (NAND sequential-program rule); partial programs
+// may later revisit a page's free subpage slots, bounded by the per-page
+// partial-program limit enforced by the caller.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "nand/page.h"
+
+namespace ppssd::nand {
+
+class Block {
+ public:
+  Block(CellMode mode, std::uint32_t pages, std::uint32_t subpages_per_page);
+
+  [[nodiscard]] CellMode mode() const { return mode_; }
+  [[nodiscard]] std::uint32_t page_count() const {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+  [[nodiscard]] std::uint32_t subpages_per_page() const {
+    return subpages_per_page_;
+  }
+  [[nodiscard]] std::uint32_t total_subpages() const {
+    return page_count() * subpages_per_page_;
+  }
+
+  /// IPU block level (Work/Monitor/Hot, or HighDensity for MLC blocks).
+  [[nodiscard]] BlockLevel level() const { return level_; }
+  void set_level(BlockLevel level) { level_ = level; }
+
+  [[nodiscard]] std::uint32_t erase_count() const { return erase_count_; }
+  [[nodiscard]] SimTime last_erase_time() const { return last_erase_time_; }
+
+  /// Next page that has never been programmed (append point), or
+  /// page_count() when the block is fully opened.
+  [[nodiscard]] std::uint32_t write_frontier() const { return frontier_; }
+  [[nodiscard]] bool has_free_page() const { return frontier_ < page_count(); }
+
+  [[nodiscard]] std::uint32_t valid_subpages() const { return valid_; }
+  [[nodiscard]] std::uint32_t invalid_subpages() const { return invalid_; }
+  [[nodiscard]] std::uint32_t programmed_subpages() const {
+    return valid_ + invalid_;
+  }
+
+  [[nodiscard]] const Page& page(PageId p) const { return pages_[p]; }
+  [[nodiscard]] Page& page(PageId p) { return pages_[p]; }
+
+  /// Apply one program operation to page `p` filling the given slots.
+  /// Advances the frontier on a first program; updates valid counters.
+  /// Returns true if this was a partial program.
+  bool program(PageId p, std::span<const SlotWrite> writes, SimTime now);
+
+  /// Invalidate one valid subpage.
+  void invalidate(PageId p, SubpageId s);
+
+  /// Record a program on the page adjacent to `p` (disturb propagation is
+  /// performed by FlashArray which knows wordline adjacency).
+  void absorb_neighbor_program(PageId p) {
+    pages_[p].absorb_neighbor_program();
+  }
+
+  /// Erase: clears all pages, bumps the P/E counter.
+  void erase(SimTime now);
+
+ private:
+  std::vector<Page> pages_;
+  CellMode mode_;
+  BlockLevel level_;
+  std::uint32_t subpages_per_page_;
+  std::uint32_t frontier_ = 0;
+  std::uint32_t valid_ = 0;
+  std::uint32_t invalid_ = 0;
+  std::uint32_t erase_count_ = 0;
+  SimTime last_erase_time_ = 0;
+};
+
+}  // namespace ppssd::nand

@@ -1,0 +1,3 @@
+#include "nand/chip.h"
+
+// Chip is header-only today; this TU anchors the type for the library.

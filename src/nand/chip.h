@@ -1,0 +1,35 @@
+// Chip service state for the timing model.
+//
+// A chip executes one NAND operation at a time (reads, programs, erases
+// serialize on the die; we model chip-level serialization as SSDsim's
+// default). The channel serializes data transfers. The service model in
+// sim/ composes these two resources.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ppssd::nand {
+
+class Chip {
+ public:
+  /// Earliest time the chip can begin a new array operation.
+  [[nodiscard]] SimTime busy_until() const { return busy_until_; }
+
+  /// Reserve the chip for [start, start+duration); start must be >=
+  /// busy_until(). Returns the operation end time.
+  SimTime occupy(SimTime start, SimTime duration) {
+    busy_until_ = start + duration;
+    ++ops_;
+    return busy_until_;
+  }
+
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+ private:
+  SimTime busy_until_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace ppssd::nand

@@ -1,0 +1,16 @@
+#include "nand/disturb.h"
+
+namespace ppssd::nand {
+
+DisturbSnapshot snapshot_disturb(const Block& block, PageId p, SubpageId s,
+                                 std::uint32_t base_pe) {
+  DisturbSnapshot snap;
+  snap.mode = block.mode();
+  snap.pe_cycles = base_pe + block.erase_count();
+  const Page& pg = block.page(p);
+  snap.in_page_disturbs = pg.in_page_disturbs(s);
+  snap.neighbor_disturbs = pg.neighbor_disturbs(s);
+  return snap;
+}
+
+}  // namespace ppssd::nand

@@ -1,0 +1,35 @@
+// Program-disturb observation for a stored subpage.
+//
+// The paper's error model (Section 2.2, Figure 2) distinguishes:
+//   * in-page disturb — partial programs applied to a page *after* a
+//     subpage was written stress that subpage's cells directly;
+//   * neighbouring-page disturb — programs on wordline-adjacent pages.
+// Page/Block track the raw counters; DisturbSnapshot packages everything
+// the BER model needs to price a read of one subpage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "nand/block.h"
+
+namespace ppssd::nand {
+
+struct DisturbSnapshot {
+  CellMode mode = CellMode::kSlc;
+  std::uint32_t pe_cycles = 0;
+  /// Partial programs applied to the same page after this subpage's write.
+  std::uint32_t in_page_disturbs = 0;
+  /// Programs applied to wordline-adjacent pages after this subpage's write.
+  std::uint32_t neighbor_disturbs = 0;
+};
+
+/// Build the snapshot for `block.page(p).subpage(s)` given the device's
+/// baseline P/E count. `base_pe` models pre-existing wear (the paper ages
+/// the device to a fixed P/E before replay); per-block erases accumulate on
+/// top of it.
+[[nodiscard]] DisturbSnapshot snapshot_disturb(const Block& block, PageId p,
+                                               SubpageId s,
+                                               std::uint32_t base_pe);
+
+}  // namespace ppssd::nand

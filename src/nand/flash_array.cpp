@@ -1,0 +1,101 @@
+#include "nand/flash_array.h"
+
+#include "common/check.h"
+
+namespace ppssd::nand {
+
+FlashArray::FlashArray(const SsdConfig& cfg)
+    : cfg_(cfg), geom_(cfg.geometry, cfg.cache.slc_ratio) {
+  const std::string err = cfg.validate();
+  PPSSD_CHECK_MSG(err.empty(), err.c_str());
+
+  blocks_.reserve(geom_.total_blocks());
+  for (BlockId b = 0; b < geom_.total_blocks(); ++b) {
+    const CellMode mode =
+        geom_.is_slc_block(b) ? CellMode::kSlc : CellMode::kMlc;
+    blocks_.emplace_back(mode, geom_.pages_per_block(mode),
+                         geom_.subpages_per_page());
+  }
+  planes_.reserve(geom_.planes());
+  for (std::uint32_t p = 0; p < geom_.planes(); ++p) {
+    const BlockId first = geom_.plane_first_block(p);
+    planes_.emplace_back(p, first, geom_.blocks_per_plane(),
+                         geom_.chip_of(first), geom_.channel_of(first));
+  }
+  chips_.resize(geom_.chips());
+}
+
+bool FlashArray::program(BlockId b, PageId p,
+                         std::span<const SlotWrite> writes, SimTime now) {
+  PPSSD_CHECK(b < blocks_.size());
+  PPSSD_CHECK(!writes.empty());
+  Block& blk = blocks_[b];
+  if (blk.page(p).programmed()) {
+    PPSSD_CHECK_MSG(can_partial_program(b, p),
+                    "partial-program limit exceeded or no free slot");
+  }
+  const bool partial = blk.program(p, writes, now);
+
+  // Wordline adjacency: programming page p disturbs pages p-1 and p+1 of
+  // the same block if they already hold data (Figure 1).
+  if (p > 0 && blk.page(static_cast<PageId>(p - 1)).programmed()) {
+    blk.absorb_neighbor_program(static_cast<PageId>(p - 1));
+  }
+  const auto next = static_cast<PageId>(p + 1);
+  if (next < blk.page_count() && blk.page(next).programmed()) {
+    blk.absorb_neighbor_program(next);
+  }
+
+  const auto n = static_cast<std::uint64_t>(writes.size());
+  if (blk.mode() == CellMode::kSlc) {
+    ++counters_.slc_program_ops;
+    counters_.slc_subpages_written += n;
+  } else {
+    ++counters_.mlc_program_ops;
+    counters_.mlc_subpages_written += n;
+  }
+  if (partial) ++counters_.partial_program_ops;
+  planes_[geom_.plane_of(b)].count_program();
+  return partial;
+}
+
+bool FlashArray::can_partial_program(BlockId b, PageId p) const {
+  const Block& blk = blocks_[b];
+  const Page& pg = blk.page(p);
+  if (pg.program_ops() >= cfg_.cache.max_partial_programs) return false;
+  return pg.first_free(blk.subpages_per_page()) != kInvalidSubpage;
+}
+
+void FlashArray::invalidate(BlockId b, PageId p, SubpageId s) {
+  PPSSD_CHECK(b < blocks_.size());
+  blocks_[b].invalidate(p, s);
+}
+
+void FlashArray::erase(BlockId b, SimTime now) {
+  PPSSD_CHECK(b < blocks_.size());
+  Block& blk = blocks_[b];
+  PPSSD_CHECK_MSG(blk.valid_subpages() == 0,
+                  "erasing a block that still holds valid data");
+  blk.erase(now);
+  if (blk.mode() == CellMode::kSlc) {
+    ++counters_.slc_erases;
+  } else {
+    ++counters_.mlc_erases;
+  }
+  planes_[geom_.plane_of(b)].count_erase();
+}
+
+void FlashArray::count_read(BlockId b) {
+  ++counters_.read_ops;
+  planes_[geom_.plane_of(b)].count_read();
+}
+
+std::uint64_t FlashArray::total_erases(CellMode mode) const {
+  std::uint64_t sum = 0;
+  for (const auto& blk : blocks_) {
+    if (blk.mode() == mode) sum += blk.erase_count();
+  }
+  return sum;
+}
+
+}  // namespace ppssd::nand

@@ -1,0 +1,96 @@
+// The flash array: owns every block and enforces NAND physics.
+//
+// This is the bottom layer of the simulator. It knows nothing about
+// logical addresses or caching policy; the FTL and cache schemes above it
+// decide *where* to program, the array enforces *how* programming behaves:
+// write-once subpages, page-sequential first programs, the per-page
+// partial-program limit, disturb propagation to wordline neighbours, and
+// erase/wear accounting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "nand/block.h"
+#include "nand/chip.h"
+#include "nand/disturb.h"
+#include "nand/geometry.h"
+#include "nand/plane.h"
+
+namespace ppssd::nand {
+
+/// Raw operation counters, split by region.
+struct ArrayCounters {
+  std::uint64_t slc_program_ops = 0;
+  std::uint64_t mlc_program_ops = 0;
+  std::uint64_t partial_program_ops = 0;
+  std::uint64_t slc_subpages_written = 0;
+  std::uint64_t mlc_subpages_written = 0;
+  std::uint64_t slc_erases = 0;
+  std::uint64_t mlc_erases = 0;
+  std::uint64_t read_ops = 0;
+};
+
+class FlashArray {
+ public:
+  explicit FlashArray(const SsdConfig& cfg);
+
+  [[nodiscard]] const Geometry& geometry() const { return geom_; }
+  [[nodiscard]] const SsdConfig& config() const { return cfg_; }
+
+  [[nodiscard]] const Block& block(BlockId b) const { return blocks_[b]; }
+  [[nodiscard]] Block& block(BlockId b) { return blocks_[b]; }
+
+  [[nodiscard]] const Plane& plane(std::uint32_t p) const { return planes_[p]; }
+  [[nodiscard]] Chip& chip(std::uint32_t c) { return chips_[c]; }
+  [[nodiscard]] std::uint32_t chip_count() const {
+    return static_cast<std::uint32_t>(chips_.size());
+  }
+
+  /// Apply one program operation to block `b`, page `p`, filling the given
+  /// slots. Enforces the per-page partial-program limit and propagates
+  /// neighbour disturb. Returns true if it was a partial program.
+  bool program(BlockId b, PageId p, std::span<const SlotWrite> writes,
+               SimTime now);
+
+  /// True if page (b, p) may accept another program operation (partial-
+  /// program limit not yet reached and free subpage slots remain).
+  [[nodiscard]] bool can_partial_program(BlockId b, PageId p) const;
+
+  void invalidate(BlockId b, PageId p, SubpageId s);
+
+  /// Erase a block. All subpages must already be invalid or free — the
+  /// caller (GC) is responsible for relocating valid data first.
+  void erase(BlockId b, SimTime now);
+
+  /// Count a read operation (timing handled by the service model).
+  void count_read(BlockId b);
+
+  /// Disturb snapshot of a stored subpage for the BER model.
+  [[nodiscard]] DisturbSnapshot disturb_of(BlockId b, PageId p,
+                                           SubpageId s) const {
+    return snapshot_disturb(blocks_[b], p, s, cfg_.wear.initial_pe_cycles);
+  }
+
+  [[nodiscard]] const ArrayCounters& counters() const { return counters_; }
+
+  /// Zero the aggregate operation counters (per-block wear is preserved).
+  /// Used after warm-up so reports cover only the measured phase.
+  void reset_counters() { counters_ = ArrayCounters{}; }
+
+  /// Sum of erase counts over SLC-mode / MLC blocks (wear inspection).
+  [[nodiscard]] std::uint64_t total_erases(CellMode mode) const;
+
+ private:
+  SsdConfig cfg_;
+  Geometry geom_;
+  std::vector<Block> blocks_;
+  std::vector<Plane> planes_;
+  std::vector<Chip> chips_;
+  ArrayCounters counters_;
+};
+
+}  // namespace ppssd::nand

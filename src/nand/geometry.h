@@ -1,0 +1,99 @@
+// Physical address arithmetic for the flash array.
+//
+// Blocks are numbered flat across the device. Plane p owns the contiguous
+// block range [p * blocks_per_plane, (p+1) * blocks_per_plane). Within each
+// plane the first ceil(blocks_per_plane * slc_ratio) blocks form the
+// SLC-mode cache region, so the cache is striped across every plane and the
+// multi-chip parallelism of the device applies to cache traffic too.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/config.h"
+#include "common/types.h"
+
+namespace ppssd::nand {
+
+class Geometry {
+ public:
+  Geometry(const GeometryConfig& cfg, double slc_ratio);
+
+  [[nodiscard]] std::uint32_t total_blocks() const { return cfg_.total_blocks; }
+  [[nodiscard]] std::uint32_t planes() const { return planes_; }
+  [[nodiscard]] std::uint32_t chips() const { return chips_; }
+  [[nodiscard]] std::uint32_t channels() const { return cfg_.channels; }
+  [[nodiscard]] std::uint32_t blocks_per_plane() const {
+    return blocks_per_plane_;
+  }
+  [[nodiscard]] std::uint32_t slc_blocks_per_plane() const {
+    return slc_blocks_per_plane_;
+  }
+  [[nodiscard]] std::uint32_t slc_block_count() const {
+    return slc_blocks_per_plane_ * planes_;
+  }
+  [[nodiscard]] std::uint32_t mlc_block_count() const {
+    return total_blocks() - slc_block_count();
+  }
+  [[nodiscard]] std::uint32_t subpages_per_page() const {
+    return cfg_.subpages_per_page();
+  }
+  [[nodiscard]] std::uint32_t pages_per_block(CellMode mode) const {
+    return mode == CellMode::kSlc ? cfg_.pages_per_slc_block
+                                  : cfg_.pages_per_mlc_block;
+  }
+
+  /// True if `block` lies in the SLC-mode cache region.
+  [[nodiscard]] bool is_slc_block(BlockId block) const {
+    return block % blocks_per_plane_ < slc_blocks_per_plane_;
+  }
+
+  [[nodiscard]] std::uint32_t plane_of(BlockId block) const {
+    return block / blocks_per_plane_;
+  }
+  [[nodiscard]] std::uint32_t chip_of(BlockId block) const {
+    return plane_of(block) / planes_per_chip_;
+  }
+  [[nodiscard]] std::uint32_t channel_of(BlockId block) const {
+    return chip_of(block) % cfg_.channels;
+  }
+
+  /// First block of a plane.
+  [[nodiscard]] BlockId plane_first_block(std::uint32_t plane) const {
+    return plane * blocks_per_plane_;
+  }
+
+  /// Dense ordinal of an SLC-mode block in [0, slc_block_count()).
+  [[nodiscard]] std::uint32_t slc_ordinal(BlockId block) const {
+    PPSSD_CHECK(is_slc_block(block));
+    return plane_of(block) * slc_blocks_per_plane_ +
+           block % blocks_per_plane_;
+  }
+
+  /// Inverse of slc_ordinal().
+  [[nodiscard]] BlockId slc_block_at(std::uint32_t ordinal) const {
+    PPSSD_CHECK(ordinal < slc_block_count());
+    return plane_first_block(ordinal / slc_blocks_per_plane_) +
+           ordinal % slc_blocks_per_plane_;
+  }
+
+  /// Host-visible logical capacity in subpages. The SLC cache is not part
+  /// of the logical capacity (it caches MLC-resident data), and we reserve
+  /// an over-provisioning slice of the MLC region for GC headroom.
+  [[nodiscard]] std::uint64_t logical_subpages() const {
+    return logical_subpages_;
+  }
+
+  [[nodiscard]] const GeometryConfig& config() const { return cfg_; }
+
+ private:
+  GeometryConfig cfg_;
+  std::uint32_t planes_;
+  std::uint32_t chips_;
+  std::uint32_t planes_per_chip_;
+  std::uint32_t blocks_per_plane_;
+  std::uint32_t slc_blocks_per_plane_;
+  std::uint64_t logical_subpages_;
+};
+
+}  // namespace ppssd::nand

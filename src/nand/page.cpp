@@ -1,0 +1,63 @@
+#include "nand/page.h"
+
+#include <limits>
+
+namespace ppssd::nand {
+
+std::uint32_t Page::count(SubpageState s, std::uint32_t n) const {
+  PPSSD_CHECK(n <= kMaxSubpagesPerPage);
+  std::uint32_t c = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (subpages_[i].state == s) ++c;
+  }
+  return c;
+}
+
+SubpageId Page::first_free(std::uint32_t n) const {
+  PPSSD_CHECK(n <= kMaxSubpagesPerPage);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (subpages_[i].state == SubpageState::kFree) {
+      return static_cast<SubpageId>(i);
+    }
+  }
+  return kInvalidSubpage;
+}
+
+bool Page::program(std::span<const SlotWrite> writes, SimTime now) {
+  PPSSD_CHECK(!writes.empty());
+  const bool partial = programmed();
+  PPSSD_CHECK_MSG(program_ops_ < std::numeric_limits<std::uint8_t>::max(),
+                  "page program-op counter overflow");
+  for (const SlotWrite& w : writes) {
+    PPSSD_CHECK(w.slot < kMaxSubpagesPerPage);
+    Subpage& sp = subpages_[w.slot];
+    PPSSD_CHECK_MSG(sp.state == SubpageState::kFree,
+                    "programming a non-free subpage (NAND write-once rule)");
+    sp.state = SubpageState::kValid;
+    sp.owner_lsn = static_cast<std::uint32_t>(w.lsn);
+    sp.version = w.version;
+    sp.write_time_ms = static_cast<std::uint32_t>(now / 1'000'000);
+    sp.programs_before = program_ops_;
+    sp.neighbors_before = neighbor_programs_;
+  }
+  ++program_ops_;
+  return partial;
+}
+
+void Page::invalidate(SubpageId i) {
+  PPSSD_CHECK(i < kMaxSubpagesPerPage);
+  Subpage& sp = subpages_[i];
+  PPSSD_CHECK_MSG(sp.state == SubpageState::kValid,
+                  "invalidating a subpage that is not valid");
+  sp.state = SubpageState::kInvalid;
+}
+
+void Page::absorb_neighbor_program() {
+  if (neighbor_programs_ < std::numeric_limits<std::uint16_t>::max()) {
+    ++neighbor_programs_;
+  }
+}
+
+void Page::reset() { *this = Page{}; }
+
+}  // namespace ppssd::nand

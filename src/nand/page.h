@@ -1,0 +1,111 @@
+// Page and subpage state machines.
+//
+// A 16 KiB page holds four 4 KiB subpages — the partial-programming unit.
+// Each program operation writes one or more subpage slots of a page; the
+// first program of a page is "conventional", every later one is a partial
+// program (Figure 1). Disturb bookkeeping is snapshot-based: every subpage
+// remembers how many program operations and neighbouring-page programs the
+// page had seen when the subpage was written, so the disturb *it* has
+// absorbed since is a subtraction, not a per-event fan-out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ppssd::nand {
+
+enum class SubpageState : std::uint8_t {
+  kFree = 0,
+  kValid = 1,
+  kInvalid = 2,
+};
+
+/// One 4 KiB subpage slot.
+struct Subpage {
+  /// Logical subpage stored here (valid only when state == kValid).
+  std::uint32_t owner_lsn = 0;
+  /// Wall-clock (sim) write time, milliseconds. Used by the IS' age model.
+  std::uint32_t write_time_ms = 0;
+  /// Monotonic per-LSN version, for integrity checking.
+  std::uint32_t version = 0;
+  SubpageState state = SubpageState::kFree;
+  /// Page program-op count when this subpage was written.
+  std::uint8_t programs_before = 0;
+  /// Page neighbour-program count when this subpage was written.
+  std::uint16_t neighbors_before = 0;
+};
+
+/// Maximum subpages per page supported without heap allocation.
+inline constexpr std::uint32_t kMaxSubpagesPerPage = 8;
+
+/// One subpage slot to fill in a program operation.
+struct SlotWrite {
+  SubpageId slot = 0;
+  Lsn lsn = kInvalidLsn;
+  std::uint32_t version = 0;
+};
+
+class Page {
+ public:
+  /// Number of program operations applied since the last erase.
+  [[nodiscard]] std::uint8_t program_ops() const { return program_ops_; }
+  /// True if at least one program has been applied (page not fully free).
+  [[nodiscard]] bool programmed() const { return program_ops_ > 0; }
+  /// Number of programs on wordline-adjacent pages since this page's erase.
+  [[nodiscard]] std::uint16_t neighbor_programs() const {
+    return neighbor_programs_;
+  }
+
+  [[nodiscard]] const Subpage& subpage(SubpageId i) const {
+    PPSSD_CHECK(i < kMaxSubpagesPerPage);
+    return subpages_[i];
+  }
+
+  /// Count of subpages in a given state over the first `n` slots.
+  [[nodiscard]] std::uint32_t count(SubpageState s, std::uint32_t n) const;
+
+  /// Index of the first free slot in the first `n`, or kInvalidSubpage.
+  [[nodiscard]] SubpageId first_free(std::uint32_t n) const;
+
+  /// Apply one program operation filling the given slots. Returns true if
+  /// the operation was a partial program (page already had data).
+  ///
+  /// Every targeted slot must be free (NAND write-once rule). The caller is
+  /// responsible for enforcing the per-page partial-program limit.
+  bool program(std::span<const SlotWrite> writes, SimTime now);
+
+  /// Mark a valid subpage invalid (data superseded elsewhere).
+  void invalidate(SubpageId i);
+
+  /// Called when a wordline-adjacent page is programmed.
+  void absorb_neighbor_program();
+
+  /// In-page disturb events absorbed by subpage `i` since it was written:
+  /// the number of partial programs applied to this page afterwards.
+  [[nodiscard]] std::uint32_t in_page_disturbs(SubpageId i) const {
+    const auto& sp = subpages_[i];
+    PPSSD_CHECK(sp.state != SubpageState::kFree);
+    return program_ops_ - sp.programs_before - 1;
+  }
+
+  /// Neighbour disturb events absorbed by subpage `i` since it was written.
+  [[nodiscard]] std::uint32_t neighbor_disturbs(SubpageId i) const {
+    const auto& sp = subpages_[i];
+    PPSSD_CHECK(sp.state != SubpageState::kFree);
+    return neighbor_programs_ - sp.neighbors_before;
+  }
+
+  /// Reset to the erased state.
+  void reset();
+
+ private:
+  std::array<Subpage, kMaxSubpagesPerPage> subpages_{};
+  std::uint8_t program_ops_ = 0;
+  std::uint16_t neighbor_programs_ = 0;
+};
+
+}  // namespace ppssd::nand

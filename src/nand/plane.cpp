@@ -1,0 +1,3 @@
+#include "nand/plane.h"
+
+// Plane is header-only today; this TU anchors the type for the library.

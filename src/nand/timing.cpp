@@ -1,0 +1,3 @@
+#include "nand/timing.h"
+
+// TimingModel is header-only today; this TU anchors the type.

@@ -1,0 +1,38 @@
+// NAND operation latency model (Table 2 of the paper).
+#pragma once
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace ppssd::nand {
+
+class TimingModel {
+ public:
+  explicit TimingModel(const TimingConfig& cfg) : cfg_(cfg) {}
+
+  /// Array sensing time of a page read in the given mode.
+  [[nodiscard]] SimTime read_latency(CellMode mode) const {
+    return mode == CellMode::kSlc ? cfg_.slc_read : cfg_.mlc_read;
+  }
+
+  /// Array program time of one program operation (full or partial — a
+  /// partial program still runs a full program pulse sequence on the
+  /// wordline, so its latency equals a page program).
+  [[nodiscard]] SimTime program_latency(CellMode mode) const {
+    return mode == CellMode::kSlc ? cfg_.slc_write : cfg_.mlc_write;
+  }
+
+  [[nodiscard]] SimTime erase_latency() const { return cfg_.erase; }
+
+  /// Channel transfer time for `subpages` subpages of data.
+  [[nodiscard]] SimTime transfer_latency(std::uint32_t subpages) const {
+    return cfg_.transfer_per_subpage * subpages;
+  }
+
+  [[nodiscard]] const TimingConfig& config() const { return cfg_; }
+
+ private:
+  TimingConfig cfg_;
+};
+
+}  // namespace ppssd::nand

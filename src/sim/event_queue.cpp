@@ -1,0 +1,3 @@
+#include "sim/event_queue.h"
+
+// EventQueue is a header-only template; this TU anchors it in the library.

@@ -1,0 +1,82 @@
+// Time-ordered min-heap of (time, payload) events.
+//
+// The replayer uses it to track in-flight request completions against
+// arrivals (device queue-depth statistics); it is also the building block
+// for multi-stream trace merging in the examples.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ppssd::sim {
+
+template <typename T>
+class EventQueue {
+ public:
+  struct Event {
+    SimTime time;
+    T payload;
+  };
+
+  void push(SimTime time, T payload) {
+    heap_.push_back(Event{time, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] const Event& top() const {
+    PPSSD_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  Event pop() {
+    PPSSD_CHECK(!heap_.empty());
+    Event out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  /// Pop every event with time <= cutoff, invoking fn(event).
+  template <typename Fn>
+  void drain_until(SimTime cutoff, Fn&& fn) {
+    while (!heap_.empty() && heap_.front().time <= cutoff) {
+      fn(pop());
+    }
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].time <= heap_[i].time) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && heap_[l].time < heap_[smallest].time) smallest = l;
+      if (r < n && heap_[r].time < heap_[smallest].time) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace ppssd::sim

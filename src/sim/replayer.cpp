@@ -1,0 +1,34 @@
+#include "sim/replayer.h"
+
+#include <algorithm>
+
+namespace ppssd::sim {
+
+ReplayResult Replayer::replay(trace::TraceSource& src,
+                              std::uint64_t max_requests) {
+  ReplayResult result;
+  EventQueue<std::uint8_t> in_flight;
+  double depth_sum = 0.0;
+
+  trace::TraceRecord rec;
+  while (src.next(rec)) {
+    if (max_requests != 0 && result.requests >= max_requests) break;
+
+    in_flight.drain_until(rec.arrival, [](const auto&) {});
+    depth_sum += static_cast<double>(in_flight.size());
+    result.max_queue_depth =
+        std::max<std::uint64_t>(result.max_queue_depth, in_flight.size());
+
+    const auto done = ssd_->submit(rec.op, rec.offset, rec.size, rec.arrival);
+    result.latency.record(rec.op, done.latency());
+    result.makespan = std::max(result.makespan, done.drained);
+    in_flight.push(done.finish, 0);
+    ++result.requests;
+  }
+  if (result.requests > 0) {
+    result.avg_queue_depth = depth_sum / static_cast<double>(result.requests);
+  }
+  return result;
+}
+
+}  // namespace ppssd::sim

@@ -1,0 +1,33 @@
+// Trace replay loop: drives an Ssd with a TraceSource and accumulates the
+// host-visible metrics (latency distributions, in-flight statistics).
+#pragma once
+
+#include <cstdint>
+
+#include "common/latency_recorder.h"
+#include "sim/event_queue.h"
+#include "sim/ssd.h"
+#include "trace/record.h"
+
+namespace ppssd::sim {
+
+struct ReplayResult {
+  LatencyRecorder latency;
+  std::uint64_t requests = 0;
+  SimTime makespan = 0;          // last completion time
+  double avg_queue_depth = 0.0;  // mean in-flight requests at arrival
+  std::uint64_t max_queue_depth = 0;
+};
+
+class Replayer {
+ public:
+  explicit Replayer(Ssd& ssd) : ssd_(&ssd) {}
+
+  /// Replay the source to exhaustion (or `max_requests` if nonzero).
+  ReplayResult replay(trace::TraceSource& src, std::uint64_t max_requests = 0);
+
+ private:
+  Ssd* ssd_;
+};
+
+}  // namespace ppssd::sim

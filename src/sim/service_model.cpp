@@ -1,0 +1,104 @@
+#include "sim/service_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppssd::sim {
+
+ServiceModel::ServiceModel(const SsdConfig& cfg, std::uint32_t chips,
+                           std::uint32_t channels)
+    : timing_(cfg.timing), ecc_(cfg.ecc) {
+  PPSSD_CHECK(chips > 0 && channels > 0);
+  chip_busy_.assign(chips, 0);
+  channel_busy_.assign(channels, 0);
+  chip_occupancy_.assign(chips, 0);
+  erase_busy_.assign(chips, 0);
+}
+
+void ServiceModel::reset() {
+  std::fill(chip_busy_.begin(), chip_busy_.end(), SimTime{0});
+  std::fill(channel_busy_.begin(), channel_busy_.end(), SimTime{0});
+  std::fill(chip_occupancy_.begin(), chip_occupancy_.end(), SimTime{0});
+  std::fill(erase_busy_.begin(), erase_busy_.end(), SimTime{0});
+  usage_ = Usage{};
+}
+
+SimTime ServiceModel::ecc_cost(const cache::PhysOp& op) const {
+  return ecc_.decode_time(op.ber, op.subpages);
+}
+
+ServiceModel::Outcome ServiceModel::service(
+    std::span<const cache::PhysOp> ops, SimTime now) {
+  using Kind = cache::PhysOp::Kind;
+  Outcome out;
+  out.foreground_end = now;
+  out.background_end = now;
+
+  for (const auto& op : ops) {
+    PPSSD_CHECK(op.chip < chip_busy_.size());
+    PPSSD_CHECK(op.channel < channel_busy_.size());
+    SimTime& chip = chip_busy_[op.chip];
+    SimTime& channel = channel_busy_[op.channel];
+    SimTime end = now;
+
+    switch (op.kind) {
+      case Kind::kRead: {
+        // Array sense, then transfer out, then controller-side ECC.
+        const SimTime sense_start = std::max(now, chip);
+        const SimTime sense_end =
+            sense_start + timing_.read_latency(op.mode);
+        (op.background ? usage_.read_bg : usage_.read_fg) +=
+            timing_.read_latency(op.mode);
+        chip_occupancy_[op.chip] += timing_.read_latency(op.mode);
+        chip = sense_end;
+        const SimTime xfer_start = std::max(sense_end, channel);
+        const SimTime xfer_end =
+            xfer_start + timing_.transfer_latency(op.subpages);
+        channel = xfer_end;
+        end = xfer_end + ecc_cost(op);
+        break;
+      }
+      case Kind::kProgram: {
+        // Transfer in, then program pulse on the chip.
+        const SimTime xfer_start = std::max(now, channel);
+        const SimTime xfer_end =
+            xfer_start + timing_.transfer_latency(op.subpages);
+        channel = xfer_end;
+        const SimTime prog_start = std::max(xfer_end, chip);
+        end = prog_start + timing_.program_latency(op.mode);
+        (op.background ? usage_.program_bg : usage_.program_fg) +=
+            timing_.program_latency(op.mode);
+        chip_occupancy_[op.chip] += timing_.program_latency(op.mode);
+        chip = end;
+        break;
+      }
+      case Kind::kErase: {
+        // Erase-suspend: the controller suspends a background erase when a
+        // host command arrives, so erases occupy a *separate* per-chip
+        // horizon that only serialises background work. Host ops see the
+        // chip as available; the erase's wall-clock completion still gates
+        // background_end.
+        SimTime& erase_chip = erase_busy_[op.chip];
+        const SimTime start = std::max({now, erase_chip, chip});
+        end = start + timing_.erase_latency();
+        usage_.erase_bg += timing_.erase_latency();
+        chip_occupancy_[op.chip] += timing_.erase_latency();
+        erase_chip = end;
+        break;
+      }
+    }
+
+    if (op.background) {
+      out.background_end = std::max(out.background_end, end);
+      ++out.background_ops;
+    } else {
+      out.foreground_end = std::max(out.foreground_end, end);
+      ++out.foreground_ops;
+    }
+  }
+  out.background_end = std::max(out.background_end, out.foreground_end);
+  return out;
+}
+
+}  // namespace ppssd::sim

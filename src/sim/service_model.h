@@ -1,0 +1,78 @@
+// Resource-timing model: prices a sequence of physical flash operations
+// against per-chip and per-channel availability.
+//
+// A chip executes one array operation (read sense / program pulse /
+// erase) at a time; a channel serialises data transfers; ECC decoding
+// happens controller-side after the transfer and scales with the raw BER
+// of the read (ecc::EccLatencyModel). Host latency is the completion of
+// the request's foreground ops; background (GC) ops occupy the same
+// resources and surface as queueing delay for later requests — exactly
+// the mechanism that differentiates the schemes in Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/scheme.h"
+#include "common/config.h"
+#include "ecc/latency_model.h"
+#include "nand/timing.h"
+
+namespace ppssd::sim {
+
+class ServiceModel {
+ public:
+  ServiceModel(const SsdConfig& cfg, std::uint32_t chips,
+               std::uint32_t channels);
+
+  struct Outcome {
+    SimTime foreground_end = 0;  // completion of the host-visible ops
+    SimTime background_end = 0;  // completion of everything
+    std::uint32_t foreground_ops = 0;
+    std::uint32_t background_ops = 0;
+  };
+
+  /// Price the op sequence starting no earlier than `now`, in issue order
+  /// per resource. Returns completion times; chip/channel horizons advance.
+  Outcome service(std::span<const cache::PhysOp> ops, SimTime now);
+
+  [[nodiscard]] SimTime chip_busy_until(std::uint32_t chip) const {
+    return chip_busy_[chip];
+  }
+  [[nodiscard]] SimTime channel_busy_until(std::uint32_t ch) const {
+    return channel_busy_[ch];
+  }
+
+  /// Decode latency the model charges for a read op (exposed for tests).
+  [[nodiscard]] SimTime ecc_cost(const cache::PhysOp& op) const;
+
+  /// Accumulated chip-occupancy by op kind (ns), foreground/background.
+  struct Usage {
+    SimTime read_fg = 0, read_bg = 0;
+    SimTime program_fg = 0, program_bg = 0;
+    SimTime erase_bg = 0;
+    [[nodiscard]] SimTime total() const {
+      return read_fg + read_bg + program_fg + program_bg + erase_bg;
+    }
+  };
+  [[nodiscard]] const Usage& usage() const { return usage_; }
+
+  /// Accumulated array-op occupancy per chip (ns) — load-balance probe.
+  [[nodiscard]] const std::vector<SimTime>& chip_occupancy() const {
+    return chip_occupancy_;
+  }
+
+  void reset();
+
+ private:
+  nand::TimingModel timing_;
+  ecc::EccLatencyModel ecc_;
+  std::vector<SimTime> chip_busy_;
+  std::vector<SimTime> channel_busy_;
+  std::vector<SimTime> erase_busy_;  // suspendable-erase horizon per chip
+  std::vector<SimTime> chip_occupancy_;
+  Usage usage_;
+};
+
+}  // namespace ppssd::sim

@@ -1,0 +1,107 @@
+#include "sim/ssd.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace ppssd::sim {
+
+Ssd::Ssd(const SsdConfig& cfg, cache::SchemeKind kind)
+    : Ssd(cfg, cache::make_scheme(kind, cfg)) {}
+
+Ssd::Ssd(const SsdConfig& cfg, std::unique_ptr<cache::Scheme> scheme)
+    : scheme_(std::move(scheme)),
+      service_(cfg, scheme_->array().chip_count(),
+               scheme_->array().geometry().channels()) {
+  PPSSD_CHECK(scheme_ != nullptr);
+}
+
+std::uint64_t Ssd::logical_bytes() const {
+  return scheme_->array().geometry().logical_subpages() * kSubpageBytes;
+}
+
+Ssd::Completion Ssd::submit(OpType op, std::uint64_t offset,
+                            std::uint32_t size, SimTime arrival) {
+  PPSSD_CHECK(size > 0);
+  const std::uint64_t total = scheme_->array().geometry().logical_subpages();
+
+  // Subpage-align and wrap into the logical space.
+  Lsn lsn = (offset / kSubpageBytes) % total;
+  auto count = static_cast<std::uint32_t>(
+      bytes_to_subpages(offset % kSubpageBytes + size));
+  count = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(count, total - lsn));
+
+  ops_.clear();
+  if (op == OpType::kWrite) {
+    scheme_->host_write(lsn, count, arrival, ops_);
+  } else {
+    scheme_->host_read(lsn, count, arrival, ops_);
+  }
+
+  // GC interleaving: the controller gives host commands priority and
+  // spreads background flash work across subsequent requests rather than
+  // monopolising chips in one burst. Logical state already advanced in
+  // the scheme; only the op *pricing* is deferred.
+  const std::uint32_t interleave = config().cache.gc_interleave_ops;
+  SimTime bg_end = arrival;
+  if (interleave == 0) {
+    const auto outcome = service_.service(ops_, arrival);
+    Completion done;
+    done.start = arrival;
+    done.finish = outcome.foreground_end;
+    done.drained = outcome.background_end;
+    return done;
+  }
+
+  // Price this request's foreground ops immediately; queue its background
+  // ops, then drain a bounded slice of the backlog.
+  SimTime fg_end = arrival;
+  for (const auto& o : ops_) {
+    if (o.background) {
+      deferred_.push_back(o);
+    } else {
+      const auto outcome =
+          service_.service(std::span<const cache::PhysOp>(&o, 1), arrival);
+      fg_end = std::max(fg_end, outcome.foreground_end);
+    }
+  }
+  std::uint32_t budget = interleave;
+  // Never let the backlog grow unboundedly: drain faster when it piles up.
+  budget = std::max<std::uint32_t>(
+      budget, static_cast<std::uint32_t>(deferred_background_ops() / 64));
+  while (budget-- > 0 && deferred_head_ < deferred_.size()) {
+    const auto outcome = service_.service(
+        std::span<const cache::PhysOp>(&deferred_[deferred_head_], 1),
+        arrival);
+    bg_end = std::max(bg_end, outcome.background_end);
+    ++deferred_head_;
+  }
+  if (deferred_head_ == deferred_.size()) {
+    deferred_.clear();
+    deferred_head_ = 0;
+  }
+
+  Completion done;
+  done.start = arrival;
+  done.finish = fg_end;
+  done.drained = std::max(fg_end, bg_end);
+  return done;
+}
+
+SimTime Ssd::drain_background(SimTime now) {
+  SimTime end = now;
+  while (deferred_head_ < deferred_.size()) {
+    const auto outcome = service_.service(
+        std::span<const cache::PhysOp>(&deferred_[deferred_head_], 1), now);
+    end = std::max(end, outcome.background_end);
+    ++deferred_head_;
+  }
+  deferred_.clear();
+  deferred_head_ = 0;
+  return end;
+}
+
+}  // namespace ppssd::sim

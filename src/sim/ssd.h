@@ -1,0 +1,60 @@
+// The simulated SSD: cache scheme + flash array + timing, behind a
+// byte-addressed host interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/scheme.h"
+#include "common/config.h"
+#include "common/types.h"
+#include "sim/service_model.h"
+
+namespace ppssd::sim {
+
+class Ssd {
+ public:
+  Ssd(const SsdConfig& cfg, cache::SchemeKind kind);
+
+  /// Take ownership of a pre-built scheme (used for ablation variants).
+  Ssd(const SsdConfig& cfg, std::unique_ptr<cache::Scheme> scheme);
+
+  struct Completion {
+    SimTime start = 0;     // host submission time
+    SimTime finish = 0;    // host-visible completion
+    SimTime drained = 0;   // background work completion
+    [[nodiscard]] SimTime latency() const { return finish - start; }
+  };
+
+  /// Submit one host request. `offset` and `size` are in bytes; addresses
+  /// beyond the logical capacity wrap (size is clamped at the top).
+  Completion submit(OpType op, std::uint64_t offset, std::uint32_t size,
+                    SimTime arrival);
+
+  [[nodiscard]] const cache::Scheme& scheme() const { return *scheme_; }
+  [[nodiscard]] cache::Scheme& scheme() { return *scheme_; }
+
+  /// Clear chip/channel queues (used between warm-up and measurement).
+  void reset_timing() { service_.reset(); }
+  [[nodiscard]] const ServiceModel& service_model() const { return service_; }
+  [[nodiscard]] const SsdConfig& config() const { return scheme_->config(); }
+  [[nodiscard]] std::uint64_t logical_bytes() const;
+
+  /// Background ops awaiting interleaved execution.
+  [[nodiscard]] std::size_t deferred_background_ops() const {
+    return deferred_.size() - deferred_head_;
+  }
+
+  /// Price every deferred background op now (end-of-replay flush).
+  SimTime drain_background(SimTime now);
+
+ private:
+  std::unique_ptr<cache::Scheme> scheme_;
+  ServiceModel service_;
+  std::vector<cache::PhysOp> ops_;       // reused per request
+  std::vector<cache::PhysOp> deferred_;  // background ops not yet priced
+  std::size_t deferred_head_ = 0;
+};
+
+}  // namespace ppssd::sim

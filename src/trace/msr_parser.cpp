@@ -1,0 +1,107 @@
+#include "trace/msr_parser.h"
+
+#include <array>
+#include <charconv>
+#include <stdexcept>
+
+namespace ppssd::trace {
+
+namespace {
+
+bool equals_ignore_case(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool parse_uint(std::string_view field, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return ec == std::errc{} && ptr == field.data() + field.size();
+}
+
+}  // namespace
+
+MsrTraceParser::MsrTraceParser(const std::string& path)
+    : path_(path), in_(path) {
+  if (!in_) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+}
+
+bool MsrTraceParser::parse_line(const std::string& line, TraceRecord& out,
+                                std::uint64_t* raw_timestamp) {
+  // Split into at most 7 comma-separated fields.
+  std::array<std::string_view, 7> fields;
+  std::size_t nfields = 0;
+  std::size_t start = 0;
+  const std::string_view sv(line);
+  while (nfields < fields.size()) {
+    const std::size_t comma = sv.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields[nfields++] = sv.substr(start);
+      break;
+    }
+    fields[nfields++] = sv.substr(start, comma - start);
+    start = comma + 1;
+  }
+  if (nfields < 6) return false;
+
+  std::uint64_t timestamp = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+  if (!parse_uint(fields[0], timestamp)) return false;
+  if (!parse_uint(fields[4], offset)) return false;
+  if (!parse_uint(fields[5], size) || size == 0) return false;
+
+  if (equals_ignore_case(fields[3], "read") ||
+      equals_ignore_case(fields[3], "r")) {
+    out.op = OpType::kRead;
+  } else if (equals_ignore_case(fields[3], "write") ||
+             equals_ignore_case(fields[3], "w")) {
+    out.op = OpType::kWrite;
+  } else {
+    return false;
+  }
+  out.offset = offset;
+  out.size = size;
+  if (raw_timestamp) *raw_timestamp = timestamp;
+  return true;
+}
+
+bool MsrTraceParser::next(TraceRecord& out) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::uint64_t raw = 0;
+    if (!parse_line(line, out, &raw)) {
+      ++skipped_;
+      continue;
+    }
+    if (!have_first_) {
+      first_timestamp_ = raw;
+      have_first_ = true;
+    }
+    // FILETIME ticks are 100 ns; rebase to trace start.
+    out.arrival = (raw - first_timestamp_) * 100;
+    return true;
+  }
+  return false;
+}
+
+void MsrTraceParser::reset() {
+  in_.close();
+  in_.open(path_);
+  if (!in_) {
+    throw std::runtime_error("cannot reopen trace file: " + path_);
+  }
+  have_first_ = false;
+  skipped_ = 0;
+}
+
+}  // namespace ppssd::trace

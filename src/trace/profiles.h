@@ -1,0 +1,18 @@
+// The six evaluation-trace profiles (Tables 1 and 3 of the paper).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "trace/synthetic.h"
+
+namespace ppssd::trace {
+
+/// All six paper profiles in Table 3 order (descending write ratio):
+/// ts0, wdev0, lun1, usr0, lun2, ads.
+[[nodiscard]] const std::vector<TraceProfile>& paper_profiles();
+
+/// Look up a profile by name; aborts on unknown names.
+[[nodiscard]] const TraceProfile& profile_by_name(std::string_view name);
+
+}  // namespace ppssd::trace

@@ -1,0 +1,14 @@
+#include "trace/record.h"
+
+namespace ppssd::trace {
+
+std::vector<TraceRecord> collect(TraceSource& src) {
+  std::vector<TraceRecord> out;
+  TraceRecord rec;
+  while (src.next(rec)) {
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace ppssd::trace

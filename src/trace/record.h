@@ -1,0 +1,68 @@
+// Block-I/O trace records and streaming sources.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ppssd::trace {
+
+struct TraceRecord {
+  SimTime arrival = 0;          // ns since trace start
+  OpType op = OpType::kRead;
+  std::uint64_t offset = 0;     // bytes
+  std::uint32_t size = 0;       // bytes
+
+  constexpr bool operator==(const TraceRecord&) const = default;
+};
+
+/// Pull-based record stream: generators and parsers implement this so the
+/// replayer never has to materialise multi-million-request traces.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next record; returns false at end of stream.
+  virtual bool next(TraceRecord& out) = 0;
+
+  /// Rewind to the beginning (regenerates identically for synthetic
+  /// sources).
+  virtual void reset() = 0;
+
+  /// Total records this source will produce, if known (0 = unknown).
+  [[nodiscard]] virtual std::uint64_t expected_records() const { return 0; }
+};
+
+/// In-memory source over a record vector.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  bool next(TraceRecord& out) override {
+    if (pos_ >= records_.size()) return false;
+    out = records_[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = 0; }
+
+  [[nodiscard]] std::uint64_t expected_records() const override {
+    return records_.size();
+  }
+
+  [[nodiscard]] std::span<const TraceRecord> records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Collect an entire source into a vector (tests, small traces).
+[[nodiscard]] std::vector<TraceRecord> collect(TraceSource& src);
+
+}  // namespace ppssd::trace

@@ -1,0 +1,53 @@
+#include "trace/trace_stats.h"
+
+#include "common/units.h"
+
+namespace ppssd::trace {
+
+void TraceAnalyzer::add(const TraceRecord& rec) {
+  ++stats_.requests;
+  if (rec.op == OpType::kRead) {
+    ++stats_.reads;
+    return;
+  }
+  ++stats_.writes;
+  stats_.write_bytes_sum += static_cast<double>(rec.size);
+
+  const std::uint64_t addr = rec.offset / kSubpageBytes;
+  auto [it, inserted] = write_counts_.try_emplace(addr, 0);
+  if (!inserted) {
+    // Update (re-write of a previously written address): Table 1 buckets.
+    if (rec.size <= 4 * kKiB) {
+      ++stats_.updates_le_4k;
+    } else if (rec.size <= 8 * kKiB) {
+      ++stats_.updates_le_8k;
+    } else {
+      ++stats_.updates_gt_8k;
+    }
+  }
+  if (it->second < 255) ++it->second;
+}
+
+TraceStats TraceAnalyzer::finish() const {
+  TraceStats out = stats_;
+  std::uint64_t hot = 0;
+  for (const auto& [addr, count] : write_counts_) {
+    if (count >= 4) ++hot;
+  }
+  out.hot_write_fraction =
+      write_counts_.empty()
+          ? 0.0
+          : static_cast<double>(hot) / static_cast<double>(write_counts_.size());
+  return out;
+}
+
+TraceStats analyze(TraceSource& src) {
+  TraceAnalyzer analyzer;
+  TraceRecord rec;
+  while (src.next(rec)) {
+    analyzer.add(rec);
+  }
+  return analyzer.finish();
+}
+
+}  // namespace ppssd::trace

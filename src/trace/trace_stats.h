@@ -1,0 +1,70 @@
+// Trace characterisation: reproduces the statistics of Tables 1 and 3.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "trace/record.h"
+
+namespace ppssd::trace {
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  double write_bytes_sum = 0.0;
+
+  // Updated requests (writes whose start address was written before),
+  // bucketed by size as in Table 1.
+  std::uint64_t updates_le_4k = 0;
+  std::uint64_t updates_le_8k = 0;
+  std::uint64_t updates_gt_8k = 0;
+
+  [[nodiscard]] double write_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(writes) /
+                               static_cast<double>(requests);
+  }
+  [[nodiscard]] double mean_write_kb() const {
+    return writes == 0 ? 0.0 : write_bytes_sum / 1024.0 /
+                                   static_cast<double>(writes);
+  }
+  [[nodiscard]] std::uint64_t updates() const {
+    return updates_le_4k + updates_le_8k + updates_gt_8k;
+  }
+  [[nodiscard]] double update_frac_le_4k() const {
+    return updates() == 0 ? 0.0
+                          : static_cast<double>(updates_le_4k) / updates();
+  }
+  [[nodiscard]] double update_frac_le_8k() const {
+    return updates() == 0 ? 0.0
+                          : static_cast<double>(updates_le_8k) / updates();
+  }
+  [[nodiscard]] double update_frac_gt_8k() const {
+    return updates() == 0 ? 0.0
+                          : static_cast<double>(updates_gt_8k) / updates();
+  }
+
+  /// Table 3 "Hot write": fraction of written 4K addresses with >= 4
+  /// write requests.
+  double hot_write_fraction = 0.0;
+};
+
+/// Single-pass analysis of a trace stream (consumes the source).
+class TraceAnalyzer {
+ public:
+  void add(const TraceRecord& rec);
+
+  /// Finalise and return the statistics.
+  [[nodiscard]] TraceStats finish() const;
+
+ private:
+  TraceStats stats_;
+  // Write count per 4K-aligned start address (saturating at 255).
+  std::unordered_map<std::uint64_t, std::uint8_t> write_counts_;
+};
+
+/// Convenience: run a whole source through the analyzer.
+[[nodiscard]] TraceStats analyze(TraceSource& src);
+
+}  // namespace ppssd::trace

@@ -1,0 +1,28 @@
+#include "trace/writer.h"
+
+namespace ppssd::trace {
+
+MsrTraceWriter::MsrTraceWriter(std::ostream& out, std::string hostname,
+                               std::uint32_t disk)
+    : out_(&out), hostname_(std::move(hostname)), disk_(disk) {}
+
+void MsrTraceWriter::write(const TraceRecord& rec) {
+  // Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+  const std::uint64_t ticks = epoch_ticks_ + rec.arrival / 100;
+  *out_ << ticks << ',' << hostname_ << ',' << disk_ << ','
+        << (rec.op == OpType::kWrite ? "Write" : "Read") << ',' << rec.offset
+        << ',' << rec.size << ",0\n";
+  ++written_;
+}
+
+std::uint64_t MsrTraceWriter::write_all(TraceSource& src) {
+  TraceRecord rec;
+  std::uint64_t n = 0;
+  while (src.next(rec)) {
+    write(rec);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ppssd::trace

@@ -1,0 +1,91 @@
+#include "cache/baseline_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ppssd::cache {
+namespace {
+
+SsdConfig small_config() {
+  SsdConfig cfg = SsdConfig::scaled(1024);
+  cfg.cache.gc_interleave_ops = 0;
+  return cfg;
+}
+
+TEST(BaselineScheme, NeverPartialPrograms) {
+  BaselineScheme scheme(small_config());
+  std::vector<PhysOp> ops;
+  SimTime now = 0;
+  // Mixed small writes and rewrites.
+  for (int round = 0; round < 3; ++round) {
+    for (Lsn lsn = 0; lsn < 2000; lsn += 2) {
+      ops.clear();
+      scheme.host_write(lsn, 1 + (lsn % 3), now += ms_to_ns(0.5), ops);
+    }
+  }
+  EXPECT_EQ(scheme.array().counters().partial_program_ops, 0u);
+  scheme.check_consistency();
+}
+
+TEST(BaselineScheme, SmallWriteConsumesWholePage) {
+  BaselineScheme scheme(small_config());
+  std::vector<PhysOp> ops;
+  scheme.host_write(0, 1, 0, ops);
+  scheme.host_write(100, 1, ms_to_ns(1), ops);
+  // Two 1-subpage writes land in two different pages: fragmentation.
+  const auto a = scheme.device_map().lookup(0);
+  const auto b = scheme.device_map().lookup(100);
+  EXPECT_FALSE(a.block == b.block && a.page == b.page);
+}
+
+TEST(BaselineScheme, LargeWriteSplitsIntoPages) {
+  BaselineScheme scheme(small_config());
+  std::vector<PhysOp> ops;
+  scheme.host_write(0, 10, 0, ops);  // 40 KiB -> 3 pages (4+4+2)
+  int programs = 0;
+  for (const auto& op : ops) {
+    if (op.kind == PhysOp::Kind::kProgram) ++programs;
+  }
+  EXPECT_EQ(programs, 3);
+  // All ten subpages readable.
+  ops.clear();
+  scheme.host_read(0, 10, ms_to_ns(1), ops);
+  EXPECT_EQ(ops.size(), 3u);
+  scheme.check_consistency();
+}
+
+TEST(BaselineScheme, GcUtilizationReflectsFragmentation) {
+  BaselineScheme scheme(small_config());
+  std::vector<PhysOp> ops;
+  SimTime now = 0;
+  // 2-subpage writes -> page utilization ~50%.
+  for (Lsn lsn = 0; lsn < 120'000; lsn += 2) {
+    ops.clear();
+    scheme.host_write(lsn, 2, now += ms_to_ns(0.2), ops);
+  }
+  ASSERT_GT(scheme.metrics().slc_gc_count, 0u);
+  EXPECT_GT(scheme.metrics().gc_utilization.mean(), 0.3);
+  EXPECT_LT(scheme.metrics().gc_utilization.mean(), 0.7);
+}
+
+TEST(BaselineScheme, UsesGreedyVictims) {
+  // With uniform rewrites, GC victims should reclaim invalid space: the
+  // eviction volume stays below the host write volume.
+  BaselineScheme scheme(small_config());
+  std::vector<PhysOp> ops;
+  SimTime now = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (Lsn lsn = 0; lsn < 30'000; lsn += 2) {
+      ops.clear();
+      scheme.host_write(lsn, 2, now += ms_to_ns(0.2), ops);
+    }
+  }
+  const auto& m = scheme.metrics();
+  ASSERT_GT(m.slc_gc_count, 0u);
+  EXPECT_LT(m.evicted_subpages, m.host_subpages_written);
+  scheme.check_consistency();
+}
+
+}  // namespace
+}  // namespace ppssd::cache

@@ -1,0 +1,57 @@
+#include "common/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace ppssd {
+namespace {
+
+TEST(LatencyRecorder, SeparatesReadAndWrite) {
+  LatencyRecorder rec;
+  rec.record(OpType::kRead, ms_to_ns(1.0));
+  rec.record(OpType::kRead, ms_to_ns(3.0));
+  rec.record(OpType::kWrite, ms_to_ns(10.0));
+  EXPECT_DOUBLE_EQ(rec.avg_read_ms(), 2.0);
+  EXPECT_DOUBLE_EQ(rec.avg_write_ms(), 10.0);
+  EXPECT_EQ(rec.read_count(), 2u);
+  EXPECT_EQ(rec.write_count(), 1u);
+}
+
+TEST(LatencyRecorder, OverallIsRequestWeighted) {
+  LatencyRecorder rec;
+  rec.record(OpType::kRead, ms_to_ns(1.0));
+  rec.record(OpType::kRead, ms_to_ns(1.0));
+  rec.record(OpType::kRead, ms_to_ns(1.0));
+  rec.record(OpType::kWrite, ms_to_ns(5.0));
+  EXPECT_DOUBLE_EQ(rec.avg_overall_ms(), 2.0);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.avg_read_ms(), 0.0);
+  EXPECT_EQ(rec.avg_write_ms(), 0.0);
+  EXPECT_EQ(rec.avg_overall_ms(), 0.0);
+}
+
+TEST(LatencyRecorder, P99TracksTail) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 99; ++i) {
+    rec.record(OpType::kWrite, ms_to_ns(1.0));
+  }
+  rec.record(OpType::kWrite, ms_to_ns(100.0));
+  EXPECT_GT(rec.write_p99_ms(), 1.0);
+}
+
+TEST(LatencyRecorder, MergeCombines) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.record(OpType::kRead, ms_to_ns(2.0));
+  b.record(OpType::kRead, ms_to_ns(4.0));
+  b.record(OpType::kWrite, ms_to_ns(6.0));
+  a.merge(b);
+  EXPECT_EQ(a.read_count(), 2u);
+  EXPECT_EQ(a.write_count(), 1u);
+  EXPECT_DOUBLE_EQ(a.avg_read_ms(), 3.0);
+}
+
+}  // namespace
+}  // namespace ppssd

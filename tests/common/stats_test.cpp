@@ -1,0 +1,128 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ppssd {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStat whole;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStat b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStat, Reset) {
+  RunningStat s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(LogHistogram, CountAndMean) {
+  LogHistogram h(0.001, 1000.0);
+  for (int i = 1; i <= 100; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(LogHistogram, QuantilesApproximate) {
+  LogHistogram h(0.01, 10000.0, 256);
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.exponential(10.0) + 0.1;
+    values.push_back(x);
+    h.add(x);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const double approx = h.quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.08) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, QuantileBoundsAndEdges) {
+  LogHistogram h(0.1, 10.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.add(5.0);
+  EXPECT_GT(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), h.max() + 1e-9);
+}
+
+TEST(LogHistogram, OutOfRangeValuesLandInOverflowBuckets) {
+  LogHistogram h(1.0, 10.0, 4);
+  h.add(0.001);   // underflow
+  h.add(1000.0);  // overflow
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+  EXPECT_GE(h.quantile(1.0), 10.0);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a(0.1, 100.0);
+  LogHistogram b(0.1, 100.0);
+  a.add(1.0);
+  b.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace ppssd

@@ -1,0 +1,135 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/runner.h"
+
+namespace ppssd::core {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.scheme = cache::SchemeKind::kIpu;
+  spec.trace = "ts0";
+  spec.total_blocks = 1024;
+  spec.trace_scale = 0.002;  // ~3.6k requests: fast
+  return spec;
+}
+
+TEST(ExperimentSpec, KeyIsStableAndDistinct) {
+  ExperimentSpec a = tiny_spec();
+  ExperimentSpec b = tiny_spec();
+  EXPECT_EQ(a.key(), b.key());
+  b.scheme = cache::SchemeKind::kMga;
+  EXPECT_NE(a.key(), b.key());
+  b = tiny_spec();
+  b.pe_cycles = 8000;
+  EXPECT_NE(a.key(), b.key());
+  b = tiny_spec();
+  b.ipu_options = cache::IpuScheme::Options{false, true, true};
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ExperimentResult, SerializeRoundTrip) {
+  ExperimentResult r;
+  r.spec = tiny_spec();
+  r.avg_read_ms = 0.123;
+  r.avg_write_ms = 0.456;
+  r.avg_overall_ms = 0.4;
+  r.read_ber = 2.84e-4;
+  r.slc_subpages = 1000;
+  r.mlc_subpages = 500;
+  r.level_subpages[1] = 10;
+  r.level_subpages[3] = 30;
+  r.intra_page_updates = 77;
+  r.gc_utilization = 0.61;
+  r.slc_erases = 12;
+  r.mlc_erases = 3;
+  r.map_base_bytes = 1 << 20;
+  r.map_extra_bytes = 1 << 10;
+  r.slc_gc_count = 12;
+  r.evicted_subpages = 200;
+  r.chip_fg_seconds = 1.5;
+
+  const auto parsed = ExperimentResult::deserialize(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->avg_read_ms, r.avg_read_ms);
+  EXPECT_DOUBLE_EQ(parsed->read_ber, r.read_ber);
+  EXPECT_EQ(parsed->slc_subpages, r.slc_subpages);
+  EXPECT_EQ(parsed->level_subpages[3], r.level_subpages[3]);
+  EXPECT_EQ(parsed->intra_page_updates, r.intra_page_updates);
+  EXPECT_DOUBLE_EQ(parsed->gc_utilization, r.gc_utilization);
+  EXPECT_EQ(parsed->mlc_erases, r.mlc_erases);
+  EXPECT_EQ(parsed->map_base_bytes, r.map_base_bytes);
+  EXPECT_DOUBLE_EQ(parsed->chip_fg_seconds, r.chip_fg_seconds);
+}
+
+TEST(ExperimentResult, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ExperimentResult::deserialize("").has_value());
+  EXPECT_FALSE(ExperimentResult::deserialize("not a result").has_value());
+  EXPECT_FALSE(
+      ExperimentResult::deserialize("avg_read_ms=zzz\n").has_value());
+}
+
+TEST(ConfigFor, AppliesScaleAndWear) {
+  ExperimentSpec spec = tiny_spec();
+  spec.pe_cycles = 2000;
+  const SsdConfig cfg = config_for(spec);
+  EXPECT_EQ(cfg.geometry.total_blocks, 1024u);
+  EXPECT_EQ(cfg.wear.initial_pe_cycles, 2000u);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(RunExperiment, TinyCellEndToEnd) {
+  const ExperimentResult r = run_experiment(tiny_spec());
+  EXPECT_GT(r.reads + r.writes, 1000u);
+  EXPECT_GT(r.avg_write_ms, 0.0);
+  EXPECT_GT(r.read_ber, 0.0);
+  EXPECT_GT(r.slc_subpages, 0u);
+  EXPECT_GT(r.map_base_bytes, 0u);
+  // Warm-up guarantees steady state: the SLC cache saw GC.
+  EXPECT_GT(r.slc_gc_count, 0u);
+}
+
+TEST(RunExperiment, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(tiny_spec());
+  const ExperimentResult b = run_experiment(tiny_spec());
+  EXPECT_DOUBLE_EQ(a.avg_overall_ms, b.avg_overall_ms);
+  EXPECT_EQ(a.slc_erases, b.slc_erases);
+  EXPECT_DOUBLE_EQ(a.read_ber, b.read_ber);
+}
+
+TEST(RunExperiment, AblationOptionsChangeResults) {
+  ExperimentSpec spec = tiny_spec();
+  const ExperimentResult full = run_experiment(spec);
+  spec.ipu_options = cache::IpuScheme::Options{true, true, false};
+  const ExperimentResult no_ipp = run_experiment(spec);
+  EXPECT_GT(full.intra_page_updates, 0u);
+  EXPECT_EQ(no_ipp.intra_page_updates, 0u);
+}
+
+TEST(Runner, CachesResultsOnDisk) {
+  const std::string dir = ::testing::TempDir() + "ppssd_runner_cache";
+  std::filesystem::remove_all(dir);
+  Runner runner(dir);
+  const ExperimentResult first = runner.run(tiny_spec());
+  EXPECT_GT(first.wall_seconds, 0.0);
+  // Second run loads from cache: identical metrics.
+  const ExperimentResult second = runner.run(tiny_spec());
+  EXPECT_DOUBLE_EQ(second.avg_overall_ms, first.avg_overall_ms);
+  EXPECT_EQ(second.slc_erases, first.slc_erases);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, PaperMatrixShape) {
+  EXPECT_EQ(Runner::paper_traces().size(), 6u);
+  EXPECT_EQ(Runner::paper_schemes().size(), 3u);
+  EXPECT_EQ(Runner::paper_schemes()[0], cache::SchemeKind::kBaseline);
+  EXPECT_EQ(Runner::paper_schemes()[2], cache::SchemeKind::kIpu);
+}
+
+}  // namespace
+}  // namespace ppssd::core

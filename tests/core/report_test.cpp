@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.h"
+
+namespace ppssd::core {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Table::pct(0.505), "50.5%");
+  EXPECT_EQ(Table::count(42), "42");
+}
+
+TEST(DeltaPct, SignsAndBase) {
+  EXPECT_EQ(delta_pct(110.0, 100.0), "+10.0%");
+  EXPECT_EQ(delta_pct(85.1, 100.0), "-14.9%");
+  EXPECT_EQ(delta_pct(100.0, 100.0), "+0.0%");
+  EXPECT_EQ(delta_pct(1.0, 0.0), "n/a");
+}
+
+TEST(WriteResultsCsv, RoundTripColumns) {
+  ExperimentResult r;
+  r.spec.scheme = cache::SchemeKind::kIpu;
+  r.spec.trace = "ts0";
+  r.avg_overall_ms = 0.5;
+  r.read_ber = 2.8e-4;
+  r.slc_erases = 42;
+  const std::string path = ::testing::TempDir() + "ppssd_results.csv";
+  ASSERT_TRUE(write_results_csv(path, {r}));
+
+  std::ifstream in(path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  // Header and row have the same number of commas.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(row.find("IPU,ts0,"), std::string::npos);
+  EXPECT_NE(row.find(",42,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteResultsCsv, FailsOnBadPath) {
+  EXPECT_FALSE(write_results_csv("/nonexistent/dir/x.csv", {}));
+}
+
+TEST(Geomean, Values) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ppssd::core

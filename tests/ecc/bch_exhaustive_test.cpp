@@ -1,0 +1,132 @@
+// Exhaustive verification of the BCH codec on a small code: the classic
+// (15, 7, t=2) code over GF(2^4) is small enough to check EVERY single-
+// and double-bit error pattern on multiple codewords, plus every
+// syndrome-decoding edge the big code exercises probabilistically.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ecc/bch.h"
+
+namespace ppssd::ecc {
+namespace {
+
+const GaloisField& gf16() {
+  static const GaloisField gf(4, 0b10011);
+  return gf;
+}
+
+std::vector<std::uint8_t> bits_of(std::uint32_t value, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((value >> i) & 1);
+  }
+  return out;
+}
+
+TEST(BchExhaustive, FifteenSevenParameters) {
+  const BchCode code(gf16(), 2, 7);
+  EXPECT_EQ(code.n(), 15u);
+  EXPECT_EQ(code.parity_bits(), 8u);
+  EXPECT_EQ(code.codeword_bits(), 15u);
+}
+
+TEST(BchExhaustive, AllSingleErrorsOnAllMessages) {
+  const BchCode code(gf16(), 2, 7);
+  // All 128 messages x all 15 single-bit errors = 1920 decodes.
+  for (std::uint32_t msg = 0; msg < 128; ++msg) {
+    const auto data = bits_of(msg, 7);
+    const auto clean = code.encode(data);
+    for (std::uint32_t pos = 0; pos < 15; ++pos) {
+      auto cw = clean;
+      cw[pos] ^= 1;
+      const auto res = code.decode(cw);
+      ASSERT_EQ(res.status, DecodeStatus::kCorrected)
+          << "msg=" << msg << " pos=" << pos;
+      ASSERT_EQ(res.corrected, 1u);
+      ASSERT_EQ(cw, clean);
+    }
+  }
+}
+
+TEST(BchExhaustive, AllDoubleErrorsOnSampledMessages) {
+  const BchCode code(gf16(), 2, 7);
+  // 8 messages x all C(15,2)=105 double-error patterns.
+  for (const std::uint32_t msg : {0u, 1u, 42u, 63u, 64u, 85u, 100u, 127u}) {
+    const auto data = bits_of(msg, 7);
+    const auto clean = code.encode(data);
+    for (std::uint32_t a = 0; a < 15; ++a) {
+      for (std::uint32_t b = a + 1; b < 15; ++b) {
+        auto cw = clean;
+        cw[a] ^= 1;
+        cw[b] ^= 1;
+        const auto res = code.decode(cw);
+        ASSERT_EQ(res.status, DecodeStatus::kCorrected)
+            << "msg=" << msg << " a=" << a << " b=" << b;
+        ASSERT_EQ(res.corrected, 2u);
+        ASSERT_EQ(cw, clean);
+      }
+    }
+  }
+}
+
+TEST(BchExhaustive, CodewordsFormALinearCode) {
+  // The sum (XOR) of any two codewords is a codeword (zero syndromes).
+  const BchCode code(gf16(), 2, 7);
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = code.encode(bits_of(rng.next_below(128), 7));
+    const auto b = code.encode(bits_of(rng.next_below(128), 7));
+    std::vector<std::uint8_t> sum(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+    }
+    EXPECT_NE(code.decode(sum).status, DecodeStatus::kFailed);
+    // After decode (clean), sum must be unchanged: it IS a codeword.
+  }
+}
+
+TEST(BchExhaustive, MinimumDistanceAtLeastFive) {
+  // t=2 requires d_min >= 5: every nonzero codeword has weight >= 5.
+  const BchCode code(gf16(), 2, 7);
+  for (std::uint32_t msg = 1; msg < 128; ++msg) {
+    const auto cw = code.encode(bits_of(msg, 7));
+    int weight = 0;
+    for (const auto bit : cw) weight += bit;
+    EXPECT_GE(weight, 5) << "msg=" << msg;
+  }
+}
+
+TEST(BchExhaustive, TripleErrorsNeverMiscorrectSilently) {
+  // Weight-3 patterns either fail (detected) or "correct" to a different
+  // codeword — but then the syndrome re-verification inside decode()
+  // guarantees the result is a valid codeword, never garbage.
+  const BchCode code(gf16(), 2, 7);
+  const auto clean = code.encode(bits_of(77, 7));
+  int detected = 0;
+  int miscorrected = 0;
+  for (std::uint32_t a = 0; a < 15; ++a) {
+    for (std::uint32_t b = a + 1; b < 15; ++b) {
+      for (std::uint32_t c = b + 1; c < 15; ++c) {
+        auto cw = clean;
+        cw[a] ^= 1;
+        cw[b] ^= 1;
+        cw[c] ^= 1;
+        const auto res = code.decode(cw);
+        if (res.status == DecodeStatus::kFailed) {
+          ++detected;
+        } else {
+          ASSERT_EQ(res.status, DecodeStatus::kCorrected);
+          // Miscorrection lands on a *different* valid codeword.
+          EXPECT_NE(cw, clean);
+          EXPECT_EQ(code.decode(cw).status, DecodeStatus::kClean);
+          ++miscorrected;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(detected + miscorrected, 455);
+  EXPECT_GT(detected, 0);
+}
+
+}  // namespace
+}  // namespace ppssd::ecc

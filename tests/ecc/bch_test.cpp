@@ -1,0 +1,155 @@
+#include "ecc/bch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppssd::ecc {
+namespace {
+
+std::vector<std::uint8_t> random_bits(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_u64() & 1);
+  return bits;
+}
+
+/// Inject `count` distinct random bit flips.
+void inject(Rng& rng, std::vector<std::uint8_t>& codeword,
+            std::uint32_t count) {
+  std::set<std::uint64_t> positions;
+  while (positions.size() < count) {
+    positions.insert(rng.next_below(codeword.size()));
+  }
+  for (const auto pos : positions) {
+    codeword[pos] ^= 1;
+  }
+}
+
+TEST(BchCode, GeneratorPolynomialShape) {
+  const BchCode code(GaloisField::gf13(), 4, 1024);
+  // deg(g) <= m*t and g(1) != 0 only if x+1 divides... at minimum the
+  // generator is monic with nonzero constant term.
+  EXPECT_LE(code.parity_bits(), 13u * 4u);
+  EXPECT_EQ(code.generator().front(), 1);
+  EXPECT_EQ(code.generator().back(), 1);
+}
+
+TEST(BchCode, CleanRoundTrip) {
+  Rng rng(1);
+  const BchCode code(GaloisField::gf13(), 4, 512);
+  const auto data = random_bits(rng, code.data_bits());
+  auto cw = code.encode(data);
+  EXPECT_EQ(cw.size(), code.codeword_bits());
+  const auto res = code.decode(cw);
+  EXPECT_EQ(res.status, DecodeStatus::kClean);
+  EXPECT_EQ(code.extract_data(cw), data);
+}
+
+TEST(BchCode, SystematicLayoutPreservesData) {
+  Rng rng(2);
+  const BchCode code(GaloisField::gf13(), 2, 256);
+  const auto data = random_bits(rng, code.data_bits());
+  const auto cw = code.encode(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(cw[code.parity_bits() + i], data[i]);
+  }
+}
+
+// Property sweep: every error weight up to t must decode exactly.
+class BchCorrectionSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BchCorrectionSweep, CorrectsUpToT) {
+  const std::uint32_t t = GetParam();
+  Rng rng(100 + t);
+  const BchCode code(GaloisField::gf13(), t, 1024);
+  for (std::uint32_t errors = 0; errors <= t; ++errors) {
+    const auto data = random_bits(rng, code.data_bits());
+    auto cw = code.encode(data);
+    inject(rng, cw, errors);
+    const auto res = code.decode(cw);
+    if (errors == 0) {
+      EXPECT_EQ(res.status, DecodeStatus::kClean);
+    } else {
+      ASSERT_EQ(res.status, DecodeStatus::kCorrected)
+          << "t=" << t << " errors=" << errors;
+      EXPECT_EQ(res.corrected, errors);
+    }
+    EXPECT_EQ(code.extract_data(cw), data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capabilities, BchCorrectionSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BchCode, DetectsBeyondCapability) {
+  Rng rng(3);
+  const BchCode code(GaloisField::gf13(), 4, 1024);
+  int detected = 0;
+  int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    const auto data = random_bits(rng, code.data_bits());
+    auto cw = code.encode(data);
+    inject(rng, cw, code.t() + 3);
+    const auto res = code.decode(cw);
+    if (res.status == DecodeStatus::kFailed) {
+      ++detected;
+    } else if (res.status == DecodeStatus::kCorrected) {
+      // Miscorrection is possible but the result must differ from the
+      // original (we flipped more bits than t).
+      EXPECT_NE(code.extract_data(cw), data);
+    }
+  }
+  // The vast majority of over-weight patterns must be detected.
+  EXPECT_GE(detected, trials * 3 / 4);
+}
+
+TEST(BchCode, ErrorsInParityAreCorrected) {
+  Rng rng(4);
+  const BchCode code(GaloisField::gf13(), 4, 512);
+  const auto data = random_bits(rng, code.data_bits());
+  auto cw = code.encode(data);
+  cw[0] ^= 1;  // parity bit 0
+  cw[1] ^= 1;
+  const auto res = code.decode(cw);
+  EXPECT_EQ(res.status, DecodeStatus::kCorrected);
+  EXPECT_EQ(res.corrected, 2u);
+  EXPECT_EQ(code.extract_data(cw), data);
+}
+
+TEST(BchCode, SmallFieldCode) {
+  // GF(2^4): n=15, t=2 -> the classic (15, 7) BCH code.
+  const GaloisField gf(4, 0b10011);
+  const BchCode code(gf, 2, 7);
+  EXPECT_EQ(code.parity_bits(), 8u);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto data = random_bits(rng, 7);
+    auto cw = code.encode(data);
+    inject(rng, cw, 2);
+    const auto res = code.decode(cw);
+    ASSERT_EQ(res.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(code.extract_data(cw), data);
+  }
+}
+
+TEST(BchCode, AllZeroAndAllOneData) {
+  const BchCode code(GaloisField::gf13(), 4, 128);
+  std::vector<std::uint8_t> zeros(code.data_bits(), 0);
+  auto cw = code.encode(zeros);
+  // All-zero data encodes to the all-zero codeword.
+  for (const auto bit : cw) EXPECT_EQ(bit, 0);
+  EXPECT_EQ(code.decode(cw).status, DecodeStatus::kClean);
+
+  std::vector<std::uint8_t> ones(code.data_bits(), 1);
+  auto cw1 = code.encode(ones);
+  Rng rng(6);
+  inject(rng, cw1, 4);
+  EXPECT_EQ(code.decode(cw1).status, DecodeStatus::kCorrected);
+  EXPECT_EQ(code.extract_data(cw1), ones);
+}
+
+}  // namespace
+}  // namespace ppssd::ecc

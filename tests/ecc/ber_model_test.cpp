@@ -1,0 +1,85 @@
+#include "ecc/ber_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace ppssd::ecc {
+namespace {
+
+BerModel default_model() { return BerModel(SsdConfig{}.ber); }
+
+TEST(BerModel, Figure2AnchorsMatch) {
+  const BerModel model = default_model();
+  // Paper/Zhang [19]: at 4000 P/E, conventional 2.8e-4, partial 3.8e-4.
+  EXPECT_NEAR(model.conventional_ber(4000), 2.8e-4, 1e-6);
+  EXPECT_NEAR(model.partial_ber(4000, 4), 3.8e-4, 0.1e-4);
+}
+
+TEST(BerModel, MonotoneInPeCycles) {
+  const BerModel model = default_model();
+  double prev = 0.0;
+  for (std::uint32_t pe = 0; pe <= 12000; pe += 500) {
+    const double ber = model.conventional_ber(pe);
+    EXPECT_GT(ber, prev);
+    prev = ber;
+  }
+}
+
+TEST(BerModel, PartialGapWidensWithWear) {
+  const BerModel model = default_model();
+  double prev_gap = 0.0;
+  for (std::uint32_t pe = 1000; pe <= 12000; pe += 1000) {
+    const double gap =
+        model.partial_ber(pe, 4) - model.conventional_ber(pe);
+    EXPECT_GT(gap, prev_gap) << "pe=" << pe;
+    prev_gap = gap;
+  }
+}
+
+TEST(BerModel, SlcFactorScalesSlcModePages) {
+  // Default: SLC-mode pages are MLC cells in one-bit mode; equal base BER.
+  const BerModel model = default_model();
+  nand::DisturbSnapshot slc{CellMode::kSlc, 4000, 0, 0};
+  nand::DisturbSnapshot mlc{CellMode::kMlc, 4000, 0, 0};
+  EXPECT_DOUBLE_EQ(model.raw_ber(slc), model.raw_ber(mlc));
+
+  // A non-unit factor scales only the SLC-mode curve.
+  BerConfig cfg = SsdConfig{}.ber;
+  cfg.slc_factor = 0.25;
+  const BerModel scaled(cfg);
+  EXPECT_DOUBLE_EQ(scaled.raw_ber(slc), 0.25 * scaled.raw_ber(mlc));
+  EXPECT_DOUBLE_EQ(scaled.raw_ber(mlc), model.raw_ber(mlc));
+}
+
+TEST(BerModel, DisturbIncreasesBer) {
+  const BerModel model = default_model();
+  nand::DisturbSnapshot base{CellMode::kSlc, 4000, 0, 0};
+  nand::DisturbSnapshot in_page{CellMode::kSlc, 4000, 2, 0};
+  nand::DisturbSnapshot neighbor{CellMode::kSlc, 4000, 0, 5};
+  EXPECT_GT(model.raw_ber(in_page), model.raw_ber(base));
+  EXPECT_GT(model.raw_ber(neighbor), model.raw_ber(base));
+}
+
+TEST(BerModel, InPageDisturbDominatesNeighbor) {
+  // One in-page disturb event must hurt more than one neighbour event —
+  // the core of the paper's argument for intra-page update.
+  const BerModel model = default_model();
+  nand::DisturbSnapshot in_page{CellMode::kSlc, 4000, 1, 0};
+  nand::DisturbSnapshot neighbor{CellMode::kSlc, 4000, 0, 1};
+  EXPECT_GT(model.raw_ber(in_page), model.raw_ber(neighbor));
+}
+
+TEST(BerModel, BerNeverExceedsHalf) {
+  const BerModel model = default_model();
+  nand::DisturbSnapshot extreme{CellMode::kMlc, 4'000'000, 200, 60000};
+  EXPECT_LE(model.raw_ber(extreme), 0.5);
+}
+
+TEST(BerModel, FreshDeviceHasFloor) {
+  const BerModel model = default_model();
+  EXPECT_GT(model.conventional_ber(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ppssd::ecc

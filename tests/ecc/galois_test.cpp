@@ -1,0 +1,105 @@
+#include "ecc/galois.h"
+
+#include <gtest/gtest.h>
+
+namespace ppssd::ecc {
+namespace {
+
+// GF(2^4) with x^4 + x + 1 — small enough to verify exhaustively.
+GaloisField gf4() { return GaloisField(4, 0b10011); }
+
+TEST(GaloisField, BasicProperties) {
+  const GaloisField gf = gf4();
+  EXPECT_EQ(gf.m(), 4u);
+  EXPECT_EQ(gf.n(), 15u);
+  EXPECT_EQ(gf.exp(0), 1u);
+  EXPECT_EQ(gf.log(1), 0u);
+}
+
+TEST(GaloisField, ExpLogRoundTrip) {
+  const GaloisField gf = gf4();
+  for (std::uint32_t i = 0; i < gf.n(); ++i) {
+    EXPECT_EQ(gf.log(gf.exp(i)), i);
+  }
+  for (std::uint32_t x = 1; x <= gf.n(); ++x) {
+    EXPECT_EQ(gf.exp(gf.log(x)), x);
+  }
+}
+
+TEST(GaloisField, MultiplicationTableProperties) {
+  const GaloisField gf = gf4();
+  for (std::uint32_t a = 0; a <= gf.n(); ++a) {
+    EXPECT_EQ(gf.mul(a, 0), 0u);
+    EXPECT_EQ(gf.mul(0, a), 0u);
+    EXPECT_EQ(gf.mul(a, 1), a);
+    for (std::uint32_t b = 1; b <= gf.n(); ++b) {
+      EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+      if (a != 0) {
+        EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+      }
+    }
+  }
+}
+
+TEST(GaloisField, InverseIsInverse) {
+  const GaloisField gf = gf4();
+  for (std::uint32_t a = 1; a <= gf.n(); ++a) {
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+  }
+}
+
+TEST(GaloisField, PowMatchesRepeatedMul) {
+  const GaloisField gf = gf4();
+  for (std::uint32_t a = 1; a <= gf.n(); ++a) {
+    std::uint32_t acc = 1;
+    for (std::uint64_t e = 0; e < 20; ++e) {
+      EXPECT_EQ(gf.pow(a, e), acc) << "a=" << a << " e=" << e;
+      acc = gf.mul(acc, a);
+    }
+  }
+}
+
+TEST(GaloisField, DistributivityExhaustive) {
+  const GaloisField gf = gf4();
+  for (std::uint32_t a = 0; a <= gf.n(); ++a) {
+    for (std::uint32_t b = 0; b <= gf.n(); ++b) {
+      for (std::uint32_t c = 0; c <= gf.n(); c += 3) {
+        EXPECT_EQ(gf.mul(a, GaloisField::add(b, c)),
+                  GaloisField::add(gf.mul(a, b), gf.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, Gf13IsWellFormed) {
+  const GaloisField& gf = GaloisField::gf13();
+  EXPECT_EQ(gf.n(), 8191u);
+  // alpha^n == alpha^0 == 1 (full multiplicative order).
+  EXPECT_EQ(gf.exp(gf.n()), 1u);
+  // Spot-check inverses in the big field.
+  for (std::uint32_t a : {1u, 2u, 1234u, 8000u}) {
+    EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+  }
+}
+
+TEST(GfPoly, DegreeAndEval) {
+  const GaloisField gf = gf4();
+  // p(x) = 3 + x^2 over GF(16).
+  GfPoly p{{3, 0, 1}};
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_EQ(p.eval(gf, 0), 3u);
+  // p(1) = 3 + 1 = 2 (XOR addition).
+  EXPECT_EQ(p.eval(gf, 1), 2u);
+
+  GfPoly zero{{0, 0}};
+  EXPECT_EQ(zero.degree(), -1);
+}
+
+TEST(GaloisFieldDeathTest, LogZeroAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const GaloisField gf = gf4();
+  EXPECT_DEATH(gf.log(0), "log of zero");
+}
+
+}  // namespace
+}  // namespace ppssd::ecc

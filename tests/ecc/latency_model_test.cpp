@@ -1,0 +1,51 @@
+#include "ecc/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace ppssd::ecc {
+namespace {
+
+EccLatencyModel default_model() { return EccLatencyModel(SsdConfig{}.ecc); }
+
+TEST(EccLatency, BoundsRespected) {
+  const EccLatencyModel model = default_model();
+  EXPECT_EQ(model.decode_time(0.0), model.config().min_decode);
+  // A hopelessly noisy read saturates at the max decode time.
+  EXPECT_EQ(model.decode_time(0.5), model.config().max_decode);
+}
+
+TEST(EccLatency, MonotoneInBer) {
+  const EccLatencyModel model = default_model();
+  SimTime prev = 0;
+  for (double ber = 0.0; ber < 2e-3; ber += 1e-4) {
+    const SimTime t = model.decode_time(ber);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(EccLatency, ExpectedErrorsArithmetic) {
+  const EccLatencyModel model = default_model();
+  // 4 KiB codeword = 32768 bits; at BER 1e-3 that's ~32.8 expected errors.
+  EXPECT_NEAR(model.expected_errors(1e-3), 32.768, 1e-9);
+}
+
+TEST(EccLatency, PaperScaleMagnitude) {
+  const EccLatencyModel model = default_model();
+  // At the paper's 4000 P/E MLC BER (2.8e-4 -> ~9.2 errors vs t=40) the
+  // decode time must sit strictly between min and max.
+  const SimTime t = model.decode_time(2.8e-4);
+  EXPECT_GT(t, model.config().min_decode);
+  EXPECT_LT(t, model.config().max_decode);
+}
+
+TEST(EccLatency, MultiCodewordScalesLinearly) {
+  const EccLatencyModel model = default_model();
+  const SimTime one = model.decode_time(1e-4);
+  EXPECT_EQ(model.decode_time(1e-4, 4), one * 4);
+}
+
+}  // namespace
+}  // namespace ppssd::ecc

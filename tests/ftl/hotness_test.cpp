@@ -1,0 +1,48 @@
+#include "ftl/hotness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ppssd::ftl {
+namespace {
+
+TEST(UpdateTracker, FreshTrackerIsCold) {
+  UpdateTracker tracker(100);
+  EXPECT_FALSE(tracker.ever_written(0));
+  EXPECT_FALSE(tracker.is_hot(0));
+  EXPECT_EQ(tracker.hot_fraction(), 0.0);
+}
+
+TEST(UpdateTracker, HotThresholdMatchesPaper) {
+  // Table 3 counts an address hot at >= 4 requests.
+  UpdateTracker tracker(10);
+  for (int i = 0; i < 3; ++i) tracker.record_write(5, 0);
+  EXPECT_FALSE(tracker.is_hot(5));
+  tracker.record_write(5, 0);
+  EXPECT_TRUE(tracker.is_hot(5));
+}
+
+TEST(UpdateTracker, HotFraction) {
+  UpdateTracker tracker(10);
+  for (int i = 0; i < 5; ++i) tracker.record_write(0, 0);  // hot
+  tracker.record_write(1, 0);                              // cold
+  tracker.record_write(2, 0);                              // cold
+  tracker.record_write(3, 0);                              // cold
+  EXPECT_DOUBLE_EQ(tracker.hot_fraction(), 0.25);
+}
+
+TEST(UpdateTracker, LastWriteTimeTracked) {
+  UpdateTracker tracker(4);
+  tracker.record_write(2, ms_to_ns(1234.0));
+  EXPECT_EQ(tracker.last_write_ms(2), 1234u);
+}
+
+TEST(UpdateTracker, CountSaturates) {
+  UpdateTracker tracker(1);
+  for (int i = 0; i < 300; ++i) tracker.record_write(0, 0);
+  EXPECT_EQ(tracker.write_count(0), 255);
+}
+
+}  // namespace
+}  // namespace ppssd::ftl

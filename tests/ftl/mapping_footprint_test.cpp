@@ -1,0 +1,76 @@
+#include "ftl/mapping_footprint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace ppssd::ftl {
+namespace {
+
+MappingFootprint paper_footprint() {
+  static const SsdConfig cfg = SsdConfig::paper();
+  static const nand::Geometry geom(cfg.geometry, cfg.cache.slc_ratio);
+  return MappingFootprint(geom);
+}
+
+TEST(MappingFootprint, BaselineIsPurePageMap) {
+  const auto r = paper_footprint().baseline();
+  EXPECT_GT(r.base_bytes, 0u);
+  EXPECT_EQ(r.scheme_extra, 0u);
+  EXPECT_EQ(r.aux_bytes, 0u);
+  EXPECT_DOUBLE_EQ(r.normalized(), 1.0);
+}
+
+TEST(MappingFootprint, MgaOverheadMatchesPaperShape) {
+  const auto fp = paper_footprint();
+  const auto mga = fp.mga();
+  // Paper: MGA needs ~23.7% more than Baseline.
+  EXPECT_GT(mga.normalized(), 1.15);
+  EXPECT_LT(mga.normalized(), 1.35);
+}
+
+TEST(MappingFootprint, IpuOverheadTiny) {
+  const auto fp = paper_footprint();
+  const auto ipu = fp.ipu();
+  // Paper: IPU needs ~0.84% more than Baseline.
+  EXPECT_GT(ipu.normalized(), 1.0);
+  EXPECT_LT(ipu.normalized(), 1.02);
+}
+
+TEST(MappingFootprint, Ordering) {
+  const auto fp = paper_footprint();
+  EXPECT_LT(fp.baseline().mapping_total(), fp.ipu().mapping_total());
+  EXPECT_LT(fp.ipu().mapping_total(), fp.mga().mapping_total());
+}
+
+TEST(MappingFootprint, IpuAuxMatchesSection441) {
+  // Paper: 2-bit labels for 3276 SLC blocks (~820 B) + 4 B IS' per SLC
+  // page (819.2 KB) at paper scale.
+  const auto ipu = paper_footprint().ipu();
+  const double kib = static_cast<double>(ipu.aux_bytes) / 1024.0;
+  EXPECT_GT(kib, 700.0);
+  EXPECT_LT(kib, 950.0);
+}
+
+TEST(MappingFootprint, BitsHelpers) {
+  const auto fp = paper_footprint();
+  // 65536 blocks * (26/512 SLC : 64p, else 128p) physical pages ~ 8.2M:
+  // needs 23-24 bits.
+  EXPECT_GE(fp.ppn_bits(), 23u);
+  EXPECT_LE(fp.ppn_bits(), 24u);
+  EXPECT_GE(fp.lsn_bits(), 24u);
+  EXPECT_LE(fp.lsn_bits(), 26u);
+}
+
+TEST(MappingFootprint, ScalesWithDevice) {
+  const SsdConfig small = SsdConfig::scaled(1024);
+  const nand::Geometry geom(small.geometry, small.cache.slc_ratio);
+  const MappingFootprint fp(geom);
+  EXPECT_LT(fp.baseline().base_bytes, paper_footprint().baseline().base_bytes);
+  // Normalised overheads stay in the same bands regardless of scale.
+  EXPECT_GT(fp.mga().normalized(), 1.1);
+  EXPECT_LT(fp.ipu().normalized(), 1.03);
+}
+
+}  // namespace
+}  // namespace ppssd::ftl

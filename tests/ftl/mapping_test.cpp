@@ -1,0 +1,73 @@
+#include "ftl/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace ppssd::ftl {
+namespace {
+
+TEST(DeviceMap, StartsUnmapped) {
+  DeviceMap map(100);
+  EXPECT_EQ(map.logical_subpages(), 100u);
+  EXPECT_EQ(map.mapped_count(), 0u);
+  for (Lsn lsn = 0; lsn < 100; ++lsn) {
+    EXPECT_FALSE(map.mapped(lsn));
+    EXPECT_FALSE(map.lookup(lsn).valid());
+  }
+}
+
+TEST(DeviceMap, SetLookupClearRoundTrip) {
+  DeviceMap map(10);
+  const PhysicalAddress addr{42, 7, 3};
+  map.set(5, addr);
+  EXPECT_TRUE(map.mapped(5));
+  EXPECT_EQ(map.lookup(5), addr);
+  EXPECT_EQ(map.mapped_count(), 1u);
+
+  map.clear(5);
+  EXPECT_FALSE(map.mapped(5));
+  EXPECT_EQ(map.mapped_count(), 0u);
+}
+
+TEST(DeviceMapDeathTest, DoubleSetAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DeviceMap map(10);
+  map.set(1, PhysicalAddress{1, 1, 1});
+  EXPECT_DEATH(map.set(1, PhysicalAddress{2, 2, 2}), "already mapped");
+}
+
+TEST(DeviceMapDeathTest, ClearUnmappedAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DeviceMap map(10);
+  EXPECT_DEATH(map.clear(3), "unmapped");
+}
+
+TEST(DeviceMap, ManyEntries) {
+  DeviceMap map(10000);
+  for (Lsn lsn = 0; lsn < 10000; lsn += 7) {
+    map.set(lsn, PhysicalAddress{static_cast<BlockId>(lsn / 64),
+                                 static_cast<PageId>(lsn % 64),
+                                 static_cast<SubpageId>(lsn % 4)});
+  }
+  for (Lsn lsn = 0; lsn < 10000; ++lsn) {
+    if (lsn % 7 == 0) {
+      const auto addr = map.lookup(lsn);
+      EXPECT_EQ(addr.block, lsn / 64);
+      EXPECT_EQ(addr.page, lsn % 64);
+      EXPECT_EQ(addr.subpage, lsn % 4);
+    } else {
+      EXPECT_FALSE(map.mapped(lsn));
+    }
+  }
+}
+
+TEST(DeviceMap, RemapAfterClear) {
+  DeviceMap map(4);
+  map.set(0, PhysicalAddress{1, 2, 3});
+  map.clear(0);
+  map.set(0, PhysicalAddress{4, 5, 2});
+  EXPECT_EQ(map.lookup(0).block, 4u);
+  EXPECT_EQ(map.mapped_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ppssd::ftl

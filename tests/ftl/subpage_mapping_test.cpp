@@ -1,0 +1,113 @@
+#include "ftl/subpage_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace ppssd::ftl {
+namespace {
+
+nand::Geometry small_geometry() {
+  const SsdConfig cfg = SsdConfig::scaled(1024);
+  return nand::Geometry(cfg.geometry, cfg.cache.slc_ratio);
+}
+
+TEST(SecondLevelTable, SetClearLookup) {
+  const auto geom = small_geometry();
+  SecondLevelTable table(geom);
+  EXPECT_EQ(table.live_entries(), 0u);
+  EXPECT_EQ(table.capacity(),
+            static_cast<std::uint64_t>(geom.slc_block_count()) * 64 * 4);
+
+  const PhysicalAddress addr{0, 5, 2};
+  table.set(geom, addr, 1234);
+  EXPECT_EQ(table.lookup(geom, addr), 1234u);
+  EXPECT_EQ(table.live_entries(), 1u);
+
+  table.clear(geom, addr);
+  EXPECT_EQ(table.lookup(geom, addr), kInvalidLsn);
+  EXPECT_EQ(table.live_entries(), 0u);
+}
+
+TEST(SecondLevelTableDeathTest, DoubleSetAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto geom = small_geometry();
+  SecondLevelTable table(geom);
+  table.set(geom, PhysicalAddress{0, 0, 0}, 1);
+  EXPECT_DEATH(table.set(geom, PhysicalAddress{0, 0, 0}, 2), "occupied");
+}
+
+TEST(SecondLevelTable, ClearBlockDropsAllSlots) {
+  const auto geom = small_geometry();
+  SecondLevelTable table(geom);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      table.set(geom,
+                PhysicalAddress{0, static_cast<PageId>(p),
+                                static_cast<SubpageId>(s)},
+                p * 4 + s);
+    }
+  }
+  EXPECT_EQ(table.live_entries(), 12u);
+  table.clear_block(geom, 0);
+  EXPECT_EQ(table.live_entries(), 0u);
+}
+
+TEST(SecondLevelTable, DistinctBlocksDoNotCollide) {
+  const auto geom = small_geometry();
+  SecondLevelTable table(geom);
+  const BlockId second_slc = geom.slc_block_at(1);
+  table.set(geom, PhysicalAddress{0, 0, 0}, 111);
+  table.set(geom, PhysicalAddress{second_slc, 0, 0}, 222);
+  EXPECT_EQ(table.lookup(geom, PhysicalAddress{0, 0, 0}), 111u);
+  EXPECT_EQ(table.lookup(geom, PhysicalAddress{second_slc, 0, 0}), 222u);
+}
+
+TEST(IpuOffsetTable, OpenUpdateClear) {
+  const auto geom = small_geometry();
+  IpuOffsetTable table(geom);
+  table.open_page(geom, 0, 3, /*extent_base=*/400, /*extent_len=*/2,
+                  /*offset=*/0);
+  EXPECT_EQ(table.live_pages(), 1u);
+  const auto& tag = table.lookup(geom, 0, 3);
+  EXPECT_EQ(tag.extent_base, 400u);
+  EXPECT_EQ(tag.extent_len, 2);
+  EXPECT_EQ(tag.latest_offset, 0);
+
+  table.update_offset(geom, 0, 3, 2);
+  EXPECT_EQ(table.lookup(geom, 0, 3).latest_offset, 2);
+
+  table.clear_page(geom, 0, 3);
+  EXPECT_EQ(table.live_pages(), 0u);
+  EXPECT_EQ(table.lookup(geom, 0, 3).extent_base, kInvalidLsn);
+}
+
+TEST(IpuOffsetTableDeathTest, DoubleOpenAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto geom = small_geometry();
+  IpuOffsetTable table(geom);
+  table.open_page(geom, 0, 0, 1, 1, 0);
+  EXPECT_DEATH(table.open_page(geom, 0, 0, 2, 1, 0), "already has");
+}
+
+TEST(IpuOffsetTable, ClearBlock) {
+  const auto geom = small_geometry();
+  IpuOffsetTable table(geom);
+  for (PageId p = 0; p < 5; ++p) {
+    table.open_page(geom, 0, p, p * 10, 1, 0);
+  }
+  EXPECT_EQ(table.live_pages(), 5u);
+  table.clear_block(geom, 0);
+  EXPECT_EQ(table.live_pages(), 0u);
+}
+
+TEST(IpuOffsetTable, ClearingEmptyPageIsIdempotent) {
+  const auto geom = small_geometry();
+  IpuOffsetTable table(geom);
+  table.clear_page(geom, 0, 0);
+  table.clear_page(geom, 0, 0);
+  EXPECT_EQ(table.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace ppssd::ftl

@@ -1,0 +1,115 @@
+// End-to-end integration: full synthetic replays through every scheme,
+// checking the paper's qualitative relationships on a small device.
+#include <gtest/gtest.h>
+
+#include "sim/replayer.h"
+#include "sim/ssd.h"
+#include "trace/profiles.h"
+#include "trace/synthetic.h"
+
+namespace ppssd {
+namespace {
+
+struct RunOutcome {
+  sim::ReplayResult replay;
+  cache::SchemeMetrics metrics;
+  nand::ArrayCounters counters;
+};
+
+RunOutcome run(cache::SchemeKind kind, const char* trace, double scale) {
+  const SsdConfig cfg = SsdConfig::scaled(2048);
+  sim::Ssd ssd(cfg, kind);
+  trace::SyntheticWorkload workload(trace::profile_by_name(trace),
+                                    ssd.logical_bytes(), scale);
+  sim::Replayer replayer(ssd);
+  RunOutcome out;
+  out.replay = replayer.replay(workload);
+  ssd.drain_background(out.replay.makespan);
+  ssd.scheme().check_consistency();
+  out.metrics = ssd.scheme().metrics();
+  out.counters = ssd.scheme().array().counters();
+  return out;
+}
+
+TEST(EndToEnd, AllSchemesSurviveEveryTraceProfile) {
+  for (const auto& profile : trace::paper_profiles()) {
+    for (const auto kind :
+         {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
+          cache::SchemeKind::kIpu}) {
+      const auto out = run(kind, profile.name.c_str(), 0.002);
+      EXPECT_GT(out.replay.requests, 0u)
+          << profile.name << "/" << cache::scheme_name(kind);
+    }
+  }
+}
+
+TEST(EndToEnd, BaselineNeverPartialPrograms) {
+  const auto out = run(cache::SchemeKind::kBaseline, "ts0", 0.02);
+  EXPECT_EQ(out.counters.partial_program_ops, 0u);
+}
+
+TEST(EndToEnd, PartialProgrammingSchemesUseIt) {
+  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.02);
+  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.02);
+  EXPECT_GT(mga.counters.partial_program_ops, 0u);
+  EXPECT_GT(ipu.counters.partial_program_ops, 0u);
+  EXPECT_GT(ipu.metrics.intra_page_updates, 0u);
+}
+
+TEST(EndToEnd, GcUtilizationOrderingMatchesFigure9) {
+  // Baseline (fragmented) < IPU (reserved slots) < MGA (aggregated).
+  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
+  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.03);
+  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  ASSERT_GT(base.metrics.slc_gc_count, 0u);
+  ASSERT_GT(mga.metrics.slc_gc_count, 0u);
+  ASSERT_GT(ipu.metrics.slc_gc_count, 0u);
+  EXPECT_LT(base.metrics.gc_utilization.mean(),
+            ipu.metrics.gc_utilization.mean());
+  EXPECT_LT(ipu.metrics.gc_utilization.mean(),
+            mga.metrics.gc_utilization.mean());
+}
+
+TEST(EndToEnd, SlcEraseOrderingMatchesFigure10a) {
+  // Baseline erases the SLC cache most; MGA least among the three.
+  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
+  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.03);
+  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  EXPECT_GT(base.counters.slc_erases, ipu.counters.slc_erases);
+  EXPECT_GT(ipu.counters.slc_erases, mga.counters.slc_erases);
+}
+
+TEST(EndToEnd, ReadBerOrderingMatchesFigure8) {
+  // MGA's in-page disturb on shared pages raises its read BER above
+  // Baseline's; IPU stays close to Baseline.
+  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
+  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.03);
+  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  EXPECT_GT(mga.metrics.read_ber.mean(), base.metrics.read_ber.mean());
+  EXPECT_GT(mga.metrics.read_ber.mean(), ipu.metrics.read_ber.mean());
+  EXPECT_NEAR(ipu.metrics.read_ber.mean() / base.metrics.read_ber.mean(),
+              1.0, 0.05);
+}
+
+TEST(EndToEnd, IpuKeepsHotWritesInSlc) {
+  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
+  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  // Figure 6's shape at small scale: fewer MLC subpage writes under IPU.
+  EXPECT_LT(ipu.metrics.mlc_subpages_written,
+            base.metrics.mlc_subpages_written);
+}
+
+TEST(EndToEnd, IpuLevelDistributionPlausible) {
+  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  const auto& lv = ipu.metrics.level_subpages;
+  const double total = static_cast<double>(lv[1] + lv[2] + lv[3]);
+  ASSERT_GT(total, 0.0);
+  // Figure 7: Work dominates, Hot is substantial, Monitor is the
+  // transit level (smallest).
+  EXPECT_GT(lv[1] / total, 0.3);
+  EXPECT_GT(lv[3] / total, 0.05);
+  EXPECT_LT(lv[2] / total, lv[1] / total);
+}
+
+}  // namespace
+}  // namespace ppssd

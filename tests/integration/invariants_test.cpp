@@ -1,0 +1,174 @@
+// Randomized property testing: drive every scheme with adversarial
+// random workloads and verify the DESIGN.md §5 invariants plus full
+// read-your-writes data integrity against a shadow model.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/ssd.h"
+
+namespace ppssd {
+namespace {
+
+struct Shadow {
+  // lsn -> expected version.
+  std::unordered_map<Lsn, std::uint32_t> versions;
+};
+
+struct FuzzParams {
+  cache::SchemeKind kind;
+  std::uint64_t seed;
+  std::uint64_t footprint_subpages;  // address locality knob
+  double write_ratio;
+};
+
+class SchemeFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchemeFuzz, RandomWorkloadKeepsAllInvariants) {
+  const auto [scheme_idx, variant] = GetParam();
+  const auto kind = static_cast<cache::SchemeKind>(scheme_idx);
+
+  SsdConfig cfg = SsdConfig::scaled(1024);
+  cfg.cache.gc_interleave_ops = static_cast<std::uint32_t>(variant);  // 0,1,2
+  sim::Ssd ssd(cfg, kind);
+
+  // Tight footprint for variant 0 (heavy update/GC churn), wide for
+  // others (heavy cold flow).
+  const std::uint64_t footprint =
+      variant == 0 ? 20'000 : ssd.scheme()
+                                      .array()
+                                      .geometry()
+                                      .logical_subpages() /
+                                  2;
+  Rng rng(1000 + scheme_idx * 10 + static_cast<std::uint64_t>(variant));
+  Shadow shadow;
+  SimTime now = 0;
+
+  for (int iter = 0; iter < 12'000; ++iter) {
+    now += static_cast<SimTime>(rng.exponential(us_to_ns(150.0)));
+    const Lsn lsn = rng.next_below(footprint);
+    const auto count =
+        static_cast<std::uint32_t>(1 + rng.next_below(6));  // up to 24 KiB
+    if (rng.chance(0.7)) {
+      ssd.submit(OpType::kWrite, lsn * kSubpageBytes, count * kSubpageBytes,
+                 now);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ++shadow.versions[lsn + i];
+      }
+    } else {
+      ssd.submit(OpType::kRead, lsn * kSubpageBytes, count * kSubpageBytes,
+                 now);
+    }
+
+    if (iter % 4000 == 3999) {
+      ssd.scheme().check_consistency();
+    }
+  }
+  ssd.drain_background(now);
+  ssd.scheme().check_consistency();
+
+  // Read-your-writes: every written subpage is mapped and carries the
+  // expected version (check_consistency ties the stored copy to it).
+  for (const auto& [lsn, version] : shadow.versions) {
+    EXPECT_TRUE(ssd.scheme().device_map().mapped(lsn)) << "lsn " << lsn;
+    EXPECT_EQ(ssd.scheme().version_of(lsn), version) << "lsn " << lsn;
+  }
+
+  // Per-page partial-program limit held everywhere.
+  const auto& geom = ssd.scheme().array().geometry();
+  for (BlockId b = 0; b < geom.total_blocks(); ++b) {
+    const auto& blk = ssd.scheme().array().block(b);
+    for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
+      EXPECT_LE(blk.page(static_cast<PageId>(p)).program_ops(),
+                cfg.cache.max_partial_programs);
+    }
+  }
+}
+
+std::string fuzz_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static constexpr const char* kNames[] = {"Baseline", "MGA", "IPU"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_interleave" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndGcModes, SchemeFuzz,
+    ::testing::Combine(::testing::Values(0, 1, 2),   // Baseline, MGA, IPU
+                       ::testing::Values(0, 1, 2)),  // gc interleave
+    fuzz_name);
+
+TEST(Invariants, SequentialOverwriteStress) {
+  // Repeated sequential overwrite of one region: maximal update pressure.
+  SsdConfig cfg = SsdConfig::scaled(1024);
+  cfg.cache.gc_interleave_ops = 0;
+  sim::Ssd ssd(cfg, cache::SchemeKind::kIpu);
+  SimTime now = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (Lsn lsn = 0; lsn < 4096; lsn += 4) {
+      ssd.submit(OpType::kWrite, lsn * kSubpageBytes, 4 * kSubpageBytes,
+                 now += ms_to_ns(0.4));
+    }
+  }
+  ssd.scheme().check_consistency();
+  for (Lsn lsn = 0; lsn < 4096; ++lsn) {
+    EXPECT_EQ(ssd.scheme().version_of(lsn), 30u);
+  }
+}
+
+TEST(Invariants, WearAccumulatesOnlyThroughErase) {
+  SsdConfig cfg = SsdConfig::scaled(1024);
+  cfg.cache.gc_interleave_ops = 0;
+  sim::Ssd ssd(cfg, cache::SchemeKind::kBaseline);
+  SimTime now = 0;
+  for (Lsn lsn = 0; lsn < 60'000; lsn += 2) {
+    ssd.submit(OpType::kWrite, lsn * kSubpageBytes, 2 * kSubpageBytes,
+               now += ms_to_ns(0.2));
+  }
+  const auto& geom = ssd.scheme().array().geometry();
+  std::uint64_t total_block_erases = 0;
+  for (BlockId b = 0; b < geom.total_blocks(); ++b) {
+    total_block_erases += ssd.scheme().array().block(b).erase_count();
+  }
+  const auto& c = ssd.scheme().array().counters();
+  EXPECT_EQ(total_block_erases, c.slc_erases + c.mlc_erases);
+  EXPECT_GT(c.slc_erases, 0u);
+}
+
+TEST(Invariants, MixedSchemesAgreeOnStoredData) {
+  // The same workload through all three schemes must produce identical
+  // logical contents (versions), whatever the physical layout.
+  SsdConfig cfg = SsdConfig::scaled(1024);
+  cfg.cache.gc_interleave_ops = 1;
+  std::vector<std::unique_ptr<sim::Ssd>> devices;
+  for (const auto kind :
+       {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
+        cache::SchemeKind::kIpu}) {
+    devices.push_back(std::make_unique<sim::Ssd>(cfg, kind));
+  }
+  Rng rng(77);
+  SimTime now = 0;
+  for (int iter = 0; iter < 8000; ++iter) {
+    now += us_to_ns(200.0);
+    const Lsn lsn = rng.next_below(30'000);
+    const auto count = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    for (auto& dev : devices) {
+      dev->submit(OpType::kWrite, lsn * kSubpageBytes,
+                  count * kSubpageBytes, now);
+    }
+  }
+  for (Lsn lsn = 0; lsn < 30'000; ++lsn) {
+    const auto v = devices[0]->scheme().version_of(lsn);
+    EXPECT_EQ(devices[1]->scheme().version_of(lsn), v);
+    EXPECT_EQ(devices[2]->scheme().version_of(lsn), v);
+  }
+  for (auto& dev : devices) {
+    dev->scheme().check_consistency();
+  }
+}
+
+}  // namespace
+}  // namespace ppssd

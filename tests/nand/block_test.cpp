@@ -1,0 +1,95 @@
+#include "nand/block.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ppssd::nand {
+namespace {
+
+SlotWrite w(SubpageId slot, Lsn lsn) { return SlotWrite{slot, lsn, 1}; }
+
+TEST(Block, Construction) {
+  Block slc(CellMode::kSlc, 64, 4);
+  EXPECT_EQ(slc.mode(), CellMode::kSlc);
+  EXPECT_EQ(slc.page_count(), 64u);
+  EXPECT_EQ(slc.total_subpages(), 256u);
+  EXPECT_EQ(slc.level(), BlockLevel::kWork);
+
+  Block mlc(CellMode::kMlc, 128, 4);
+  EXPECT_EQ(mlc.level(), BlockLevel::kHighDensity);
+}
+
+TEST(Block, SequentialFrontierAdvances) {
+  Block b(CellMode::kSlc, 4, 4);
+  EXPECT_EQ(b.write_frontier(), 0u);
+  const SlotWrite ws[] = {w(0, 1)};
+  b.program(0, ws, 0);
+  EXPECT_EQ(b.write_frontier(), 1u);
+  const SlotWrite ws2[] = {w(0, 2)};
+  b.program(1, ws2, 0);
+  EXPECT_EQ(b.write_frontier(), 2u);
+  EXPECT_TRUE(b.has_free_page());
+}
+
+TEST(BlockDeathTest, OutOfOrderFirstProgramAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Block b(CellMode::kSlc, 4, 4);
+  const SlotWrite ws[] = {w(0, 1)};
+  EXPECT_DEATH(b.program(2, ws, 0), "out-of-order");
+}
+
+TEST(Block, PartialProgramDoesNotAdvanceFrontier) {
+  Block b(CellMode::kSlc, 4, 4);
+  const SlotWrite first[] = {w(0, 1)};
+  b.program(0, first, 0);
+  const SlotWrite second[] = {w(1, 2)};
+  EXPECT_TRUE(b.program(0, second, 0));  // partial
+  EXPECT_EQ(b.write_frontier(), 1u);
+}
+
+TEST(Block, ValidInvalidCounters) {
+  Block b(CellMode::kSlc, 4, 4);
+  const SlotWrite ws[] = {w(0, 1), w(1, 2), w(2, 3)};
+  b.program(0, ws, 0);
+  EXPECT_EQ(b.valid_subpages(), 3u);
+  EXPECT_EQ(b.invalid_subpages(), 0u);
+  b.invalidate(0, 1);
+  EXPECT_EQ(b.valid_subpages(), 2u);
+  EXPECT_EQ(b.invalid_subpages(), 1u);
+  EXPECT_EQ(b.programmed_subpages(), 3u);
+}
+
+TEST(Block, EraseResetsAndCounts) {
+  Block b(CellMode::kSlc, 4, 4);
+  const SlotWrite ws[] = {w(0, 1)};
+  b.program(0, ws, 0);
+  b.invalidate(0, 0);
+  EXPECT_EQ(b.erase_count(), 0u);
+  b.erase(ms_to_ns(5.0));
+  EXPECT_EQ(b.erase_count(), 1u);
+  EXPECT_EQ(b.write_frontier(), 0u);
+  EXPECT_EQ(b.valid_subpages(), 0u);
+  EXPECT_EQ(b.invalid_subpages(), 0u);
+  EXPECT_EQ(b.last_erase_time(), ms_to_ns(5.0));
+  // Page 0 is programmable again.
+  b.program(0, ws, 0);
+  EXPECT_EQ(b.valid_subpages(), 1u);
+}
+
+TEST(Block, LevelLabelRoundTrip) {
+  Block b(CellMode::kSlc, 4, 4);
+  b.set_level(BlockLevel::kHot);
+  EXPECT_EQ(b.level(), BlockLevel::kHot);
+}
+
+TEST(Block, FullBlockHasNoFreePage) {
+  Block b(CellMode::kSlc, 2, 4);
+  const SlotWrite ws[] = {w(0, 1)};
+  b.program(0, ws, 0);
+  b.program(1, ws, 0);
+  EXPECT_FALSE(b.has_free_page());
+}
+
+}  // namespace
+}  // namespace ppssd::nand

@@ -1,0 +1,48 @@
+#include "nand/disturb.h"
+
+#include <gtest/gtest.h>
+
+namespace ppssd::nand {
+namespace {
+
+SlotWrite w(SubpageId slot, Lsn lsn) { return SlotWrite{slot, lsn, 1}; }
+
+TEST(Disturb, SnapshotTracksPartialPrograms) {
+  Block b(CellMode::kSlc, 8, 4);
+  const SlotWrite first[] = {w(0, 10)};
+  const SlotWrite second[] = {w(1, 11)};
+  const SlotWrite third[] = {w(2, 12)};
+  b.program(0, first, 0);
+  b.program(0, second, 0);
+  b.program(0, third, 0);
+
+  const auto snap0 = snapshot_disturb(b, 0, 0, 4000);
+  EXPECT_EQ(snap0.in_page_disturbs, 2u);
+  const auto snap2 = snapshot_disturb(b, 0, 2, 4000);
+  EXPECT_EQ(snap2.in_page_disturbs, 0u);
+}
+
+TEST(Disturb, PeIncludesBlockErases) {
+  Block b(CellMode::kMlc, 8, 4);
+  const SlotWrite a[] = {w(0, 1)};
+  b.program(0, a, 0);
+  b.invalidate(0, 0);
+  b.erase(0);
+  b.program(0, a, 0);
+  const auto snap = snapshot_disturb(b, 0, 0, 1000);
+  EXPECT_EQ(snap.pe_cycles, 1001u);
+  EXPECT_EQ(snap.mode, CellMode::kMlc);
+}
+
+TEST(Disturb, NeighborCountsRelativeToWrite) {
+  Block b(CellMode::kSlc, 8, 4);
+  const SlotWrite a[] = {w(0, 1)};
+  b.program(0, a, 0);
+  b.absorb_neighbor_program(0);
+  b.absorb_neighbor_program(0);
+  const auto snap = snapshot_disturb(b, 0, 0, 0);
+  EXPECT_EQ(snap.neighbor_disturbs, 2u);
+}
+
+}  // namespace
+}  // namespace ppssd::nand

@@ -1,0 +1,87 @@
+#include "nand/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace ppssd::nand {
+namespace {
+
+Geometry paper_geometry() {
+  const SsdConfig cfg = SsdConfig::paper();
+  return Geometry(cfg.geometry, cfg.cache.slc_ratio);
+}
+
+TEST(Geometry, PaperScaleBasics) {
+  const Geometry g = paper_geometry();
+  EXPECT_EQ(g.total_blocks(), 65536u);
+  EXPECT_EQ(g.planes(), 128u);
+  EXPECT_EQ(g.chips(), 32u);
+  EXPECT_EQ(g.blocks_per_plane(), 512u);
+  EXPECT_EQ(g.slc_blocks_per_plane(), 26u);  // ceil(512 * 0.05)
+  EXPECT_EQ(g.slc_block_count(), 26u * 128u);
+  EXPECT_EQ(g.subpages_per_page(), 4u);
+}
+
+TEST(Geometry, PagesPerBlockByMode) {
+  const Geometry g = paper_geometry();
+  EXPECT_EQ(g.pages_per_block(CellMode::kSlc), 64u);
+  EXPECT_EQ(g.pages_per_block(CellMode::kMlc), 128u);
+}
+
+TEST(Geometry, SlcRegionIsPlanePrefix) {
+  const Geometry g = paper_geometry();
+  for (std::uint32_t plane = 0; plane < g.planes(); plane += 17) {
+    const BlockId first = g.plane_first_block(plane);
+    for (std::uint32_t i = 0; i < g.blocks_per_plane(); ++i) {
+      EXPECT_EQ(g.is_slc_block(first + i), i < g.slc_blocks_per_plane());
+    }
+  }
+}
+
+TEST(Geometry, PlaneChipChannelMapping) {
+  const Geometry g = paper_geometry();
+  // Block 0 is in plane 0, chip 0, channel 0.
+  EXPECT_EQ(g.plane_of(0), 0u);
+  EXPECT_EQ(g.chip_of(0), 0u);
+  EXPECT_EQ(g.channel_of(0), 0u);
+  // Last block belongs to the last plane/chip.
+  const BlockId last = g.total_blocks() - 1;
+  EXPECT_EQ(g.plane_of(last), g.planes() - 1);
+  EXPECT_EQ(g.chip_of(last), g.chips() - 1);
+  // Every chip id is < chips, channel < channels.
+  for (BlockId b = 0; b < g.total_blocks(); b += 997) {
+    EXPECT_LT(g.chip_of(b), g.chips());
+    EXPECT_LT(g.channel_of(b), g.config().channels);
+  }
+}
+
+TEST(Geometry, SlcOrdinalRoundTrips) {
+  const Geometry g = paper_geometry();
+  for (std::uint32_t ord = 0; ord < g.slc_block_count(); ord += 13) {
+    const BlockId b = g.slc_block_at(ord);
+    EXPECT_TRUE(g.is_slc_block(b));
+    EXPECT_EQ(g.slc_ordinal(b), ord);
+  }
+}
+
+TEST(Geometry, LogicalCapacityBelowPhysical) {
+  const Geometry g = paper_geometry();
+  const std::uint64_t physical_mlc_subpages =
+      static_cast<std::uint64_t>(g.mlc_block_count()) *
+      g.pages_per_block(CellMode::kMlc) * g.subpages_per_page();
+  EXPECT_LT(g.logical_subpages(), physical_mlc_subpages);
+  EXPECT_GT(g.logical_subpages(), physical_mlc_subpages * 85 / 100);
+  // Whole logical pages only.
+  EXPECT_EQ(g.logical_subpages() % g.subpages_per_page(), 0u);
+}
+
+TEST(Geometry, ScaledConfigConsistent) {
+  const SsdConfig cfg = SsdConfig::scaled(4096);
+  const Geometry g(cfg.geometry, cfg.cache.slc_ratio);
+  EXPECT_EQ(g.blocks_per_plane(), 512u);
+  EXPECT_EQ(g.slc_blocks_per_plane(), 26u);
+}
+
+}  // namespace
+}  // namespace ppssd::nand

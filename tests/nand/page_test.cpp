@@ -1,0 +1,122 @@
+#include "nand/page.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ppssd::nand {
+namespace {
+
+SlotWrite w(SubpageId slot, Lsn lsn, std::uint32_t version = 1) {
+  return SlotWrite{slot, lsn, version};
+}
+
+TEST(Page, FreshPageState) {
+  Page p;
+  EXPECT_FALSE(p.programmed());
+  EXPECT_EQ(p.program_ops(), 0);
+  EXPECT_EQ(p.count(SubpageState::kFree, 4), 4u);
+  EXPECT_EQ(p.first_free(4), 0);
+}
+
+TEST(Page, FirstProgramIsConventional) {
+  Page p;
+  const SlotWrite writes[] = {w(0, 100), w(1, 101)};
+  EXPECT_FALSE(p.program(writes, 0));  // not partial
+  EXPECT_TRUE(p.programmed());
+  EXPECT_EQ(p.program_ops(), 1);
+  EXPECT_EQ(p.count(SubpageState::kValid, 4), 2u);
+  EXPECT_EQ(p.first_free(4), 2);
+  EXPECT_EQ(p.subpage(0).owner_lsn, 100u);
+  EXPECT_EQ(p.subpage(1).owner_lsn, 101u);
+}
+
+TEST(Page, SecondProgramIsPartial) {
+  Page p;
+  const SlotWrite first[] = {w(0, 100)};
+  const SlotWrite second[] = {w(1, 200)};
+  EXPECT_FALSE(p.program(first, 0));
+  EXPECT_TRUE(p.program(second, 10));
+  EXPECT_EQ(p.program_ops(), 2);
+}
+
+TEST(Page, InPageDisturbOnlyHitsEarlierData) {
+  Page p;
+  const SlotWrite a[] = {w(0, 1)};
+  const SlotWrite b[] = {w(1, 2)};
+  const SlotWrite c[] = {w(2, 3)};
+  p.program(a, 0);
+  p.program(b, 0);
+  p.program(c, 0);
+  // Subpage 0 saw two later partial programs, subpage 1 one, subpage 2 none.
+  EXPECT_EQ(p.in_page_disturbs(0), 2u);
+  EXPECT_EQ(p.in_page_disturbs(1), 1u);
+  EXPECT_EQ(p.in_page_disturbs(2), 0u);
+}
+
+TEST(Page, NeighborDisturbSnapshotting) {
+  Page p;
+  const SlotWrite a[] = {w(0, 1)};
+  p.absorb_neighbor_program();  // pre-write disturb is not charged
+  p.program(a, 0);
+  EXPECT_EQ(p.neighbor_disturbs(0), 0u);
+  p.absorb_neighbor_program();
+  p.absorb_neighbor_program();
+  EXPECT_EQ(p.neighbor_disturbs(0), 2u);
+
+  // A later-written subpage starts from the current count.
+  const SlotWrite b[] = {w(1, 2)};
+  p.program(b, 0);
+  EXPECT_EQ(p.neighbor_disturbs(1), 0u);
+  p.absorb_neighbor_program();
+  EXPECT_EQ(p.neighbor_disturbs(0), 3u);
+  EXPECT_EQ(p.neighbor_disturbs(1), 1u);
+}
+
+TEST(Page, InvalidateTransitions) {
+  Page p;
+  const SlotWrite a[] = {w(0, 1)};
+  p.program(a, 0);
+  p.invalidate(0);
+  EXPECT_EQ(p.count(SubpageState::kInvalid, 4), 1u);
+  EXPECT_EQ(p.count(SubpageState::kValid, 4), 0u);
+  // Invalidation does not free the slot.
+  EXPECT_EQ(p.first_free(4), 1);
+}
+
+TEST(PageDeathTest, DoubleProgramSameSlotAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Page p;
+  const SlotWrite a[] = {w(0, 1)};
+  p.program(a, 0);
+  const SlotWrite again[] = {w(0, 2)};
+  EXPECT_DEATH(p.program(again, 0), "write-once");
+}
+
+TEST(PageDeathTest, InvalidateFreeSlotAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Page p;
+  EXPECT_DEATH(p.invalidate(0), "not valid");
+}
+
+TEST(Page, WriteTimestampAndVersionStored) {
+  Page p;
+  const SlotWrite a[] = {w(2, 77, 9)};
+  p.program(a, ms_to_ns(123.0));
+  EXPECT_EQ(p.subpage(2).version, 9u);
+  EXPECT_EQ(p.subpage(2).write_time_ms, 123u);
+}
+
+TEST(Page, ResetClearsEverything) {
+  Page p;
+  const SlotWrite a[] = {w(0, 1)};
+  p.program(a, 0);
+  p.absorb_neighbor_program();
+  p.reset();
+  EXPECT_FALSE(p.programmed());
+  EXPECT_EQ(p.neighbor_programs(), 0);
+  EXPECT_EQ(p.count(SubpageState::kFree, 4), 4u);
+}
+
+}  // namespace
+}  // namespace ppssd::nand

@@ -1,0 +1,81 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppssd::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.push(30, 3);
+  q.push(10, 1);
+  q.push(20, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedHeapProperty) {
+  EventQueue<std::uint64_t> q;
+  Rng rng(3);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime t = rng.next_below(1'000'000);
+    times.push_back(t);
+    q.push(t, t);
+  }
+  std::sort(times.begin(), times.end());
+  for (const SimTime expected : times) {
+    EXPECT_EQ(q.pop().time, expected);
+  }
+}
+
+TEST(EventQueue, DrainUntil) {
+  EventQueue<int> q;
+  for (int i = 1; i <= 10; ++i) {
+    q.push(static_cast<SimTime>(i * 100), i);
+  }
+  int drained = 0;
+  q.drain_until(500, [&](const auto& ev) {
+    ++drained;
+    EXPECT_LE(ev.time, 500u);
+  });
+  EXPECT_EQ(drained, 5);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.top().time, 600u);
+}
+
+TEST(EventQueue, DrainUntilInclusive) {
+  EventQueue<int> q;
+  q.push(100, 1);
+  int drained = 0;
+  q.drain_until(100, [&](const auto&) { ++drained; });
+  EXPECT_EQ(drained, 1);
+}
+
+TEST(EventQueueDeathTest, PopEmptyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventQueue<int> q;
+  EXPECT_DEATH(q.pop(), "");
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(5, 5);
+  q.push(1, 1);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(3, 3);
+  q.push(7, 7);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_EQ(q.pop().payload, 5);
+  EXPECT_EQ(q.pop().payload, 7);
+}
+
+}  // namespace
+}  // namespace ppssd::sim

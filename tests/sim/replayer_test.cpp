@@ -1,0 +1,94 @@
+#include "sim/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ppssd::sim {
+namespace {
+
+SsdConfig cfg() { return SsdConfig::scaled(1024); }
+
+trace::TraceRecord rec(SimTime arrival, OpType op, std::uint64_t offset,
+                       std::uint32_t size) {
+  return trace::TraceRecord{arrival, op, offset, size};
+}
+
+TEST(Replayer, ReplaysAllRecords) {
+  Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  std::vector<trace::TraceRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(rec(ms_to_ns(i + 1.0), OpType::kWrite,
+                          static_cast<std::uint64_t>(i) * 16384, 4096));
+  }
+  trace::VectorTraceSource src(std::move(records));
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src);
+  EXPECT_EQ(result.requests, 100u);
+  EXPECT_EQ(result.latency.write_count(), 100u);
+  EXPECT_EQ(result.latency.read_count(), 0u);
+  EXPECT_GT(result.makespan, ms_to_ns(100.0));
+}
+
+TEST(Replayer, MaxRequestsLimit) {
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  std::vector<trace::TraceRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(rec(ms_to_ns(i + 1.0), OpType::kWrite, 0, 4096));
+  }
+  trace::VectorTraceSource src(std::move(records));
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src, 10);
+  EXPECT_EQ(result.requests, 10u);
+}
+
+TEST(Replayer, SeparatesReadAndWriteLatency) {
+  Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  std::vector<trace::TraceRecord> records;
+  records.push_back(rec(ms_to_ns(1.0), OpType::kWrite, 0, 16384));
+  records.push_back(rec(ms_to_ns(100.0), OpType::kRead, 0, 16384));
+  trace::VectorTraceSource src(std::move(records));
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src);
+  EXPECT_GT(result.latency.avg_write_ms(), result.latency.avg_read_ms());
+}
+
+TEST(Replayer, QueueDepthTracksOverlap) {
+  // Back-to-back arrivals while the device is busy -> queue builds.
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  std::vector<trace::TraceRecord> burst;
+  for (int i = 0; i < 64; ++i) {
+    burst.push_back(rec(1000 + i, OpType::kWrite,
+                        static_cast<std::uint64_t>(i) * 16384, 16384));
+  }
+  trace::VectorTraceSource src(std::move(burst));
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src);
+  EXPECT_GT(result.avg_queue_depth, 1.0);
+  EXPECT_GT(result.max_queue_depth, 2u);
+}
+
+TEST(Replayer, IdleArrivalsKeepQueueEmpty) {
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  std::vector<trace::TraceRecord> slow;
+  for (int i = 0; i < 20; ++i) {
+    slow.push_back(rec(ms_to_ns(100.0 * (i + 1)), OpType::kWrite,
+                       static_cast<std::uint64_t>(i) * 16384, 4096));
+  }
+  trace::VectorTraceSource src(std::move(slow));
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src);
+  EXPECT_DOUBLE_EQ(result.avg_queue_depth, 0.0);
+}
+
+TEST(Replayer, EmptySource) {
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  trace::VectorTraceSource src({});
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src);
+  EXPECT_EQ(result.requests, 0u);
+  EXPECT_EQ(result.makespan, 0u);
+}
+
+}  // namespace
+}  // namespace ppssd::sim

@@ -1,0 +1,184 @@
+#include "sim/service_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ppssd::sim {
+namespace {
+
+SsdConfig cfg() { return SsdConfig::scaled(1024); }
+
+cache::PhysOp read_op(std::uint32_t chip, std::uint32_t subpages = 1,
+                      double ber = 0.0, bool bg = false) {
+  cache::PhysOp op;
+  op.chip = chip;
+  op.channel = 0;
+  op.kind = cache::PhysOp::Kind::kRead;
+  op.mode = CellMode::kSlc;
+  op.subpages = subpages;
+  op.ber = ber;
+  op.background = bg;
+  return op;
+}
+
+cache::PhysOp program_op(std::uint32_t chip, CellMode mode,
+                         std::uint32_t subpages = 1, bool bg = false) {
+  cache::PhysOp op;
+  op.chip = chip;
+  op.channel = 0;
+  op.kind = cache::PhysOp::Kind::kProgram;
+  op.mode = mode;
+  op.subpages = subpages;
+  op.background = bg;
+  return op;
+}
+
+cache::PhysOp erase_op(std::uint32_t chip) {
+  cache::PhysOp op;
+  op.chip = chip;
+  op.channel = 0;
+  op.kind = cache::PhysOp::Kind::kErase;
+  op.background = true;
+  return op;
+}
+
+TEST(ServiceModel, SingleReadLatency) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {read_op(0)};
+  const auto out = sm.service(ops, 0);
+  // sense + transfer + min ECC decode (ber = 0).
+  EXPECT_EQ(out.foreground_end, c.timing.slc_read +
+                                    c.timing.transfer_per_subpage +
+                                    c.ecc.min_decode);
+}
+
+TEST(ServiceModel, SingleProgramLatency) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc)};
+  const auto out = sm.service(ops, 1000);
+  EXPECT_EQ(out.foreground_end,
+            1000 + c.timing.transfer_per_subpage + c.timing.slc_write);
+}
+
+TEST(ServiceModel, MlcOpsSlower) {
+  const SsdConfig c = cfg();
+  ServiceModel slc_model(c, 2, 2);
+  ServiceModel mlc_model(c, 2, 2);
+  const cache::PhysOp slc[] = {program_op(0, CellMode::kSlc)};
+  const cache::PhysOp mlc[] = {program_op(0, CellMode::kMlc)};
+  const auto s = slc_model.service(slc, 0);
+  const auto m = mlc_model.service(mlc, 0);
+  EXPECT_EQ(m.foreground_end - s.foreground_end,
+            c.timing.mlc_write - c.timing.slc_write);
+}
+
+TEST(ServiceModel, SameChipSerializes) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc),
+                               program_op(0, CellMode::kSlc)};
+  const auto out = sm.service(ops, 0);
+  EXPECT_GE(out.foreground_end, 2 * c.timing.slc_write);
+}
+
+TEST(ServiceModel, DifferentChipsParallel) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  cache::PhysOp a = program_op(0, CellMode::kSlc);
+  cache::PhysOp b = program_op(1, CellMode::kSlc);
+  b.channel = 1;  // independent bus
+  const cache::PhysOp ops[] = {a, b};
+  const auto out = sm.service(ops, 0);
+  EXPECT_EQ(out.foreground_end,
+            c.timing.transfer_per_subpage + c.timing.slc_write);
+}
+
+TEST(ServiceModel, ChannelSerializesTransfers) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 1);
+  // Two programs on different chips but one channel: transfers serialize.
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc, 4),
+                               program_op(1, CellMode::kSlc, 4)};
+  const auto out = sm.service(ops, 0);
+  EXPECT_EQ(out.foreground_end,
+            2 * 4 * c.timing.transfer_per_subpage + c.timing.slc_write);
+}
+
+TEST(ServiceModel, EccCostScalesWithBer) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const auto clean = sm.ecc_cost(read_op(0, 1, 0.0));
+  const auto noisy = sm.ecc_cost(read_op(0, 1, 5e-4));
+  EXPECT_GT(noisy, clean);
+  const auto multi = sm.ecc_cost(read_op(0, 4, 5e-4));
+  EXPECT_EQ(multi, 4 * noisy);
+}
+
+TEST(ServiceModel, EraseSuspendDoesNotBlockHostOps) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp first[] = {erase_op(0)};
+  sm.service(first, 0);
+  // A host program right after the (suspended) erase starts immediately.
+  const cache::PhysOp host[] = {program_op(0, CellMode::kSlc)};
+  const auto out = sm.service(host, 100);
+  EXPECT_EQ(out.foreground_end,
+            100 + c.timing.transfer_per_subpage + c.timing.slc_write);
+}
+
+TEST(ServiceModel, ErasesSerializeWithEachOther) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {erase_op(0), erase_op(0)};
+  const auto out = sm.service(ops, 0);
+  EXPECT_EQ(out.background_end, 2 * c.timing.erase);
+}
+
+TEST(ServiceModel, BackgroundOpsDoNotExtendForegroundEnd) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc),
+                               program_op(1, CellMode::kMlc, 4, true)};
+  const auto out = sm.service(ops, 0);
+  EXPECT_EQ(out.foreground_ops, 1u);
+  EXPECT_EQ(out.background_ops, 1u);
+  EXPECT_LT(out.foreground_end, out.background_end);
+}
+
+TEST(ServiceModel, UsageAccounting) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc),
+                               read_op(1, 1, 0.0, true), erase_op(0)};
+  sm.service(ops, 0);
+  EXPECT_EQ(sm.usage().program_fg, c.timing.slc_write);
+  EXPECT_EQ(sm.usage().read_bg, c.timing.slc_read);
+  EXPECT_EQ(sm.usage().erase_bg, c.timing.erase);
+  EXPECT_EQ(sm.usage().total(),
+            c.timing.slc_write + c.timing.slc_read + c.timing.erase);
+}
+
+TEST(ServiceModel, ResetClearsState) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc)};
+  sm.service(ops, 0);
+  EXPECT_GT(sm.chip_busy_until(0), 0u);
+  sm.reset();
+  EXPECT_EQ(sm.chip_busy_until(0), 0u);
+  EXPECT_EQ(sm.usage().total(), 0u);
+}
+
+TEST(ServiceModel, IdleChipStartsAtNow) {
+  const SsdConfig c = cfg();
+  ServiceModel sm(c, 2, 2);
+  const cache::PhysOp ops[] = {program_op(0, CellMode::kSlc)};
+  const auto out = sm.service(ops, ms_to_ns(500.0));
+  EXPECT_EQ(out.foreground_end, ms_to_ns(500.0) +
+                                    c.timing.transfer_per_subpage +
+                                    c.timing.slc_write);
+}
+
+}  // namespace
+}  // namespace ppssd::sim

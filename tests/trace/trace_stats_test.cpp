@@ -1,0 +1,90 @@
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace ppssd::trace {
+namespace {
+
+TraceRecord wr(std::uint64_t offset, std::uint32_t size) {
+  return TraceRecord{0, OpType::kWrite, offset, size};
+}
+TraceRecord rd(std::uint64_t offset, std::uint32_t size) {
+  return TraceRecord{0, OpType::kRead, offset, size};
+}
+
+TEST(TraceStats, CountsAndRatios) {
+  TraceAnalyzer a;
+  a.add(wr(0, 4096));
+  a.add(wr(16384, 8192));
+  a.add(rd(0, 4096));
+  a.add(rd(0, 4096));
+  const auto stats = a.finish();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_DOUBLE_EQ(stats.write_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.mean_write_kb(), 6.0);
+}
+
+TEST(TraceStats, FirstWriteIsNotAnUpdate) {
+  TraceAnalyzer a;
+  a.add(wr(0, 4096));
+  const auto stats = a.finish();
+  EXPECT_EQ(stats.updates(), 0u);
+}
+
+TEST(TraceStats, UpdateBucketsFollowTable1Boundaries) {
+  TraceAnalyzer a;
+  a.add(wr(0, 4096));      // first write
+  a.add(wr(0, 4096));      // update <= 4K
+  a.add(wr(0, 8192));      // update in (4K, 8K]
+  a.add(wr(0, 8193));      // update > 8K
+  a.add(wr(0, 65536));     // update > 8K
+  const auto stats = a.finish();
+  EXPECT_EQ(stats.updates_le_4k, 1u);
+  EXPECT_EQ(stats.updates_le_8k, 1u);
+  EXPECT_EQ(stats.updates_gt_8k, 2u);
+  EXPECT_DOUBLE_EQ(stats.update_frac_le_4k(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.update_frac_gt_8k(), 0.5);
+}
+
+TEST(TraceStats, HotWriteUsesFourWriteThreshold) {
+  TraceAnalyzer a;
+  for (int i = 0; i < 4; ++i) a.add(wr(0, 4096));       // hot
+  for (int i = 0; i < 3; ++i) a.add(wr(16384, 4096));   // not hot (3 < 4)
+  a.add(wr(32768, 4096));                               // cold
+  const auto stats = a.finish();
+  // 3 distinct addresses, 1 hot.
+  EXPECT_NEAR(stats.hot_write_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, ReadsDoNotAffectHotWrite) {
+  TraceAnalyzer a;
+  a.add(wr(0, 4096));
+  for (int i = 0; i < 10; ++i) a.add(rd(0, 4096));
+  const auto stats = a.finish();
+  EXPECT_DOUBLE_EQ(stats.hot_write_fraction, 0.0);
+}
+
+TEST(TraceStats, AddressKeyedBySubpage) {
+  TraceAnalyzer a;
+  a.add(wr(0, 4096));
+  a.add(wr(1024, 4096));  // same 4K-aligned start address bucket? No:
+  // 1024 / 4096 = 0 -> same key -> counts as an update.
+  const auto stats = a.finish();
+  EXPECT_EQ(stats.updates(), 1u);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  TraceAnalyzer a;
+  const auto stats = a.finish();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.write_ratio(), 0.0);
+  EXPECT_EQ(stats.mean_write_kb(), 0.0);
+  EXPECT_EQ(stats.hot_write_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace ppssd::trace
