@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_erase_counts.dir/fig10_erase_counts.cpp.o"
+  "CMakeFiles/fig10_erase_counts.dir/fig10_erase_counts.cpp.o.d"
+  "fig10_erase_counts"
+  "fig10_erase_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_erase_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

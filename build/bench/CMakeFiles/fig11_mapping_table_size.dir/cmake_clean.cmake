@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mapping_table_size.dir/fig11_mapping_table_size.cpp.o"
+  "CMakeFiles/fig11_mapping_table_size.dir/fig11_mapping_table_size.cpp.o.d"
+  "fig11_mapping_table_size"
+  "fig11_mapping_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mapping_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

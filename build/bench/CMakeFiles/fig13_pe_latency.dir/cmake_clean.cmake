@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pe_latency.dir/fig13_pe_latency.cpp.o"
+  "CMakeFiles/fig13_pe_latency.dir/fig13_pe_latency.cpp.o.d"
+  "fig13_pe_latency"
+  "fig13_pe_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pe_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

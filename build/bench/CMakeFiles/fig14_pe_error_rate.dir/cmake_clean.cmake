@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pe_error_rate.dir/fig14_pe_error_rate.cpp.o"
+  "CMakeFiles/fig14_pe_error_rate.dir/fig14_pe_error_rate.cpp.o.d"
+  "fig14_pe_error_rate"
+  "fig14_pe_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pe_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

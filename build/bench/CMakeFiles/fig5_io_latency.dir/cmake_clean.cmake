@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_io_latency.dir/fig5_io_latency.cpp.o"
+  "CMakeFiles/fig5_io_latency.dir/fig5_io_latency.cpp.o.d"
+  "fig5_io_latency"
+  "fig5_io_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_io_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

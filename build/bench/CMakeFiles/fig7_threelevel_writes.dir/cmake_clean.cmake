@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_threelevel_writes.dir/fig7_threelevel_writes.cpp.o"
+  "CMakeFiles/fig7_threelevel_writes.dir/fig7_threelevel_writes.cpp.o.d"
+  "fig7_threelevel_writes"
+  "fig7_threelevel_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_threelevel_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

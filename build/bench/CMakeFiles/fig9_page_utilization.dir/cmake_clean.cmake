@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_page_utilization.dir/fig9_page_utilization.cpp.o"
+  "CMakeFiles/fig9_page_utilization.dir/fig9_page_utilization.cpp.o.d"
+  "fig9_page_utilization"
+  "fig9_page_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_page_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

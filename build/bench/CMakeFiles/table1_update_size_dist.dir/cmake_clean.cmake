@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_update_size_dist.dir/table1_update_size_dist.cpp.o"
+  "CMakeFiles/table1_update_size_dist.dir/table1_update_size_dist.cpp.o.d"
+  "table1_update_size_dist"
+  "table1_update_size_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_update_size_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

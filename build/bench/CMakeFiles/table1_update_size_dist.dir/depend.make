@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_update_size_dist.
+# This may be replaced when dependencies are built.

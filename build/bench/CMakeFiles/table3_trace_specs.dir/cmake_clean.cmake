@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_trace_specs.dir/table3_trace_specs.cpp.o"
+  "CMakeFiles/table3_trace_specs.dir/table3_trace_specs.cpp.o.d"
+  "table3_trace_specs"
+  "table3_trace_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_trace_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tuning.dir/cache_tuning.cpp.o"
+  "CMakeFiles/cache_tuning.dir/cache_tuning.cpp.o.d"
+  "cache_tuning"
+  "cache_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_model_explorer.dir/error_model_explorer.cpp.o"
+  "CMakeFiles/error_model_explorer.dir/error_model_explorer.cpp.o.d"
+  "error_model_explorer"
+  "error_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

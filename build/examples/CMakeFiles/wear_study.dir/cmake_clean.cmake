@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_study.dir/wear_study.cpp.o"
+  "CMakeFiles/wear_study.dir/wear_study.cpp.o.d"
+  "wear_study"
+  "wear_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

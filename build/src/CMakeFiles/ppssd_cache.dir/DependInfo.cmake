@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/baseline_scheme.cpp" "src/CMakeFiles/ppssd_cache.dir/cache/baseline_scheme.cpp.o" "gcc" "src/CMakeFiles/ppssd_cache.dir/cache/baseline_scheme.cpp.o.d"
+  "/root/repo/src/cache/ipu_scheme.cpp" "src/CMakeFiles/ppssd_cache.dir/cache/ipu_scheme.cpp.o" "gcc" "src/CMakeFiles/ppssd_cache.dir/cache/ipu_scheme.cpp.o.d"
+  "/root/repo/src/cache/mga_scheme.cpp" "src/CMakeFiles/ppssd_cache.dir/cache/mga_scheme.cpp.o" "gcc" "src/CMakeFiles/ppssd_cache.dir/cache/mga_scheme.cpp.o.d"
+  "/root/repo/src/cache/scheme.cpp" "src/CMakeFiles/ppssd_cache.dir/cache/scheme.cpp.o" "gcc" "src/CMakeFiles/ppssd_cache.dir/cache/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

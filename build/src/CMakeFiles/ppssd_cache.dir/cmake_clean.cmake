@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_cache.dir/cache/baseline_scheme.cpp.o"
+  "CMakeFiles/ppssd_cache.dir/cache/baseline_scheme.cpp.o.d"
+  "CMakeFiles/ppssd_cache.dir/cache/ipu_scheme.cpp.o"
+  "CMakeFiles/ppssd_cache.dir/cache/ipu_scheme.cpp.o.d"
+  "CMakeFiles/ppssd_cache.dir/cache/mga_scheme.cpp.o"
+  "CMakeFiles/ppssd_cache.dir/cache/mga_scheme.cpp.o.d"
+  "CMakeFiles/ppssd_cache.dir/cache/scheme.cpp.o"
+  "CMakeFiles/ppssd_cache.dir/cache/scheme.cpp.o.d"
+  "libppssd_cache.a"
+  "libppssd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

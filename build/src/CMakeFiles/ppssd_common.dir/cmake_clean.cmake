@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_common.dir/common/config.cpp.o"
+  "CMakeFiles/ppssd_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/ppssd_common.dir/common/latency_recorder.cpp.o"
+  "CMakeFiles/ppssd_common.dir/common/latency_recorder.cpp.o.d"
+  "CMakeFiles/ppssd_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ppssd_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/ppssd_common.dir/common/stats.cpp.o"
+  "CMakeFiles/ppssd_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/ppssd_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/ppssd_common.dir/common/thread_pool.cpp.o.d"
+  "libppssd_common.a"
+  "libppssd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/ppssd_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/ppssd_core.dir/core/report.cpp.o"
+  "CMakeFiles/ppssd_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/ppssd_core.dir/core/runner.cpp.o"
+  "CMakeFiles/ppssd_core.dir/core/runner.cpp.o.d"
+  "libppssd_core.a"
+  "libppssd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cpp" "src/CMakeFiles/ppssd_ecc.dir/ecc/bch.cpp.o" "gcc" "src/CMakeFiles/ppssd_ecc.dir/ecc/bch.cpp.o.d"
+  "/root/repo/src/ecc/ber_model.cpp" "src/CMakeFiles/ppssd_ecc.dir/ecc/ber_model.cpp.o" "gcc" "src/CMakeFiles/ppssd_ecc.dir/ecc/ber_model.cpp.o.d"
+  "/root/repo/src/ecc/galois.cpp" "src/CMakeFiles/ppssd_ecc.dir/ecc/galois.cpp.o" "gcc" "src/CMakeFiles/ppssd_ecc.dir/ecc/galois.cpp.o.d"
+  "/root/repo/src/ecc/latency_model.cpp" "src/CMakeFiles/ppssd_ecc.dir/ecc/latency_model.cpp.o" "gcc" "src/CMakeFiles/ppssd_ecc.dir/ecc/latency_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_ecc.dir/ecc/bch.cpp.o"
+  "CMakeFiles/ppssd_ecc.dir/ecc/bch.cpp.o.d"
+  "CMakeFiles/ppssd_ecc.dir/ecc/ber_model.cpp.o"
+  "CMakeFiles/ppssd_ecc.dir/ecc/ber_model.cpp.o.d"
+  "CMakeFiles/ppssd_ecc.dir/ecc/galois.cpp.o"
+  "CMakeFiles/ppssd_ecc.dir/ecc/galois.cpp.o.d"
+  "CMakeFiles/ppssd_ecc.dir/ecc/latency_model.cpp.o"
+  "CMakeFiles/ppssd_ecc.dir/ecc/latency_model.cpp.o.d"
+  "libppssd_ecc.a"
+  "libppssd_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

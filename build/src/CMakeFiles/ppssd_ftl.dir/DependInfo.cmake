@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/block_manager.cpp" "src/CMakeFiles/ppssd_ftl.dir/ftl/block_manager.cpp.o" "gcc" "src/CMakeFiles/ppssd_ftl.dir/ftl/block_manager.cpp.o.d"
+  "/root/repo/src/ftl/gc_policy.cpp" "src/CMakeFiles/ppssd_ftl.dir/ftl/gc_policy.cpp.o" "gcc" "src/CMakeFiles/ppssd_ftl.dir/ftl/gc_policy.cpp.o.d"
+  "/root/repo/src/ftl/hotness.cpp" "src/CMakeFiles/ppssd_ftl.dir/ftl/hotness.cpp.o" "gcc" "src/CMakeFiles/ppssd_ftl.dir/ftl/hotness.cpp.o.d"
+  "/root/repo/src/ftl/mapping.cpp" "src/CMakeFiles/ppssd_ftl.dir/ftl/mapping.cpp.o" "gcc" "src/CMakeFiles/ppssd_ftl.dir/ftl/mapping.cpp.o.d"
+  "/root/repo/src/ftl/mapping_footprint.cpp" "src/CMakeFiles/ppssd_ftl.dir/ftl/mapping_footprint.cpp.o" "gcc" "src/CMakeFiles/ppssd_ftl.dir/ftl/mapping_footprint.cpp.o.d"
+  "/root/repo/src/ftl/subpage_mapping.cpp" "src/CMakeFiles/ppssd_ftl.dir/ftl/subpage_mapping.cpp.o" "gcc" "src/CMakeFiles/ppssd_ftl.dir/ftl/subpage_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_ftl.dir/ftl/block_manager.cpp.o"
+  "CMakeFiles/ppssd_ftl.dir/ftl/block_manager.cpp.o.d"
+  "CMakeFiles/ppssd_ftl.dir/ftl/gc_policy.cpp.o"
+  "CMakeFiles/ppssd_ftl.dir/ftl/gc_policy.cpp.o.d"
+  "CMakeFiles/ppssd_ftl.dir/ftl/hotness.cpp.o"
+  "CMakeFiles/ppssd_ftl.dir/ftl/hotness.cpp.o.d"
+  "CMakeFiles/ppssd_ftl.dir/ftl/mapping.cpp.o"
+  "CMakeFiles/ppssd_ftl.dir/ftl/mapping.cpp.o.d"
+  "CMakeFiles/ppssd_ftl.dir/ftl/mapping_footprint.cpp.o"
+  "CMakeFiles/ppssd_ftl.dir/ftl/mapping_footprint.cpp.o.d"
+  "CMakeFiles/ppssd_ftl.dir/ftl/subpage_mapping.cpp.o"
+  "CMakeFiles/ppssd_ftl.dir/ftl/subpage_mapping.cpp.o.d"
+  "libppssd_ftl.a"
+  "libppssd_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

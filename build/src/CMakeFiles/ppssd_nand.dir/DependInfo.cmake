@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/block.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/block.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/block.cpp.o.d"
+  "/root/repo/src/nand/chip.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/chip.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/chip.cpp.o.d"
+  "/root/repo/src/nand/disturb.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/disturb.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/disturb.cpp.o.d"
+  "/root/repo/src/nand/flash_array.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/flash_array.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/flash_array.cpp.o.d"
+  "/root/repo/src/nand/geometry.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/geometry.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/geometry.cpp.o.d"
+  "/root/repo/src/nand/page.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/page.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/page.cpp.o.d"
+  "/root/repo/src/nand/plane.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/plane.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/plane.cpp.o.d"
+  "/root/repo/src/nand/timing.cpp" "src/CMakeFiles/ppssd_nand.dir/nand/timing.cpp.o" "gcc" "src/CMakeFiles/ppssd_nand.dir/nand/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

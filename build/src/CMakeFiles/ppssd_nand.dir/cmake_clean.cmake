@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_nand.dir/nand/block.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/block.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/chip.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/chip.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/disturb.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/disturb.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/flash_array.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/flash_array.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/geometry.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/geometry.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/page.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/page.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/plane.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/plane.cpp.o.d"
+  "CMakeFiles/ppssd_nand.dir/nand/timing.cpp.o"
+  "CMakeFiles/ppssd_nand.dir/nand/timing.cpp.o.d"
+  "libppssd_nand.a"
+  "libppssd_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/ppssd_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/ppssd_sim.dir/sim/replayer.cpp.o"
+  "CMakeFiles/ppssd_sim.dir/sim/replayer.cpp.o.d"
+  "CMakeFiles/ppssd_sim.dir/sim/service_model.cpp.o"
+  "CMakeFiles/ppssd_sim.dir/sim/service_model.cpp.o.d"
+  "CMakeFiles/ppssd_sim.dir/sim/ssd.cpp.o"
+  "CMakeFiles/ppssd_sim.dir/sim/ssd.cpp.o.d"
+  "libppssd_sim.a"
+  "libppssd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

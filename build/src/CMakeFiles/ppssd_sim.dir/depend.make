@@ -1,0 +1,2 @@
+# Empty dependencies file for ppssd_sim.
+# This may be replaced when dependencies are built.

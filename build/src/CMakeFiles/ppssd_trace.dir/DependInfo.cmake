@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/msr_parser.cpp" "src/CMakeFiles/ppssd_trace.dir/trace/msr_parser.cpp.o" "gcc" "src/CMakeFiles/ppssd_trace.dir/trace/msr_parser.cpp.o.d"
+  "/root/repo/src/trace/profiles.cpp" "src/CMakeFiles/ppssd_trace.dir/trace/profiles.cpp.o" "gcc" "src/CMakeFiles/ppssd_trace.dir/trace/profiles.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/ppssd_trace.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/ppssd_trace.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/ppssd_trace.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/ppssd_trace.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/ppssd_trace.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/ppssd_trace.dir/trace/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/writer.cpp" "src/CMakeFiles/ppssd_trace.dir/trace/writer.cpp.o" "gcc" "src/CMakeFiles/ppssd_trace.dir/trace/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

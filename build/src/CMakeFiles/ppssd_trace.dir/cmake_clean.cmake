@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppssd_trace.dir/trace/msr_parser.cpp.o"
+  "CMakeFiles/ppssd_trace.dir/trace/msr_parser.cpp.o.d"
+  "CMakeFiles/ppssd_trace.dir/trace/profiles.cpp.o"
+  "CMakeFiles/ppssd_trace.dir/trace/profiles.cpp.o.d"
+  "CMakeFiles/ppssd_trace.dir/trace/record.cpp.o"
+  "CMakeFiles/ppssd_trace.dir/trace/record.cpp.o.d"
+  "CMakeFiles/ppssd_trace.dir/trace/synthetic.cpp.o"
+  "CMakeFiles/ppssd_trace.dir/trace/synthetic.cpp.o.d"
+  "CMakeFiles/ppssd_trace.dir/trace/trace_stats.cpp.o"
+  "CMakeFiles/ppssd_trace.dir/trace/trace_stats.cpp.o.d"
+  "CMakeFiles/ppssd_trace.dir/trace/writer.cpp.o"
+  "CMakeFiles/ppssd_trace.dir/trace/writer.cpp.o.d"
+  "libppssd_trace.a"
+  "libppssd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppssd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppssd_trace.a"
+)

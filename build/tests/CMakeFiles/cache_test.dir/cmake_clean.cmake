@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/cache/baseline_scheme_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/baseline_scheme_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/config_sweep_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/config_sweep_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/ipu_scheme_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/ipu_scheme_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/mga_scheme_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/mga_scheme_test.cpp.o.d"
+  "CMakeFiles/cache_test.dir/cache/scheme_common_test.cpp.o"
+  "CMakeFiles/cache_test.dir/cache/scheme_common_test.cpp.o.d"
+  "cache_test"
+  "cache_test.pdb"
+  "cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

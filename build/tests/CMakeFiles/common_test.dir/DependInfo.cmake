@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/common_test.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/latency_recorder_test.cpp" "tests/CMakeFiles/common_test.dir/common/latency_recorder_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/latency_recorder_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

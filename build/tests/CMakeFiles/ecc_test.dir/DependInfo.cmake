@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecc/bch_exhaustive_test.cpp" "tests/CMakeFiles/ecc_test.dir/ecc/bch_exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/ecc_test.dir/ecc/bch_exhaustive_test.cpp.o.d"
+  "/root/repo/tests/ecc/bch_test.cpp" "tests/CMakeFiles/ecc_test.dir/ecc/bch_test.cpp.o" "gcc" "tests/CMakeFiles/ecc_test.dir/ecc/bch_test.cpp.o.d"
+  "/root/repo/tests/ecc/ber_model_test.cpp" "tests/CMakeFiles/ecc_test.dir/ecc/ber_model_test.cpp.o" "gcc" "tests/CMakeFiles/ecc_test.dir/ecc/ber_model_test.cpp.o.d"
+  "/root/repo/tests/ecc/galois_test.cpp" "tests/CMakeFiles/ecc_test.dir/ecc/galois_test.cpp.o" "gcc" "tests/CMakeFiles/ecc_test.dir/ecc/galois_test.cpp.o.d"
+  "/root/repo/tests/ecc/latency_model_test.cpp" "tests/CMakeFiles/ecc_test.dir/ecc/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/ecc_test.dir/ecc/latency_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_test.dir/ftl/block_manager_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl/block_manager_test.cpp.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/gc_policy_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl/gc_policy_test.cpp.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/hotness_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl/hotness_test.cpp.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/mapping_footprint_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl/mapping_footprint_test.cpp.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/mapping_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl/mapping_test.cpp.o.d"
+  "CMakeFiles/ftl_test.dir/ftl/subpage_mapping_test.cpp.o"
+  "CMakeFiles/ftl_test.dir/ftl/subpage_mapping_test.cpp.o.d"
+  "ftl_test"
+  "ftl_test.pdb"
+  "ftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

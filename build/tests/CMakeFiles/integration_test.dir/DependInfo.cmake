@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/replay_pipeline_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/replay_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/replay_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nand/block_test.cpp" "tests/CMakeFiles/nand_test.dir/nand/block_test.cpp.o" "gcc" "tests/CMakeFiles/nand_test.dir/nand/block_test.cpp.o.d"
+  "/root/repo/tests/nand/disturb_test.cpp" "tests/CMakeFiles/nand_test.dir/nand/disturb_test.cpp.o" "gcc" "tests/CMakeFiles/nand_test.dir/nand/disturb_test.cpp.o.d"
+  "/root/repo/tests/nand/flash_array_test.cpp" "tests/CMakeFiles/nand_test.dir/nand/flash_array_test.cpp.o" "gcc" "tests/CMakeFiles/nand_test.dir/nand/flash_array_test.cpp.o.d"
+  "/root/repo/tests/nand/geometry_test.cpp" "tests/CMakeFiles/nand_test.dir/nand/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/nand_test.dir/nand/geometry_test.cpp.o.d"
+  "/root/repo/tests/nand/page_test.cpp" "tests/CMakeFiles/nand_test.dir/nand/page_test.cpp.o" "gcc" "tests/CMakeFiles/nand_test.dir/nand/page_test.cpp.o.d"
+  "/root/repo/tests/nand/shadow_fuzz_test.cpp" "tests/CMakeFiles/nand_test.dir/nand/shadow_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/nand_test.dir/nand/shadow_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_test.dir/nand/block_test.cpp.o"
+  "CMakeFiles/nand_test.dir/nand/block_test.cpp.o.d"
+  "CMakeFiles/nand_test.dir/nand/disturb_test.cpp.o"
+  "CMakeFiles/nand_test.dir/nand/disturb_test.cpp.o.d"
+  "CMakeFiles/nand_test.dir/nand/flash_array_test.cpp.o"
+  "CMakeFiles/nand_test.dir/nand/flash_array_test.cpp.o.d"
+  "CMakeFiles/nand_test.dir/nand/geometry_test.cpp.o"
+  "CMakeFiles/nand_test.dir/nand/geometry_test.cpp.o.d"
+  "CMakeFiles/nand_test.dir/nand/page_test.cpp.o"
+  "CMakeFiles/nand_test.dir/nand/page_test.cpp.o.d"
+  "CMakeFiles/nand_test.dir/nand/shadow_fuzz_test.cpp.o"
+  "CMakeFiles/nand_test.dir/nand/shadow_fuzz_test.cpp.o.d"
+  "nand_test"
+  "nand_test.pdb"
+  "nand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

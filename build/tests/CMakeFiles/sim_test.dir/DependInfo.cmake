@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/replayer_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/replayer_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/replayer_test.cpp.o.d"
+  "/root/repo/tests/sim/service_model_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/service_model_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/service_model_test.cpp.o.d"
+  "/root/repo/tests/sim/ssd_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/ssd_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/ssd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

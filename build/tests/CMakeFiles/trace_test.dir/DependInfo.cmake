@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/msr_parser_test.cpp" "tests/CMakeFiles/trace_test.dir/trace/msr_parser_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/msr_parser_test.cpp.o.d"
+  "/root/repo/tests/trace/synthetic_test.cpp" "tests/CMakeFiles/trace_test.dir/trace/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/synthetic_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_stats_test.cpp" "tests/CMakeFiles/trace_test.dir/trace/trace_stats_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/trace_stats_test.cpp.o.d"
+  "/root/repo/tests/trace/writer_test.cpp" "tests/CMakeFiles/trace_test.dir/trace/writer_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/writer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppssd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppssd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
