@@ -16,6 +16,7 @@
 
 #include "sim/replayer.h"
 #include "sim/ssd.h"
+#include "telemetry/telemetry.h"
 #include "trace/msr_parser.h"
 #include "trace/profiles.h"
 #include "trace/synthetic.h"
@@ -101,8 +102,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(n), export_path.c_str());
   }
 
+  // PPSSD_TRACE / PPSSD_METRICS / PPSSD_TIMESERIES (see README) capture
+  // this replay's artifacts; absent knobs cost nothing.
+  const std::unique_ptr<telemetry::Telemetry> tel =
+      telemetry::Telemetry::from_env();
+  if (tel) ssd.attach_telemetry(tel.get());
+
   sim::Replayer replayer(ssd);
   const auto result = replayer.replay(*source);
+  if (tel) tel->finish(result.makespan);
 
   const auto& m = ssd.scheme().metrics();
   const auto& c = ssd.scheme().array().counters();

@@ -27,6 +27,18 @@ const ftl::GcPolicy& IpuScheme::slc_policy() const {
   return greedy_;
 }
 
+void IpuScheme::on_attach_telemetry(telemetry::MetricsRegistry* registry,
+                                    const telemetry::Labels& labels) {
+  if (registry == nullptr) {
+    tl_intra_page_ = tl_level_climbs_ = tl_cold_appends_ = nullptr;
+    return;
+  }
+  isr_.attach_telemetry(*registry, labels);
+  tl_intra_page_ = registry->counter("intra_page_update_subpages", labels);
+  tl_level_climbs_ = registry->counter("level_climbs", labels);
+  tl_cold_appends_ = registry->counter("cold_append_subpages", labels);
+}
+
 std::uint32_t IpuScheme::append_cold(Lsn lsn, std::uint32_t count,
                                      SimTime now, std::vector<PhysOp>& ops) {
   const std::uint32_t plane = next_plane();
@@ -49,6 +61,7 @@ std::uint32_t IpuScheme::append_cold(Lsn lsn, std::uint32_t count,
       page.count(nand::SubpageState::kFree, subpages_per_page());
   PPSSD_CHECK(free > 0);
   const std::uint32_t n = std::min(count, free);
+  const bool partial = page.programmed();
 
   std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
   const SubpageId first = page.first_free(subpages_per_page());
@@ -59,6 +72,8 @@ std::uint32_t IpuScheme::append_cold(Lsn lsn, std::uint32_t count,
   }
   array_.program(open.block, open.page,
                  std::span<const nand::SlotWrite>(writes.data(), n), now);
+  if (partial) count_partial_program(n);
+  if (tl_cold_appends_) tl_cold_appends_->inc(n);
   for (std::uint32_t k = 0; k < n; ++k) {
     map_.set(writes[k].lsn,
              PhysicalAddress{open.block, open.page, writes[k].slot});
@@ -136,6 +151,8 @@ std::uint32_t IpuScheme::update_cached_run(Lsn lsn, std::uint32_t count,
     metrics_.host_subpages_written += n;
     metrics_.level_subpages[level] += n;
     metrics_.intra_page_updates += n;
+    count_partial_program(n);
+    if (tl_intra_page_) tl_intra_page_->inc(n);
     emit_program(first.block, n, /*background=*/false, ops);
     return n;
   }
@@ -148,6 +165,17 @@ std::uint32_t IpuScheme::update_cached_run(Lsn lsn, std::uint32_t count,
     dest = static_cast<BlockLevel>(
         std::min<std::uint8_t>(cur + 1,
                                static_cast<std::uint8_t>(BlockLevel::kHot)));
+  }
+  if (tl_level_climbs_ &&
+      static_cast<std::uint8_t>(dest) > static_cast<std::uint8_t>(blk.level())) {
+    tl_level_climbs_->inc();
+  }
+  if (tlog_ && tlog_->enabled(telemetry::TraceCategory::kCache)) {
+    tlog_->instant(telemetry::TraceCategory::kCache, "level_climb", now,
+                   telemetry::kCacheLane,
+                   {{"lsn", static_cast<double>(lsn)},
+                    {"subpages", static_cast<double>(n)},
+                    {"dest_level", static_cast<double>(dest)}});
   }
   std::vector<Lsn> lsns(n);
   std::vector<std::uint32_t> vers(n);

@@ -57,6 +57,8 @@ class IpuScheme final : public Scheme {
   void on_slc_page_programmed(BlockId block, PageId page,
                               std::span<const Lsn> lsns,
                               bool first_program) override;
+  void on_attach_telemetry(telemetry::MetricsRegistry* registry,
+                           const telemetry::Labels& labels) override;
 
  private:
   /// Serve an update run whose previous versions all live in one SLC page.
@@ -86,6 +88,10 @@ class IpuScheme final : public Scheme {
   /// combine_cold state: per-LSN write history + per-plane shared pages.
   std::unique_ptr<ftl::UpdateTracker> tracker_;
   std::vector<ColdOpenPage> cold_pages_;
+  // Telemetry handles (null until attached): IPU-specific placement paths.
+  telemetry::Counter* tl_intra_page_ = nullptr;   // subpages updated in place
+  telemetry::Counter* tl_level_climbs_ = nullptr; // hot relocations upward
+  telemetry::Counter* tl_cold_appends_ = nullptr; // combine_cold subpages
 };
 
 }  // namespace ppssd::cache

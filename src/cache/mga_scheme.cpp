@@ -37,6 +37,7 @@ std::uint32_t MgaScheme::append_to_plane(std::uint32_t plane, Lsn lsn,
                                         subpages_per_page());
   PPSSD_CHECK(free > 0);
   const std::uint32_t n = std::min(max, free);
+  const bool partial = page.programmed();
 
   // Fill free slots (a suffix: slots are consumed in order, invalidation
   // never frees them).
@@ -58,6 +59,7 @@ std::uint32_t MgaScheme::append_to_plane(std::uint32_t plane, Lsn lsn,
   metrics_.slc_subpages_written += n;
   metrics_.host_subpages_written += n;
   metrics_.level_subpages[static_cast<std::size_t>(BlockLevel::kWork)] += n;
+  if (partial) count_partial_program(n);
   emit_program(open.block, n, /*background=*/false, ops);
   return n;
 }

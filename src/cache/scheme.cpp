@@ -39,6 +39,51 @@ Scheme::Scheme(const SsdConfig& cfg)
       versions_(array_.geometry().logical_subpages(), 0),
       spp_(cfg.geometry.subpages_per_page()) {}
 
+void Scheme::attach_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    tlog_ = nullptr;
+    tl_writes_hit_ = tl_writes_miss_ = tl_partial_programs_ = nullptr;
+    tl_evicted_ = tl_gc_moved_ = tl_direct_mlc_ = nullptr;
+    tl_reads_slc_ = tl_reads_mlc_ = tl_reads_unmapped_ = nullptr;
+    tl_gc_slc_ = tl_gc_mlc_ = nullptr;
+    tl_read_ber_ = tl_victim_util_ = nullptr;
+    on_attach_telemetry(nullptr, {});
+    return;
+  }
+  auto& reg = telemetry->registry();
+  tlog_ = telemetry->trace();
+  const telemetry::Labels labels{{"scheme", name()}};
+  const auto with = [&labels](const char* key, const char* value) {
+    telemetry::Labels l = labels;
+    l.push_back({key, value});
+    return l;
+  };
+  tl_writes_hit_ = reg.counter("cache_writes", with("result", "hit"));
+  tl_writes_miss_ = reg.counter("cache_writes", with("result", "miss"));
+  tl_partial_programs_ = reg.counter("partial_program_subpages", labels);
+  tl_evicted_ = reg.counter("evicted_subpages", labels);
+  tl_gc_moved_ = reg.counter("gc_moved_subpages", labels);
+  tl_direct_mlc_ = reg.counter("direct_mlc_subpages", labels);
+  tl_reads_slc_ = reg.counter("host_reads", with("region", "slc"));
+  tl_reads_mlc_ = reg.counter("host_reads", with("region", "mlc"));
+  tl_reads_unmapped_ = reg.counter("host_reads", with("region", "unmapped"));
+  tl_gc_slc_ = reg.counter("gc_episodes", with("region", "slc"));
+  tl_gc_mlc_ = reg.counter("gc_episodes", with("region", "mlc"));
+  tl_read_ber_ = reg.histogram("host_read_ber", labels, 1e-9, 1.0);
+  // Victim utilisation lives in [0, 1]; headroom keeps 1.0 in-range.
+  tl_victim_util_ = reg.histogram("gc_victim_utilization", labels, 1e-3, 2.0);
+  reg.gauge_fn("write_amplification", labels, [this] {
+    const auto host = metrics_.host_subpages_written;
+    if (host == 0) return 1.0;
+    return static_cast<double>(metrics_.slc_subpages_written +
+                               metrics_.mlc_subpages_written) /
+           static_cast<double>(host);
+  });
+  bm_.attach_telemetry(reg, labels);
+  greedy_.attach_telemetry(reg, labels);
+  on_attach_telemetry(&reg, labels);
+}
+
 std::uint32_t Scheme::next_plane() {
   const std::uint32_t p = rr_plane_;
   rr_plane_ = (rr_plane_ + 1) % array_.geometry().planes();
@@ -147,6 +192,7 @@ std::optional<ftl::PageAlloc> Scheme::program_new_slc_page(
         lsns.size();
   } else {
     metrics_.gc_moved_subpages += lsns.size();
+    if (tl_gc_moved_) tl_gc_moved_->inc(lsns.size());
   }
   emit_program(alloc->block, static_cast<std::uint32_t>(lsns.size()),
                /*background=*/!host, ops);
@@ -225,12 +271,20 @@ void Scheme::flush_evictions(std::uint32_t plane, SimTime now,
                      std::span<const std::uint32_t>(versions.data(), n), now,
                      /*host=*/false, /*background=*/true, ops, plane);
     metrics_.evicted_subpages += n;
+    if (tl_evicted_) tl_evicted_->inc(n);
+  }
+  if (i > 0 && tlog_ && tlog_->enabled(telemetry::TraceCategory::kMode)) {
+    tlog_->instant(telemetry::TraceCategory::kMode, "evict_slc_to_mlc", now,
+                   telemetry::kCacheLane,
+                   {{"subpages", static_cast<double>(i)},
+                    {"plane", static_cast<double>(plane)}});
   }
   staged_evictions_.clear();
 }
 
 void Scheme::direct_mlc_write(Lsn lsn, std::uint32_t count, SimTime now,
                               std::vector<PhysOp>& ops) {
+  if (tl_direct_mlc_) tl_direct_mlc_->inc(count);
   std::uint32_t i = 0;
   std::vector<Lsn> chunk;
   std::vector<std::uint32_t> vers;
@@ -343,8 +397,21 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
 
   nand::Block& blk = array_.block(victim);
   ++metrics_.slc_gc_count;
-  metrics_.gc_utilization.add(static_cast<double>(blk.programmed_subpages()) /
-                              blk.total_subpages());
+  const double util = static_cast<double>(blk.programmed_subpages()) /
+                      blk.total_subpages();
+  metrics_.gc_utilization.add(util);
+  if (tl_gc_slc_) {
+    tl_gc_slc_->inc();
+    tl_victim_util_->observe(util);
+  }
+  if (tlog_ && tlog_->enabled(telemetry::TraceCategory::kGc)) {
+    tlog_->instant(telemetry::TraceCategory::kGc, "slc_gc", now,
+                   telemetry::kGcLane,
+                   {{"victim", static_cast<double>(victim)},
+                    {"plane", static_cast<double>(plane)},
+                    {"utilization", util},
+                    {"valid", static_cast<double>(blk.valid_subpages())}});
+  }
 
   for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
     const auto page_id = static_cast<PageId>(p);
@@ -387,6 +454,15 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
   nand::Block& blk = array_.block(victim);
   if (blk.invalid_subpages() < min_invalid) return false;
   ++metrics_.mlc_gc_count;
+  if (tl_gc_mlc_) tl_gc_mlc_->inc();
+  if (tlog_ && tlog_->enabled(telemetry::TraceCategory::kGc)) {
+    tlog_->instant(telemetry::TraceCategory::kGc, "mlc_gc", now,
+                   telemetry::kGcLane,
+                   {{"victim", static_cast<double>(victim)},
+                    {"plane", static_cast<double>(plane)},
+                    {"invalid", static_cast<double>(blk.invalid_subpages())},
+                    {"valid", static_cast<double>(blk.valid_subpages())}});
+  }
 
   // Pack the victim's valid subpages into fresh MLC pages of the same
   // plane: one read per source page, one program per packed destination.
@@ -450,6 +526,15 @@ void Scheme::host_write(Lsn lsn, std::uint32_t count, SimTime now,
                         std::vector<PhysOp>& ops) {
   PPSSD_CHECK(count > 0);
   PPSSD_CHECK(lsn + count <= array_.geometry().logical_subpages());
+  if (tl_writes_hit_) {
+    // Cache hit = this write supersedes data currently held in SLC.
+    std::uint64_t hits = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (cached_in_slc(lsn + i)) ++hits;
+    }
+    tl_writes_hit_->inc(hits);
+    tl_writes_miss_->inc(count - hits);
+  }
   place_write(lsn, count, now, ops);
   // Algorithm 1: insert, then collect where thresholds are crossed.
   for (std::uint32_t p = 0; p < array_.geometry().planes(); ++p) {
@@ -481,15 +566,19 @@ void Scheme::host_read(Lsn lsn, std::uint32_t count, SimTime now,
       // without touching flash — no op, no error exposure.
       resolved.push_back({PhysicalAddress{}, 0.0});
       ++metrics_.host_reads_unmapped;
+      if (tl_reads_unmapped_) tl_reads_unmapped_->inc();
       continue;
     }
     const double ber = ber_of(addr);
     resolved.push_back({addr, ber});
     metrics_.read_ber.add(ber);
+    if (tl_read_ber_) tl_read_ber_->observe(ber);
     if (geom.is_slc_block(addr.block)) {
       ++metrics_.host_reads_slc;
+      if (tl_reads_slc_) tl_reads_slc_->inc();
     } else {
       ++metrics_.host_reads_mlc;
+      if (tl_reads_mlc_) tl_reads_mlc_->inc();
     }
   }
 

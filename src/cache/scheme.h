@@ -37,6 +37,7 @@
 #include "ftl/mapping.h"
 #include "ftl/mapping_footprint.h"
 #include "nand/flash_array.h"
+#include "telemetry/telemetry.h"
 
 namespace ppssd::cache {
 
@@ -140,6 +141,14 @@ class Scheme {
   std::uint64_t prefill_mlc(std::uint64_t max_subpages,
                             std::uint32_t free_floor_blocks);
 
+  /// Register the scheme's counters/histograms (cache hit/miss, partial
+  /// programs, evictions, GC episodes, read BER…) labelled
+  /// {scheme=<name>}, fan out to the block manager and GC policies, and
+  /// adopt the bundle's trace log. Null detaches the hot-path handles; the
+  /// registry must outlive the scheme (or be re-attached) because pool
+  /// gauges poll it. Call at most once per registry.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
  protected:
   /// Scheme-specific write placement. Must handle map updates, old-version
   /// invalidation, metrics, and emit program ops.
@@ -166,6 +175,11 @@ class Scheme {
   /// Hook invoked whenever an SLC slot is invalidated (MGA clears its
   /// second-level table entry here).
   virtual void on_slc_slot_invalidated(const PhysicalAddress& /*addr*/) {}
+
+  /// Hook for scheme-specific instruments. `registry` is null on detach;
+  /// `labels` already carries {scheme=<name>}.
+  virtual void on_attach_telemetry(telemetry::MetricsRegistry* /*registry*/,
+                                   const telemetry::Labels& /*labels*/) {}
 
   // ---- shared mechanisms available to subclasses -----------------------
 
@@ -241,6 +255,13 @@ class Scheme {
   void maybe_mlc_gc(std::uint32_t plane, SimTime now,
                     std::vector<PhysOp>& ops);
 
+  /// Tally `n` subpages written by a partial (reprogram) operation.
+  /// Subclasses call this wherever they program an already-programmed
+  /// page; no-op until telemetry attaches.
+  void count_partial_program(std::uint32_t n) {
+    if (tl_partial_programs_) tl_partial_programs_->inc(n);
+  }
+
   SsdConfig cfg_;
   nand::FlashArray array_;
   ftl::BlockManager bm_;
@@ -250,6 +271,9 @@ class Scheme {
   ftl::GreedyPolicy greedy_;
   SchemeMetrics metrics_;
   std::vector<std::uint32_t> versions_;
+  /// Trace log adopted from the attached bundle (null when disabled);
+  /// subclasses may emit their own category-filtered events through it.
+  telemetry::TraceLog* tlog_ = nullptr;
 
  private:
   /// One GC pass on a plane's region; returns false if no victim.
@@ -267,6 +291,21 @@ class Scheme {
 
   std::uint32_t spp_;
   std::uint32_t rr_plane_ = 0;
+
+  // Telemetry handles (null until attached).
+  telemetry::Counter* tl_writes_hit_ = nullptr;    // update of SLC-cached data
+  telemetry::Counter* tl_writes_miss_ = nullptr;   // new / non-cached data
+  telemetry::Counter* tl_partial_programs_ = nullptr;
+  telemetry::Counter* tl_evicted_ = nullptr;       // subpages SLC -> MLC
+  telemetry::Counter* tl_gc_moved_ = nullptr;      // subpages moved within SLC
+  telemetry::Counter* tl_direct_mlc_ = nullptr;    // host subpages bypassing SLC
+  telemetry::Counter* tl_reads_slc_ = nullptr;
+  telemetry::Counter* tl_reads_mlc_ = nullptr;
+  telemetry::Counter* tl_reads_unmapped_ = nullptr;
+  telemetry::Counter* tl_gc_slc_ = nullptr;        // GC episodes per region
+  telemetry::Counter* tl_gc_mlc_ = nullptr;
+  telemetry::Histogram* tl_read_ber_ = nullptr;
+  telemetry::Histogram* tl_victim_util_ = nullptr;
 };
 
 /// Factory for the three paper schemes.

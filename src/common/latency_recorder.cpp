@@ -13,23 +13,20 @@ LatencyRecorder::LatencyRecorder()
 void LatencyRecorder::record(OpType op, SimTime latency_ns) {
   const double ms = ns_to_ms(latency_ns);
   if (op == OpType::kRead) {
-    read_.add(ms);
     read_hist_.add(ms);
   } else {
-    write_.add(ms);
     write_hist_.add(ms);
   }
 }
 
 double LatencyRecorder::avg_overall_ms() const {
-  const auto n = read_.count() + write_.count();
+  const auto n = read_hist_.count() + write_hist_.count();
   if (n == 0) return 0.0;
-  return (read_.sum() + write_.sum()) / static_cast<double>(n);
+  return (read_hist_.stat().sum() + write_hist_.stat().sum()) /
+         static_cast<double>(n);
 }
 
 void LatencyRecorder::merge(const LatencyRecorder& other) {
-  read_.merge(other.read_);
-  write_.merge(other.write_);
   read_hist_.merge(other.read_hist_);
   write_hist_.merge(other.write_hist_);
 }

@@ -10,30 +10,64 @@
 namespace ppssd {
 
 /// Records read/write response times and exposes the aggregates the paper's
-/// Figure 5 / 13 report (average latency per class and overall).
+/// Figure 5 / 13 report (average and tail latency per class and overall).
+///
+/// record() takes the response time in *nanoseconds* (SimTime); all
+/// accessors report *milliseconds*. Internally each class keeps one
+/// LogHistogram over [1 us, 10 s] in ms — the same instrument the
+/// telemetry registry uses — whose embedded RunningStat supplies the exact
+/// means, so averages are not subject to bucketing error.
 class LatencyRecorder {
  public:
   LatencyRecorder();
 
+  /// Record one completed request; `latency_ns` is in nanoseconds.
   void record(OpType op, SimTime latency_ns);
 
-  [[nodiscard]] double avg_read_ms() const { return read_.mean(); }
-  [[nodiscard]] double avg_write_ms() const { return write_.mean(); }
+  [[nodiscard]] double avg_read_ms() const { return read_hist_.mean(); }
+  [[nodiscard]] double avg_write_ms() const { return write_hist_.mean(); }
   [[nodiscard]] double avg_overall_ms() const;
-  [[nodiscard]] std::uint64_t read_count() const { return read_.count(); }
-  [[nodiscard]] std::uint64_t write_count() const { return write_.count(); }
-  [[nodiscard]] double read_p99_ms() const { return read_hist_.quantile(0.99); }
+  [[nodiscard]] std::uint64_t read_count() const {
+    return read_hist_.count();
+  }
+  [[nodiscard]] std::uint64_t write_count() const {
+    return write_hist_.count();
+  }
+
+  /// Interpolated quantile of one class's distribution, in ms.
+  [[nodiscard]] double read_quantile_ms(double q) const {
+    return read_hist_.quantile(q);
+  }
+  [[nodiscard]] double write_quantile_ms(double q) const {
+    return write_hist_.quantile(q);
+  }
+  [[nodiscard]] double read_p50_ms() const { return read_quantile_ms(0.50); }
+  [[nodiscard]] double write_p50_ms() const {
+    return write_quantile_ms(0.50);
+  }
+  [[nodiscard]] double read_p99_ms() const { return read_quantile_ms(0.99); }
   [[nodiscard]] double write_p99_ms() const {
-    return write_hist_.quantile(0.99);
+    return write_quantile_ms(0.99);
+  }
+  [[nodiscard]] double read_p999_ms() const {
+    return read_quantile_ms(0.999);
+  }
+  [[nodiscard]] double write_p999_ms() const {
+    return write_quantile_ms(0.999);
+  }
+
+  [[nodiscard]] const LogHistogram& read_histogram() const {
+    return read_hist_;
+  }
+  [[nodiscard]] const LogHistogram& write_histogram() const {
+    return write_hist_;
   }
 
   void merge(const LatencyRecorder& other);
 
  private:
-  RunningStat read_;   // in ms
-  RunningStat write_;  // in ms
-  LogHistogram read_hist_;
-  LogHistogram write_hist_;
+  LogHistogram read_hist_;   // in ms
+  LogHistogram write_hist_;  // in ms
 };
 
 }  // namespace ppssd

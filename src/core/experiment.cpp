@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "sim/replayer.h"
 #include "sim/ssd.h"
+#include "telemetry/telemetry.h"
 #include "trace/profiles.h"
 #include "trace/synthetic.h"
 
@@ -89,7 +90,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     ssd.reset_timing();
   }
 
+  // Telemetry (PPSSD_TRACE / PPSSD_METRICS / PPSSD_TIMESERIES): attach
+  // after warm-up so the artifacts cover only the measured phase. The
+  // bundle is declared after `ssd`, so it is destroyed (flushing any
+  // remaining output) while the scheme its gauges poll is still alive.
+  const std::unique_ptr<telemetry::Telemetry> tel =
+      telemetry::Telemetry::from_env();
+  if (tel) ssd.attach_telemetry(tel.get());
+
   const sim::ReplayResult replay = replayer.replay(workload);
+  if (tel) tel->finish(replay.makespan);
 
   const auto& m = ssd.scheme().metrics();
   const auto fp = ssd.scheme().footprint();
@@ -137,7 +147,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 std::string ExperimentResult::serialize() const {
   std::ostringstream os;
   os.precision(17);
-  os << "key=" << spec.key() << '\n'
+  os << "schema=" << kResultSchemaVersion << '\n'
+     << "key=" << spec.key() << '\n'
      << "avg_read_ms=" << avg_read_ms << '\n'
      << "avg_write_ms=" << avg_write_ms << '\n'
      << "avg_overall_ms=" << avg_overall_ms << '\n'
@@ -177,6 +188,7 @@ std::optional<ExperimentResult> ExperimentResult::deserialize(
   std::istringstream in(text);
   std::string line;
   int seen = 0;
+  bool schema_ok = false;
   while (std::getline(in, line)) {
     const auto eq = line.find('=');
     if (eq == std::string::npos) continue;
@@ -184,7 +196,10 @@ std::optional<ExperimentResult> ExperimentResult::deserialize(
     const std::string v = line.substr(eq + 1);
     ++seen;
     try {
-      if (k == "key") {
+      if (k == "schema") {
+        if (std::stoi(v) != kResultSchemaVersion) return std::nullopt;
+        schema_ok = true;
+      } else if (k == "key") {
         /* informational */
       } else if (k == "avg_read_ms") {
         r.avg_read_ms = std::stod(v);
@@ -253,7 +268,8 @@ std::optional<ExperimentResult> ExperimentResult::deserialize(
       return std::nullopt;
     }
   }
-  if (seen < 10) return std::nullopt;  // clearly truncated / foreign file
+  if (!schema_ok) return std::nullopt;  // pre-versioning or foreign file
+  if (seen < 10) return std::nullopt;   // clearly truncated
   return r;
 }
 

@@ -12,6 +12,12 @@
 
 namespace ppssd::core {
 
+/// Version of the ExperimentResult record layout. Bump whenever fields
+/// are added/removed or their meaning changes: the runner keys its disk
+/// cache by this version and deserialize() rejects other versions, so a
+/// stale cache can never masquerade as a fresh result.
+inline constexpr int kResultSchemaVersion = 2;
+
 struct ExperimentSpec {
   cache::SchemeKind scheme = cache::SchemeKind::kIpu;
   std::string trace;                 // profile name (profiles.h)

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/telemetry.h"
 #include "trace/profiles.h"
 
 namespace ppssd::core {
@@ -25,11 +26,18 @@ Runner::Runner()
 Runner::Runner(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {}
 
 std::string Runner::cache_path(const ExperimentSpec& spec) const {
-  return cache_dir_ + "/" + spec.key() + ".result";
+  // The schema version is part of the key: a result-layout change makes
+  // every old cache file invisible instead of silently misread.
+  return cache_dir_ + "/v" + std::to_string(kResultSchemaVersion) + "-" +
+         spec.key() + ".result";
 }
 
 ExperimentResult Runner::run(const ExperimentSpec& spec) {
-  if (!cache_dir_.empty()) {
+  // A cached cell would skip the simulation entirely — and with it every
+  // requested telemetry artifact (trace, metrics CSV, time series). When
+  // the telemetry environment is set, always re-simulate.
+  const bool want_telemetry = telemetry::TelemetryOptions::from_env().any();
+  if (!cache_dir_.empty() && !want_telemetry) {
     std::ifstream in(cache_path(spec));
     if (in) {
       std::ostringstream buf;

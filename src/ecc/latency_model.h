@@ -32,6 +32,14 @@ class EccLatencyModel {
     return decode_time(ber) * codewords;
   }
 
+  /// True when the expected error count reaches the correction capability:
+  /// the decoder runs at max time and the read sits at the retry/failure
+  /// boundary (telemetry counts these as ECC-retry pressure).
+  [[nodiscard]] bool saturated(double ber) const {
+    return expected_errors(ber) >=
+           static_cast<double>(cfg_.t_per_codeword);
+  }
+
   [[nodiscard]] const EccConfig& config() const { return cfg_; }
 
  private:

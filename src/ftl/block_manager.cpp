@@ -11,6 +11,20 @@ namespace {
 constexpr std::size_t level_index(BlockLevel level) {
   return static_cast<std::size_t>(level);
 }
+
+constexpr const char* level_name(BlockLevel level) {
+  switch (level) {
+    case BlockLevel::kHighDensity:
+      return "mlc";
+    case BlockLevel::kWork:
+      return "work";
+    case BlockLevel::kMonitor:
+      return "monitor";
+    case BlockLevel::kHot:
+      return "hot";
+  }
+  return "?";
+}
 }  // namespace
 
 BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
@@ -72,6 +86,9 @@ bool BlockManager::open_block(std::uint32_t plane, BlockLevel level) {
   array_->block(b).set_level(level);
   ps.open[level_index(level)] = b;
   ++ps.level_counts[level_index(level)];
+  if (tl_opened_[level_index(level)]) {
+    tl_opened_[level_index(level)]->inc();
+  }
   return true;
 }
 
@@ -101,6 +118,7 @@ std::optional<PageAlloc> BlockManager::allocate_page(std::uint32_t plane,
       if (!open_block(plane, level)) {
         if (level == BlockLevel::kHot || level == BlockLevel::kMonitor) {
           level = static_cast<BlockLevel>(static_cast<std::uint8_t>(level) - 1);
+          if (tl_level_fallbacks_) tl_level_fallbacks_->inc();
           continue;
         }
         return std::nullopt;  // Work or MLC exhausted: caller must GC
@@ -164,6 +182,46 @@ void BlockManager::release_block(BlockId b) {
 std::uint32_t BlockManager::level_count(std::uint32_t plane,
                                         BlockLevel level) const {
   return planes_[plane].level_counts[level_index(level)];
+}
+
+std::uint64_t BlockManager::level_count_total(BlockLevel level) const {
+  std::uint64_t total = 0;
+  for (const PlaneState& ps : planes_) {
+    total += ps.level_counts[level_index(level)];
+  }
+  return total;
+}
+
+std::uint64_t BlockManager::free_blocks_total(CellMode mode) const {
+  std::uint64_t total = 0;
+  for (const PlaneState& ps : planes_) {
+    total += mode == CellMode::kSlc ? ps.slc_free.size()
+                                    : ps.mlc_free.size();
+  }
+  return total;
+}
+
+void BlockManager::attach_telemetry(telemetry::MetricsRegistry& registry,
+                                    const telemetry::Labels& labels) {
+  for (const BlockLevel level :
+       {BlockLevel::kHighDensity, BlockLevel::kWork, BlockLevel::kMonitor,
+        BlockLevel::kHot}) {
+    telemetry::Labels l = labels;
+    l.push_back({"level", level_name(level)});
+    tl_opened_[level_index(level)] = registry.counter("blocks_opened", l);
+    registry.gauge_fn("level_pool_blocks", l,
+                      [this, level] {
+                        return static_cast<double>(level_count_total(level));
+                      });
+  }
+  tl_level_fallbacks_ = registry.counter("alloc_level_fallbacks", labels);
+  for (const CellMode mode : {CellMode::kSlc, CellMode::kMlc}) {
+    telemetry::Labels l = labels;
+    l.push_back({"region", mode == CellMode::kSlc ? "slc" : "mlc"});
+    registry.gauge_fn("free_blocks", l, [this, mode] {
+      return static_cast<double>(free_blocks_total(mode));
+    });
+  }
 }
 
 }  // namespace ppssd::ftl

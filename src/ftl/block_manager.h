@@ -24,6 +24,7 @@
 
 #include "common/types.h"
 #include "nand/flash_array.h"
+#include "telemetry/metrics.h"
 
 namespace ppssd::ftl {
 
@@ -80,6 +81,17 @@ class BlockManager {
     return static_cast<std::uint32_t>(planes_.size());
   }
 
+  /// Total blocks currently carrying a level label across all planes.
+  [[nodiscard]] std::uint64_t level_count_total(BlockLevel level) const;
+  /// Total free blocks of a region across all planes.
+  [[nodiscard]] std::uint64_t free_blocks_total(CellMode mode) const;
+
+  /// Register pool-transition counters (blocks opened per level, level
+  /// fallbacks) and polled pool-size gauges. `labels` identifies the
+  /// owning scheme.
+  void attach_telemetry(telemetry::MetricsRegistry& registry,
+                        const telemetry::Labels& labels);
+
  private:
   enum class State : std::uint8_t { kFree = 0, kOpen = 1, kUsed = 2 };
 
@@ -117,6 +129,10 @@ class BlockManager {
   std::uint32_t mlc_threshold_;
   std::uint32_t monitor_cap_;
   std::uint32_t hot_cap_;
+  // Telemetry handles (null until attached): blocks opened per level and
+  // allocations degraded to a lower level.
+  std::array<telemetry::Counter*, 4> tl_opened_{};
+  telemetry::Counter* tl_level_fallbacks_ = nullptr;
 };
 
 }  // namespace ppssd::ftl

@@ -5,6 +5,13 @@
 
 namespace ppssd::ftl {
 
+void GcPolicy::attach_telemetry(telemetry::MetricsRegistry& registry,
+                                telemetry::Labels labels) {
+  labels.push_back({"policy", name()});
+  selected_ = registry.counter("gc_victims_selected", labels);
+  exhausted_ = registry.counter("gc_victims_exhausted", labels);
+}
+
 BlockId GreedyPolicy::select_victim(const nand::FlashArray& array,
                                     const BlockManager& bm,
                                     std::uint32_t plane, CellMode mode,
@@ -21,7 +28,9 @@ BlockId GreedyPolicy::select_victim(const nand::FlashArray& array,
       best_invalid = invalid;
     }
   });
-  return best_invalid == 0 ? kInvalidBlock : best;
+  if (best_invalid == 0) best = kInvalidBlock;
+  count_selection(best != kInvalidBlock);
+  return best;
 }
 
 std::pair<double, std::uint64_t> IsrPolicy::age_sum(const nand::Block& block,
@@ -100,6 +109,7 @@ BlockId IsrPolicy::select_victim(const nand::FlashArray& array,
       best_isr = v;
     }
   }
+  count_selection(best != kInvalidBlock);
   return best;
 }
 

@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "ftl/block_manager.h"
 #include "nand/flash_array.h"
+#include "telemetry/metrics.h"
 
 namespace ppssd::ftl {
 
@@ -45,6 +46,22 @@ class GcPolicy {
                                               std::uint32_t plane,
                                               CellMode mode,
                                               SimTime now) const = 0;
+
+  /// Register victim-selection counters; `labels` identifies the owner
+  /// (scheme, region). The policy name is added automatically.
+  void attach_telemetry(telemetry::MetricsRegistry& registry,
+                        telemetry::Labels labels);
+
+ protected:
+  /// Tally one select_victim() outcome (no-op until telemetry attaches).
+  void count_selection(bool found) const {
+    if (found && selected_) selected_->inc();
+    if (!found && exhausted_) exhausted_->inc();
+  }
+
+ private:
+  telemetry::Counter* selected_ = nullptr;
+  telemetry::Counter* exhausted_ = nullptr;  // calls with no usable victim
 };
 
 class GreedyPolicy final : public GcPolicy {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/units.h"
+
 namespace ppssd::sim {
 
 ReplayResult Replayer::replay(trace::TraceSource& src,
@@ -9,6 +11,20 @@ ReplayResult Replayer::replay(trace::TraceSource& src,
   ReplayResult result;
   EventQueue<std::uint8_t> in_flight;
   double depth_sum = 0.0;
+
+  // Host-level instruments (null without an attached telemetry bundle).
+  telemetry::Telemetry* tel = ssd_->telemetry();
+  telemetry::TraceLog* tlog = nullptr;
+  telemetry::Histogram* lat_read = nullptr;
+  telemetry::Histogram* lat_write = nullptr;
+  telemetry::Gauge* inflight = nullptr;
+  if (tel != nullptr) {
+    tlog = tel->trace();
+    auto& reg = tel->registry();
+    lat_read = reg.histogram("host_latency_ms", {{"op", "read"}}, 1e-3, 1e4);
+    lat_write = reg.histogram("host_latency_ms", {{"op", "write"}}, 1e-3, 1e4);
+    inflight = reg.gauge("inflight_requests");
+  }
 
   trace::TraceRecord rec;
   while (src.next(rec)) {
@@ -24,6 +40,23 @@ ReplayResult Replayer::replay(trace::TraceSource& src,
     result.makespan = std::max(result.makespan, done.drained);
     in_flight.push(done.finish, 0);
     ++result.requests;
+
+    if (tel != nullptr) {
+      inflight->set(static_cast<double>(in_flight.size()));
+      const double ms = ns_to_ms(done.latency());
+      const bool read = rec.op == OpType::kRead;
+      (read ? lat_read : lat_write)->observe(ms);
+      if (tlog != nullptr &&
+          tlog->enabled(telemetry::TraceCategory::kHost)) {
+        tlog->span(telemetry::TraceCategory::kHost,
+                   read ? "host_read" : "host_write", rec.arrival,
+                   done.finish, telemetry::kHostLane,
+                   {{"bytes", static_cast<double>(rec.size)},
+                    {"queue_depth", static_cast<double>(in_flight.size())},
+                    {"latency_ms", ms}});
+      }
+      tel->on_request(rec.arrival);
+    }
   }
   if (result.requests > 0) {
     result.avg_queue_depth = depth_sum / static_cast<double>(result.requests);

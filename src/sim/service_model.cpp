@@ -28,6 +28,32 @@ SimTime ServiceModel::ecc_cost(const cache::PhysOp& op) const {
   return ecc_.decode_time(op.ber, op.subpages);
 }
 
+void ServiceModel::attach_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    trace_ = nullptr;
+    tl_ops_[0][0] = tl_ops_[0][1] = tl_ops_[1][0] = tl_ops_[1][1] = nullptr;
+    tl_erases_ = tl_ecc_decodes_ = tl_ecc_saturated_ = nullptr;
+    tl_chip_wait_ = tl_ecc_ns_ = nullptr;
+    return;
+  }
+  auto& reg = telemetry->registry();
+  trace_ = telemetry->trace();
+  const char* kinds[2] = {"read", "program"};
+  const char* modes[2] = {"slc", "mlc"};
+  for (int k = 0; k < 2; ++k) {
+    for (int m = 0; m < 2; ++m) {
+      tl_ops_[k][m] =
+          reg.counter("flash_ops", {{"kind", kinds[k]}, {"mode", modes[m]}});
+    }
+  }
+  tl_erases_ = reg.counter("flash_ops", {{"kind", "erase"}});
+  tl_ecc_decodes_ = reg.counter("ecc_decodes");
+  tl_ecc_saturated_ = reg.counter("ecc_decodes_saturated");
+  // Chip queueing delay seen by array ops (ns): 100 ns .. 10 s.
+  tl_chip_wait_ = reg.histogram("chip_wait_ns", {}, 1e2, 1e10);
+  tl_ecc_ns_ = reg.histogram("ecc_decode_ns", {}, 1e2, 1e8);
+}
+
 ServiceModel::Outcome ServiceModel::service(
     std::span<const cache::PhysOp> ops, SimTime now) {
   using Kind = cache::PhysOp::Kind;
@@ -56,7 +82,23 @@ ServiceModel::Outcome ServiceModel::service(
         const SimTime xfer_end =
             xfer_start + timing_.transfer_latency(op.subpages);
         channel = xfer_end;
-        end = xfer_end + ecc_cost(op);
+        const SimTime ecc_ns = ecc_cost(op);
+        end = xfer_end + ecc_ns;
+        if (tl_ecc_decodes_) {
+          tl_ecc_decodes_->inc(op.subpages);
+          if (ecc_.saturated(op.ber)) tl_ecc_saturated_->inc(op.subpages);
+          tl_ecc_ns_->observe(static_cast<double>(ecc_ns));
+          tl_ops_[0][static_cast<int>(op.mode)]->inc();
+          tl_chip_wait_->observe(static_cast<double>(sense_start - now));
+        }
+        if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+          trace_->span(telemetry::TraceCategory::kFlash,
+                       op.mode == CellMode::kSlc ? "read_slc" : "read_mlc",
+                       sense_start, end, op.chip,
+                       {{"subpages", static_cast<double>(op.subpages)},
+                        {"ber", op.ber},
+                        {"bg", op.background ? 1.0 : 0.0}});
+        }
         break;
       }
       case Kind::kProgram: {
@@ -71,6 +113,17 @@ ServiceModel::Outcome ServiceModel::service(
             timing_.program_latency(op.mode);
         chip_occupancy_[op.chip] += timing_.program_latency(op.mode);
         chip = end;
+        if (tl_ops_[1][static_cast<int>(op.mode)]) {
+          tl_ops_[1][static_cast<int>(op.mode)]->inc();
+          tl_chip_wait_->observe(static_cast<double>(prog_start - now));
+        }
+        if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+          trace_->span(telemetry::TraceCategory::kFlash,
+                       op.mode == CellMode::kSlc ? "prog_slc" : "prog_mlc",
+                       xfer_start, end, op.chip,
+                       {{"subpages", static_cast<double>(op.subpages)},
+                        {"bg", op.background ? 1.0 : 0.0}});
+        }
         break;
       }
       case Kind::kErase: {
@@ -85,6 +138,12 @@ ServiceModel::Outcome ServiceModel::service(
         usage_.erase_bg += timing_.erase_latency();
         chip_occupancy_[op.chip] += timing_.erase_latency();
         erase_chip = end;
+        if (tl_erases_) tl_erases_->inc();
+        if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+          trace_->span(telemetry::TraceCategory::kFlash, "erase", start, end,
+                       op.chip,
+                       {{"mode", op.mode == CellMode::kSlc ? 0.0 : 1.0}});
+        }
         break;
       }
     }

@@ -18,6 +18,7 @@
 #include "common/config.h"
 #include "ecc/latency_model.h"
 #include "nand/timing.h"
+#include "telemetry/telemetry.h"
 
 namespace ppssd::sim {
 
@@ -65,6 +66,10 @@ class ServiceModel {
 
   void reset();
 
+  /// Register flash-op counters / wait histograms and adopt the bundle's
+  /// trace log for per-op chip-lane spans. Null detaches.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   nand::TimingModel timing_;
   ecc::EccLatencyModel ecc_;
@@ -73,6 +78,17 @@ class ServiceModel {
   std::vector<SimTime> erase_busy_;  // suspendable-erase horizon per chip
   std::vector<SimTime> chip_occupancy_;
   Usage usage_;
+
+  // Telemetry handles (null until attached). Counter index is
+  // [kind][mode] for read/program, erase is mode-independent.
+  telemetry::TraceLog* trace_ = nullptr;
+  telemetry::Counter* tl_ops_[2][2] = {{nullptr, nullptr},
+                                       {nullptr, nullptr}};
+  telemetry::Counter* tl_erases_ = nullptr;
+  telemetry::Counter* tl_ecc_decodes_ = nullptr;
+  telemetry::Counter* tl_ecc_saturated_ = nullptr;
+  telemetry::Histogram* tl_chip_wait_ = nullptr;
+  telemetry::Histogram* tl_ecc_ns_ = nullptr;
 };
 
 }  // namespace ppssd::sim

@@ -22,6 +22,12 @@ std::uint64_t Ssd::logical_bytes() const {
   return scheme_->array().geometry().logical_subpages() * kSubpageBytes;
 }
 
+void Ssd::attach_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  scheme_->attach_telemetry(telemetry);
+  service_.attach_telemetry(telemetry);
+}
+
 Ssd::Completion Ssd::submit(OpType op, std::uint64_t offset,
                             std::uint32_t size, SimTime arrival) {
   PPSSD_CHECK(size > 0);

@@ -49,9 +49,17 @@ class Ssd {
   /// Price every deferred background op now (end-of-replay flush).
   SimTime drain_background(SimTime now);
 
+  /// Fan the bundle out to the scheme (placement/GC instruments) and the
+  /// service model (flash-op spans). Null detaches.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+  /// The attached bundle, or null. The replayer uses this for host-level
+  /// spans and sampler ticks.
+  [[nodiscard]] telemetry::Telemetry* telemetry() const { return telemetry_; }
+
  private:
   std::unique_ptr<cache::Scheme> scheme_;
   ServiceModel service_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<cache::PhysOp> ops_;       // reused per request
   std::vector<cache::PhysOp> deferred_;  // background ops not yet priced
   std::size_t deferred_head_ = 0;

@@ -1,0 +1,215 @@
+// Minimal recursive-descent JSON parser.
+//
+// Exists so the telemetry layer can *validate its own output*: TraceLog
+// emits Chrome trace-event JSON, and the tests (plus telemetry_tour)
+// parse the artifact back instead of trusting the serializer. It is a
+// strict parser for the JSON subset the simulator produces — no comments,
+// no trailing commas — and deliberately tiny; it is not a general-purpose
+// JSON library.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppssd::telemetry::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> parse() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Value> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return Value{};
+    }
+    return number();
+  }
+
+  std::optional<Value> object() {
+    if (!eat('{')) return std::nullopt;
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      auto key = string_value();
+      if (!key || !eat(':')) return std::nullopt;
+      auto member = value();
+      if (!member) return std::nullopt;
+      v.object.emplace(std::move(key->string), std::move(*member));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> array() {
+    if (!eat('[')) return std::nullopt;
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      auto element = value();
+      if (!element) return std::nullopt;
+      v.array.push_back(std::move(*element));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> string_value() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u': {
+            // The serializer never emits \u escapes; accept and keep raw.
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            v.string += "\\u";
+            v.string += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      v.string += c;
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> bool_value() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (literal("true")) {
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.boolean = false;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parse a complete JSON document; nullopt on any syntax error.
+[[nodiscard]] inline std::optional<Value> parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace ppssd::telemetry::json

@@ -1,0 +1,140 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace ppssd::telemetry {
+
+std::string MetricsRegistry::series_id(const std::string& name,
+                                       Labels labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string id = name;
+  if (!labels.empty()) {
+    id += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) id += ',';
+      id += labels[i].key;
+      id += '=';
+      id += labels[i].value;
+    }
+    id += '}';
+  }
+  return id;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name, Labels labels) {
+  const std::string id = series_id(name, std::move(labels));
+  if (const auto it = index_.find(id); it != index_.end()) {
+    const Entry& e = order_[it->second];
+    PPSSD_CHECK_MSG(e.kind == Kind::kCounter,
+                    "series re-registered with a different instrument kind");
+    return e.counter;
+  }
+  counters_.emplace_back();
+  Entry e;
+  e.id = id;
+  e.kind = Kind::kCounter;
+  e.counter = &counters_.back();
+  index_.emplace(id, order_.size());
+  order_.push_back(std::move(e));
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  const std::string id = series_id(name, std::move(labels));
+  if (const auto it = index_.find(id); it != index_.end()) {
+    const Entry& e = order_[it->second];
+    PPSSD_CHECK_MSG(e.kind == Kind::kGauge,
+                    "series re-registered with a different instrument kind");
+    return e.gauge;
+  }
+  gauges_.emplace_back();
+  Entry e;
+  e.id = id;
+  e.kind = Kind::kGauge;
+  e.gauge = &gauges_.back();
+  index_.emplace(id, order_.size());
+  order_.push_back(std::move(e));
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      double lo, double hi,
+                                      std::uint32_t buckets) {
+  const std::string id = series_id(name, std::move(labels));
+  if (const auto it = index_.find(id); it != index_.end()) {
+    const Entry& e = order_[it->second];
+    PPSSD_CHECK_MSG(e.kind == Kind::kHistogram,
+                    "series re-registered with a different instrument kind");
+    return e.histogram;
+  }
+  histograms_.emplace_back(lo, hi, buckets);
+  Entry e;
+  e.id = id;
+  e.kind = Kind::kHistogram;
+  e.histogram = &histograms_.back();
+  index_.emplace(id, order_.size());
+  order_.push_back(std::move(e));
+  return &histograms_.back();
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name, Labels labels,
+                               std::function<double()> fn) {
+  const std::string id = series_id(name, std::move(labels));
+  if (const auto it = index_.find(id); it != index_.end()) {
+    Entry& e = order_[it->second];
+    PPSSD_CHECK_MSG(e.kind == Kind::kGaugeFn,
+                    "series re-registered with a different instrument kind");
+    e.fn = std::move(fn);  // re-attach: newest callback wins
+    return;
+  }
+  Entry e;
+  e.id = id;
+  e.kind = Kind::kGaugeFn;
+  e.fn = std::move(fn);
+  index_.emplace(id, order_.size());
+  order_.push_back(std::move(e));
+}
+
+std::vector<Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(order_.size() * 2);
+  for (const Entry& e : order_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.push_back(
+            {e.id, static_cast<double>(e.counter->value()), true});
+        break;
+      case Kind::kGauge:
+        out.push_back({e.id, e.gauge->value(), false});
+        break;
+      case Kind::kGaugeFn:
+        out.push_back({e.id, e.fn ? e.fn() : 0.0, false});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out.push_back(
+            {e.id + ".count", static_cast<double>(h.count()), true});
+        out.push_back({e.id + ".mean", h.mean(), false});
+        out.push_back({e.id + ".p50", h.quantile(0.50), false});
+        out.push_back({e.id + ".p99", h.quantile(0.99), false});
+        out.push_back({e.id + ".max", h.max(), false});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "series,value\n";
+  out.precision(17);
+  for (const Sample& s : snapshot()) {
+    out << s.series << ',' << s.value << '\n';
+  }
+}
+
+}  // namespace ppssd::telemetry

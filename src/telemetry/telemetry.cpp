@@ -1,0 +1,72 @@
+#include "telemetry/telemetry.h"
+
+#include <cstdlib>
+
+#include "common/units.h"
+
+namespace ppssd::telemetry {
+
+namespace {
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : fallback;
+}
+}  // namespace
+
+TelemetryOptions TelemetryOptions::from_env() {
+  TelemetryOptions opts;
+  opts.trace_path = env_or("PPSSD_TRACE", "");
+  opts.trace_categories =
+      parse_categories(env_or("PPSSD_TRACE_CATEGORIES", ""));
+  const std::string limit = env_or("PPSSD_TRACE_LIMIT", "");
+  if (!limit.empty()) opts.trace_max_events = std::stoull(limit);
+  opts.metrics_path = env_or("PPSSD_METRICS", "");
+  opts.timeseries_path = env_or("PPSSD_TIMESERIES", "");
+  const std::string every = env_or("PPSSD_SAMPLE_REQUESTS", "");
+  if (!every.empty()) opts.sample_every_requests = std::stoull(every);
+  const std::string ms = env_or("PPSSD_SAMPLE_MS", "");
+  if (!ms.empty()) opts.sample_every_ns = ms_to_ns(std::stod(ms));
+  return opts;
+}
+
+Telemetry::Telemetry() = default;
+
+Telemetry::Telemetry(const TelemetryOptions& opts) : opts_(opts) {
+  if (!opts_.trace_path.empty()) {
+    TraceLog::Options to;
+    to.categories = opts_.trace_categories;
+    to.max_events = opts_.trace_max_events;
+    trace_ = TraceLog::open_file(opts_.trace_path, to);
+  }
+  if (!opts_.timeseries_path.empty()) {
+    timeseries_file_.open(opts_.timeseries_path);
+    if (timeseries_file_) {
+      TimeSeriesSampler::Options so;
+      so.every_requests = opts_.sample_every_requests;
+      so.every_ns = opts_.sample_every_ns;
+      sampler_ = std::make_unique<TimeSeriesSampler>(registry_,
+                                                     timeseries_file_, so);
+    }
+  }
+}
+
+Telemetry::~Telemetry() { finish(0); }
+
+std::unique_ptr<Telemetry> Telemetry::from_env() {
+  const TelemetryOptions opts = TelemetryOptions::from_env();
+  if (!opts.any()) return nullptr;
+  return std::make_unique<Telemetry>(opts);
+}
+
+void Telemetry::finish(SimTime end) {
+  if (finished_) return;
+  finished_ = true;
+  if (sampler_) sampler_->finish(end);
+  if (!opts_.metrics_path.empty()) {
+    std::ofstream out(opts_.metrics_path);
+    if (out) registry_.write_csv(out);
+  }
+  if (trace_) trace_->close();
+}
+
+}  // namespace ppssd::telemetry

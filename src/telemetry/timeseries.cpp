@@ -1,0 +1,54 @@
+#include "telemetry/timeseries.h"
+
+namespace ppssd::telemetry {
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry& registry,
+                                     std::ostream& out, Options opts)
+    : registry_(&registry), out_(&out), opts_(opts) {
+  if (opts_.every_requests == 0 && opts_.every_ns == 0) {
+    opts_.every_requests = 1000;
+  }
+}
+
+void TimeSeriesSampler::on_request(SimTime now) {
+  ++requests_total_;
+  ++requests_in_window_;
+  const bool by_count = opts_.every_requests != 0 &&
+                        requests_in_window_ >= opts_.every_requests;
+  const bool by_time =
+      opts_.every_ns != 0 && now >= window_start_ + opts_.every_ns;
+  if (by_count || by_time) emit_window(now);
+}
+
+void TimeSeriesSampler::finish(SimTime now) {
+  if (requests_in_window_ > 0) emit_window(now);
+}
+
+void TimeSeriesSampler::emit_window(SimTime now) {
+  const std::vector<Sample> snap = registry_->snapshot();
+  if (!header_written_) {
+    *out_ << "window_end_ns,requests";
+    for (const Sample& s : snap) *out_ << ',' << s.series;
+    *out_ << '\n';
+    prev_.assign(snap.size(), 0.0);
+    header_written_ = true;
+  }
+  out_->precision(12);
+  *out_ << now << ',' << requests_in_window_;
+  // Instruments registered after the first window would misalign the
+  // columns; emit up to the header's width only.
+  const std::size_t n = std::min(snap.size(), prev_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v =
+        snap[i].cumulative ? snap[i].value - prev_[i] : snap[i].value;
+    *out_ << ',' << v;
+    prev_[i] = snap[i].value;
+  }
+  *out_ << '\n';
+  out_->flush();
+  ++windows_;
+  requests_in_window_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace ppssd::telemetry

@@ -1,0 +1,64 @@
+// TimeSeriesSampler: windowed CSV snapshots of a MetricsRegistry.
+//
+// Every figure of the paper's evaluation is trajectory-shaped (erase
+// counts over the trace, GC overhead per scheme, wear over P/E cycles),
+// but the registry alone only answers "what happened in total". The
+// sampler closes that gap: every N host requests — or every Δ of sim
+// time, whichever is configured — it snapshots the registry and appends
+// one CSV row per window:
+//
+//   window_end_ns,requests,<series>,<series>,...
+//
+// Cumulative series (counters, histogram counts) are emitted as
+// *per-window deltas* so a spike reads as a spike; level series (gauges,
+// histogram quantiles/means) are emitted as the value at window close.
+// The header is fixed at the first window from the instruments registered
+// by then — attach all instrumentation before the replay starts.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "telemetry/metrics.h"
+
+namespace ppssd::telemetry {
+
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    std::uint64_t every_requests = 0;  // 0 = no request-count trigger
+    SimTime every_ns = 0;              // 0 = no sim-time trigger
+  };
+
+  /// The registry and stream must outlive the sampler.
+  TimeSeriesSampler(const MetricsRegistry& registry, std::ostream& out,
+                    Options opts);
+
+  /// Host-request tick; closes a window when a trigger fires. `now` is
+  /// the request's arrival sim-time.
+  void on_request(SimTime now);
+
+  /// Force-close the current window (end of replay). No-op when the
+  /// window is empty.
+  void finish(SimTime now);
+
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+ private:
+  void emit_window(SimTime now);
+
+  const MetricsRegistry* registry_;
+  std::ostream* out_;
+  Options opts_;
+  std::vector<double> prev_;  // last snapshot of cumulative series
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t requests_in_window_ = 0;
+  SimTime window_start_ = 0;
+  std::uint64_t windows_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace ppssd::telemetry

@@ -1,0 +1,167 @@
+#include "telemetry/trace_log.h"
+
+#include <cstdio>
+
+namespace ppssd::telemetry {
+
+const char* category_name(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kHost:
+      return "host";
+    case TraceCategory::kFlash:
+      return "flash";
+    case TraceCategory::kGc:
+      return "gc";
+    case TraceCategory::kCache:
+      return "cache";
+    case TraceCategory::kEcc:
+      return "ecc";
+    case TraceCategory::kMode:
+      return "mode";
+  }
+  return "?";
+}
+
+std::uint32_t parse_categories(const std::string& csv) {
+  if (csv.empty() || csv == "all") return kAllCategories;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string token =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    for (const TraceCategory cat :
+         {TraceCategory::kHost, TraceCategory::kFlash, TraceCategory::kGc,
+          TraceCategory::kCache, TraceCategory::kEcc, TraceCategory::kMode}) {
+      if (token == category_name(cat)) {
+        mask |= static_cast<std::uint32_t>(cat);
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return mask == 0 ? kAllCategories : mask;
+}
+
+TraceLog::TraceLog(std::ostream& out, Options opts)
+    : out_(&out), opts_(opts) {
+  buffer_.reserve(opts_.buffer_events);
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+TraceLog::TraceLog(std::ostream& out) : TraceLog(out, Options{}) {}
+
+std::unique_ptr<TraceLog> TraceLog::open_file(const std::string& path,
+                                              Options opts) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) return nullptr;
+  auto log = std::make_unique<TraceLog>(*file, opts);
+  log->owned_file_ = std::move(file);
+  return log;
+}
+
+std::unique_ptr<TraceLog> TraceLog::open_file(const std::string& path) {
+  return open_file(path, Options{});
+}
+
+TraceLog::~TraceLog() { close(); }
+
+void TraceLog::record(TraceCategory cat, const char* name, char phase,
+                      SimTime ts, SimTime dur, std::uint32_t lane,
+                      std::initializer_list<Arg> args) {
+  if (closed_ || !enabled(cat)) return;
+  if (opts_.max_events != 0 && emitted_ >= opts_.max_events) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = phase;
+  e.ts = ts;
+  e.dur = dur;
+  e.lane = lane;
+  e.nargs = 0;
+  for (const Arg& a : args) {
+    if (e.nargs == kMaxArgs) break;
+    e.args[e.nargs++] = a;
+  }
+  buffer_.push_back(e);
+  ++emitted_;
+  if (buffer_.size() >= opts_.buffer_events) flush();
+}
+
+void TraceLog::span(TraceCategory cat, const char* name, SimTime start,
+                    SimTime end, std::uint32_t lane,
+                    std::initializer_list<Arg> args) {
+  record(cat, name, 'X', start, end >= start ? end - start : 0, lane, args);
+}
+
+void TraceLog::instant(TraceCategory cat, const char* name, SimTime ts,
+                       std::uint32_t lane, std::initializer_list<Arg> args) {
+  record(cat, name, 'i', ts, 0, lane, args);
+}
+
+void TraceLog::write_event(const Event& e) {
+  // ts/dur in microseconds of sim time; fixed-point keeps ns resolution.
+  char head[256];
+  const double ts_us = static_cast<double>(e.ts) / 1e3;
+  int n;
+  if (e.phase == 'X') {
+    const double dur_us = static_cast<double>(e.dur) / 1e3;
+    n = std::snprintf(head, sizeof head,
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u",
+                      e.name, category_name(e.cat), ts_us, dur_us, e.lane);
+  } else {
+    n = std::snprintf(head, sizeof head,
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                      "\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%u",
+                      e.name, category_name(e.cat), ts_us, e.lane);
+  }
+  if (!first_event_) *out_ << ',';
+  first_event_ = false;
+  out_->write(head, n);
+  if (e.nargs > 0) {
+    *out_ << ",\"args\":{";
+    for (std::uint32_t i = 0; i < e.nargs; ++i) {
+      char arg[96];
+      const int m =
+          std::snprintf(arg, sizeof arg, "%s\"%s\":%.17g", i ? "," : "",
+                        e.args[i].key, e.args[i].value);
+      out_->write(arg, m);
+    }
+    *out_ << '}';
+  }
+  *out_ << '}';
+}
+
+void TraceLog::flush() {
+  for (const Event& e : buffer_) write_event(e);
+  buffer_.clear();
+  out_->flush();
+}
+
+void TraceLog::close() {
+  if (closed_) return;
+  flush();
+  // Final metadata instant so a truncated trace is detectable in-band.
+  Event meta;
+  meta.name = "trace_closed";
+  meta.cat = TraceCategory::kHost;
+  meta.phase = 'i';
+  meta.ts = 0;
+  meta.dur = 0;
+  meta.lane = kHostLane;
+  meta.nargs = 2;
+  meta.args[0] = {"emitted", static_cast<double>(emitted_)};
+  meta.args[1] = {"dropped", static_cast<double>(dropped_)};
+  write_event(meta);
+  *out_ << "]}";
+  out_->flush();
+  closed_ = true;
+  owned_file_.reset();
+}
+
+}  // namespace ppssd::telemetry

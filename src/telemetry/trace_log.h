@@ -1,0 +1,144 @@
+// TraceLog: sim-time span / instant events as Chrome trace-event JSON.
+//
+// The output is the Trace Event Format's "JSON object" flavour
+// ({"traceEvents":[...]}) and loads directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Mapping:
+//
+//  * ts/dur are microseconds of *simulated* time, so the Perfetto
+//    timeline is the device timeline, not wall clock;
+//  * pid is always 0 (one device), tid is the resource lane — chip id
+//    for flash ops, kHostLane for host-request spans, kGcLane for GC
+//    episodes — so chips render as parallel tracks;
+//  * spans are complete events (ph "X": start + duration known at emit
+//    time, which is always true in a discrete-event simulator), instants
+//    are ph "i" with thread scope;
+//  * args carry numeric detail only (victim block, subpages moved, BER…):
+//    keys must be string literals — the log stores the pointers, not
+//    copies, so the hot path never allocates.
+//
+// Events are buffered in a fixed-capacity vector and flushed to the
+// stream whenever it fills (and at close), so a multi-million-request
+// replay streams to disk instead of accumulating in memory. An optional
+// hard cap on total events turns the log into a prefix trace; dropped
+// events are counted and reported in a final metadata event.
+//
+// Category filtering ("gc,cache") is a bitmask test before any
+// formatting work happens; a filtered-out emit is a few instructions.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ppssd::telemetry {
+
+enum class TraceCategory : std::uint32_t {
+  kHost = 1u << 0,   // host request lifecycle
+  kFlash = 1u << 1,  // chip-level read/program/erase
+  kGc = 1u << 2,     // GC episodes
+  kCache = 1u << 3,  // SLC-cache placement / eviction
+  kEcc = 1u << 4,    // ECC decode pressure
+  kMode = 1u << 5,   // SLC <-> MLC data movement
+};
+
+inline constexpr std::uint32_t kAllCategories = 0x3f;
+
+[[nodiscard]] const char* category_name(TraceCategory cat);
+
+/// Parse a comma-separated category list ("gc,cache"); empty or "all"
+/// selects every category; unknown names are ignored.
+[[nodiscard]] std::uint32_t parse_categories(const std::string& csv);
+
+/// Synthetic "thread" lanes for non-chip events. Chip ops use the chip id
+/// directly; these start above any realistic chip count.
+inline constexpr std::uint32_t kHostLane = 1000;
+inline constexpr std::uint32_t kGcLane = 1001;
+inline constexpr std::uint32_t kCacheLane = 1002;
+
+class TraceLog {
+ public:
+  /// Numeric key/value attachment. The key must be a string literal (or
+  /// otherwise outlive the log).
+  struct Arg {
+    const char* key;
+    double value;
+  };
+
+  struct Options {
+    std::uint32_t categories = kAllCategories;
+    std::size_t buffer_events = 1 << 16;  // flush granularity
+    std::uint64_t max_events = 0;         // 0 = unbounded (disk-bound)
+  };
+
+  /// Stream-backed log; the stream must outlive the log. close() (or the
+  /// destructor) finalizes the JSON document.
+  TraceLog(std::ostream& out, Options opts);
+  explicit TraceLog(std::ostream& out);
+
+  /// File-backed convenience; nullptr if the file cannot be opened.
+  static std::unique_ptr<TraceLog> open_file(const std::string& path,
+                                             Options opts);
+  static std::unique_ptr<TraceLog> open_file(const std::string& path);
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+  ~TraceLog();
+
+  [[nodiscard]] bool enabled(TraceCategory cat) const {
+    return (opts_.categories & static_cast<std::uint32_t>(cat)) != 0;
+  }
+
+  /// Complete event covering [start, end] sim-time.
+  void span(TraceCategory cat, const char* name, SimTime start, SimTime end,
+            std::uint32_t lane, std::initializer_list<Arg> args = {});
+
+  /// Instant event at `ts` sim-time.
+  void instant(TraceCategory cat, const char* name, SimTime ts,
+               std::uint32_t lane, std::initializer_list<Arg> args = {});
+
+  /// Events accepted (post-filter, pre-cap) and dropped by the cap.
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// Write buffered events through to the stream.
+  void flush();
+
+  /// Finalize the JSON document; further emits are dropped.
+  void close();
+
+ private:
+  static constexpr std::size_t kMaxArgs = 4;
+
+  struct Event {
+    const char* name;
+    TraceCategory cat;
+    char phase;  // 'X' or 'i'
+    SimTime ts;
+    SimTime dur;
+    std::uint32_t lane;
+    std::uint32_t nargs;
+    Arg args[kMaxArgs];
+  };
+
+  void record(TraceCategory cat, const char* name, char phase, SimTime ts,
+              SimTime dur, std::uint32_t lane,
+              std::initializer_list<Arg> args);
+  void write_event(const Event& e);
+
+  std::unique_ptr<std::ofstream> owned_file_;  // set by open_file()
+  std::ostream* out_;
+  Options opts_;
+  std::vector<Event> buffer_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool first_event_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace ppssd::telemetry

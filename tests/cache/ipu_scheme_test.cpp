@@ -166,8 +166,8 @@ TEST(IpuScheme, ColdDataSinksOnGcAndHotSurvives) {
   // protected (its page is "updated" in every GC generation).
   for (int round = 0; round < 10; ++round) {
     for (int u = 0; u < 6; ++u) h.write(4, 1);
-    for (Lsn lsn = 1000 + round * 8'000; lsn < 1000 + (round + 1) * 8'000;
-         lsn += 2) {
+    for (Lsn lsn = 1000 + static_cast<Lsn>(round) * 8'000;
+         lsn < 1000 + static_cast<Lsn>(round + 1) * 8'000; lsn += 2) {
       h.write(lsn, 2);
       if (lsn % 512 == 0) h.write(4, 1);  // keep the hot extent hot
     }

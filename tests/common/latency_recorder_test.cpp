@@ -41,6 +41,41 @@ TEST(LatencyRecorder, P99TracksTail) {
   EXPECT_GT(rec.write_p99_ms(), 1.0);
 }
 
+TEST(LatencyRecorder, MedianIgnoresTheTail) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 999; ++i) {
+    rec.record(OpType::kRead, ms_to_ns(1.0));
+  }
+  rec.record(OpType::kRead, ms_to_ns(100.0));
+  // One outlier in a thousand: the median sits in the 1 ms bucket while
+  // p999 has climbed toward it.
+  EXPECT_LT(rec.read_p50_ms(), 2.0);
+  EXPECT_GT(rec.read_p999_ms(), rec.read_p50_ms());
+}
+
+TEST(LatencyRecorder, QuantilesAreMonotoneInQ) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) {
+    rec.record(OpType::kWrite, ms_to_ns(0.1 * i));  // 0.1 .. 100 ms
+  }
+  EXPECT_LE(rec.write_p50_ms(), rec.write_p99_ms());
+  EXPECT_LE(rec.write_p99_ms(), rec.write_p999_ms());
+  // Quantiles interpolate inside a log bucket, so p999 may land slightly
+  // above the exact max — but never outside the max's bucket.
+  EXPECT_LE(rec.write_p999_ms(), rec.write_histogram().max() * 1.2);
+}
+
+TEST(LatencyRecorder, HistogramAccessorsExposeTheBackingDistributions) {
+  LatencyRecorder rec;
+  rec.record(OpType::kRead, ms_to_ns(2.0));
+  rec.record(OpType::kRead, ms_to_ns(4.0));
+  rec.record(OpType::kWrite, ms_to_ns(8.0));
+  EXPECT_EQ(rec.read_histogram().count(), 2u);
+  EXPECT_EQ(rec.write_histogram().count(), 1u);
+  EXPECT_DOUBLE_EQ(rec.read_histogram().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rec.write_histogram().max(), 8.0);
+}
+
 TEST(LatencyRecorder, MergeCombines) {
   LatencyRecorder a;
   LatencyRecorder b;

@@ -1,0 +1,85 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppssd::telemetry {
+namespace {
+
+TEST(MetricsRegistry, SeriesIdSortsLabelsByKey) {
+  EXPECT_EQ(MetricsRegistry::series_id("ops", {{"b", "2"}, {"a", "1"}}),
+            "ops{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::series_id("ops", {}), "ops");
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotCreateDuplicateSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("ops", {{"scheme", "IPU"}, {"region", "slc"}});
+  Counter* b = reg.counter("ops", {{"region", "slc"}, {"scheme", "IPU"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.instrument_count(), 1u);
+}
+
+TEST(MetricsRegistry, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry reg;
+  Counter* slc = reg.counter("ops", {{"region", "slc"}});
+  Counter* mlc = reg.counter("ops", {{"region", "mlc"}});
+  EXPECT_NE(slc, mlc);
+  slc->inc(3);
+  mlc->inc();
+  EXPECT_EQ(slc->value(), 3u);
+  EXPECT_EQ(mlc->value(), 1u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossManyRegistrations) {
+  MetricsRegistry reg;
+  Counter* first = reg.counter("c0");
+  for (int i = 1; i < 200; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.counter(name);
+  }
+  // Deque storage: the early handle must not have been invalidated.
+  EXPECT_EQ(first, reg.counter("c0"));
+  first->inc();
+  EXPECT_EQ(first->value(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramExpandsToScalarSamples) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat_ms", {{"op", "read"}}, 1e-3, 1e4);
+  h->observe(1.0);
+  h->observe(2.0);
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 5u);  // count/mean/p50/p99/max
+  EXPECT_EQ(samples[0].series, "lat_ms{op=read}.count");
+  EXPECT_TRUE(samples[0].cumulative);
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_EQ(samples[1].series, "lat_ms{op=read}.mean");
+  EXPECT_FALSE(samples[1].cumulative);
+  EXPECT_DOUBLE_EQ(samples[1].value, 1.5);
+}
+
+TEST(MetricsRegistry, GaugeFnIsPolledAtSnapshot) {
+  MetricsRegistry reg;
+  double level = 1.0;
+  reg.gauge_fn("pool", {}, [&level] { return level; });
+  level = 42.0;
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.0);
+  EXPECT_FALSE(samples[0].cumulative);
+}
+
+TEST(MetricsRegistry, CsvDumpHasHeaderAndOneRowPerSample) {
+  MetricsRegistry reg;
+  reg.counter("reads")->inc(7);
+  reg.gauge("depth")->set(2.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  EXPECT_EQ(os.str(), "series,value\nreads,7\ndepth,2.5\n");
+}
+
+}  // namespace
+}  // namespace ppssd::telemetry

@@ -1,0 +1,102 @@
+#include "telemetry/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace ppssd::telemetry {
+namespace {
+
+std::vector<std::string> lines_of(const std::ostringstream& os) {
+  std::vector<std::string> out;
+  std::istringstream in(os.str());
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(TimeSeriesSampler, WindowsByRequestCount) {
+  MetricsRegistry reg;
+  Counter* writes = reg.counter("writes");
+  std::ostringstream os;
+  TimeSeriesSampler sampler(reg, os, {.every_requests = 3});
+  for (int i = 0; i < 7; ++i) {
+    writes->inc(2);
+    sampler.on_request(static_cast<SimTime>(i) * 100);
+  }
+  EXPECT_EQ(sampler.windows(), 2u);  // closed at requests 3 and 6
+  sampler.finish(700);               // the trailing partial window
+  EXPECT_EQ(sampler.windows(), 3u);
+
+  const auto lines = lines_of(os);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "window_end_ns,requests,writes");
+  EXPECT_EQ(lines[1], "200,3,6");  // cumulative counter → per-window delta
+  EXPECT_EQ(lines[2], "500,3,6");
+  EXPECT_EQ(lines[3], "700,1,2");
+}
+
+TEST(TimeSeriesSampler, WindowsBySimTime) {
+  MetricsRegistry reg;
+  reg.counter("ops")->inc();
+  std::ostringstream os;
+  TimeSeriesSampler sampler(reg, os, {.every_ns = 1000});
+  sampler.on_request(10);    // window open
+  sampler.on_request(400);
+  sampler.on_request(1200);  // >= 0 + 1000: closes
+  sampler.on_request(1500);
+  sampler.on_request(2300);  // >= 1200 + 1000: closes
+  EXPECT_EQ(sampler.windows(), 2u);
+  const auto lines = lines_of(os);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].substr(0, lines[1].find(',')), "1200");
+  EXPECT_EQ(lines[2].substr(0, lines[2].find(',')), "2300");
+}
+
+TEST(TimeSeriesSampler, GaugesAreLevelsNotDeltas) {
+  MetricsRegistry reg;
+  Gauge* depth = reg.gauge("depth");
+  std::ostringstream os;
+  TimeSeriesSampler sampler(reg, os, {.every_requests = 1});
+  depth->set(5);
+  sampler.on_request(100);
+  depth->set(5);  // unchanged level must not read as zero
+  sampler.on_request(200);
+  const auto lines = lines_of(os);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "100,1,5");
+  EXPECT_EQ(lines[2], "200,1,5");
+}
+
+TEST(TimeSeriesSampler, FinishOnEmptyWindowIsNoOp) {
+  MetricsRegistry reg;
+  reg.counter("ops");
+  std::ostringstream os;
+  TimeSeriesSampler sampler(reg, os, {.every_requests = 2});
+  sampler.on_request(100);
+  sampler.on_request(200);  // closes exactly at the boundary
+  sampler.finish(300);      // nothing pending
+  EXPECT_EQ(sampler.windows(), 1u);
+  EXPECT_EQ(lines_of(os).size(), 2u);
+}
+
+TEST(TimeSeriesSampler, LateRegistrationsDoNotMisalignColumns) {
+  MetricsRegistry reg;
+  reg.counter("a")->inc();
+  std::ostringstream os;
+  TimeSeriesSampler sampler(reg, os, {.every_requests = 1});
+  sampler.on_request(100);       // header fixed: window_end_ns,requests,a
+  reg.counter("b")->inc(9);      // registered after the first window
+  sampler.on_request(200);
+  const auto lines = lines_of(os);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "window_end_ns,requests,a");
+  EXPECT_EQ(lines[2], "200,1,0");  // only the header's columns, no spill
+}
+
+}  // namespace
+}  // namespace ppssd::telemetry

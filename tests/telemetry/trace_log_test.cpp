@@ -1,0 +1,138 @@
+#include "telemetry/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+#include "telemetry/json.h"
+
+namespace ppssd::telemetry {
+namespace {
+
+// Every TraceLog test validates by parsing the document back: the output
+// contract is "loads in Perfetto", and valid JSON is the testable half.
+json::Value close_and_parse(TraceLog& log, std::ostringstream& os) {
+  log.close();
+  const auto doc = json::parse(os.str());
+  EXPECT_TRUE(doc.has_value()) << os.str();
+  EXPECT_TRUE(doc && doc->is_object());
+  return doc ? *doc : json::Value{};
+}
+
+TEST(TraceLog, EmptyLogIsValidJsonWithClosingMetadata) {
+  std::ostringstream os;
+  TraceLog log(os);
+  const auto doc = close_and_parse(log, os);
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Only the trace_closed metadata instant.
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].find("name")->string, "trace_closed");
+}
+
+TEST(TraceLog, SpanCarriesTimestampDurationLaneAndArgs) {
+  std::ostringstream os;
+  TraceLog log(os);
+  log.span(TraceCategory::kFlash, "read_slc", ms_to_ns(1.0), ms_to_ns(1.5), 3,
+           {{"subpages", 4.0}, {"ber", 1e-4}});
+  const auto doc = close_and_parse(log, os);
+  const auto& e = doc.find("traceEvents")->array.at(0);
+  EXPECT_EQ(e.find("name")->string, "read_slc");
+  EXPECT_EQ(e.find("cat")->string, "flash");
+  EXPECT_EQ(e.find("ph")->string, "X");
+  EXPECT_DOUBLE_EQ(e.find("ts")->number, 1000.0);   // µs of sim time
+  EXPECT_DOUBLE_EQ(e.find("dur")->number, 500.0);
+  EXPECT_DOUBLE_EQ(e.find("tid")->number, 3.0);
+  const auto* args = e.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->find("subpages")->number, 4.0);
+  EXPECT_DOUBLE_EQ(args->find("ber")->number, 1e-4);
+}
+
+TEST(TraceLog, BackwardsSpanClampsToZeroDuration) {
+  std::ostringstream os;
+  TraceLog log(os);
+  log.span(TraceCategory::kHost, "h", /*start=*/500, /*end=*/100, kHostLane);
+  const auto doc = close_and_parse(log, os);
+  EXPECT_DOUBLE_EQ(doc.find("traceEvents")->array.at(0).find("dur")->number,
+                   0.0);
+}
+
+TEST(TraceLog, CategoryFilterDropsBeforeEmit) {
+  std::ostringstream os;
+  TraceLog::Options opts;
+  opts.categories = parse_categories("gc,cache");
+  TraceLog log(os, opts);
+  EXPECT_TRUE(log.enabled(TraceCategory::kGc));
+  EXPECT_FALSE(log.enabled(TraceCategory::kFlash));
+  log.instant(TraceCategory::kFlash, "dropped", 0, 0);
+  log.instant(TraceCategory::kGc, "kept_gc", 0, kGcLane);
+  log.instant(TraceCategory::kCache, "kept_cache", 0, kCacheLane);
+  EXPECT_EQ(log.emitted(), 2u);
+  const auto doc = close_and_parse(log, os);
+  const auto& events = doc.find("traceEvents")->array;
+  ASSERT_EQ(events.size(), 3u);  // 2 kept + trace_closed
+  EXPECT_EQ(events[0].find("name")->string, "kept_gc");
+  EXPECT_EQ(events[1].find("name")->string, "kept_cache");
+}
+
+TEST(TraceLog, ParseCategoriesHandlesAllAndUnknown) {
+  EXPECT_EQ(parse_categories(""), kAllCategories);
+  EXPECT_EQ(parse_categories("all"), kAllCategories);
+  EXPECT_EQ(parse_categories("bogus"), kAllCategories);
+  EXPECT_EQ(parse_categories("ecc"),
+            static_cast<std::uint32_t>(TraceCategory::kEcc));
+  EXPECT_EQ(parse_categories("host,mode"),
+            static_cast<std::uint32_t>(TraceCategory::kHost) |
+                static_cast<std::uint32_t>(TraceCategory::kMode));
+}
+
+TEST(TraceLog, EventCapTurnsLogIntoPrefixTraceAndCountsDrops) {
+  std::ostringstream os;
+  TraceLog::Options opts;
+  opts.max_events = 3;
+  TraceLog log(os, opts);
+  for (int i = 0; i < 10; ++i) {
+    log.instant(TraceCategory::kHost, "e", static_cast<SimTime>(i),
+                kHostLane);
+  }
+  EXPECT_EQ(log.emitted(), 3u);
+  EXPECT_EQ(log.dropped(), 7u);
+  const auto doc = close_and_parse(log, os);
+  const auto& events = doc.find("traceEvents")->array;
+  ASSERT_EQ(events.size(), 4u);  // 3 kept + trace_closed
+  const auto& meta = events.back();
+  EXPECT_EQ(meta.find("name")->string, "trace_closed");
+  EXPECT_DOUBLE_EQ(meta.find("args")->find("emitted")->number, 3.0);
+  EXPECT_DOUBLE_EQ(meta.find("args")->find("dropped")->number, 7.0);
+}
+
+TEST(TraceLog, SmallBufferFlushesMidStreamAndStaysWellFormed) {
+  std::ostringstream os;
+  TraceLog::Options opts;
+  opts.buffer_events = 2;  // force many flush cycles
+  TraceLog log(os, opts);
+  for (int i = 0; i < 31; ++i) {
+    log.span(TraceCategory::kFlash, "op", static_cast<SimTime>(i) * 100,
+             static_cast<SimTime>(i) * 100 + 50, static_cast<std::uint32_t>(i % 4));
+  }
+  const auto doc = close_and_parse(log, os);
+  EXPECT_EQ(doc.find("traceEvents")->array.size(), 32u);
+}
+
+TEST(TraceLog, CloseIsIdempotentAndFurtherEmitsAreIgnored) {
+  std::ostringstream os;
+  TraceLog log(os);
+  log.instant(TraceCategory::kHost, "before", 0, kHostLane);
+  log.close();
+  const std::string after_close = os.str();
+  log.instant(TraceCategory::kHost, "after", 0, kHostLane);
+  log.close();
+  EXPECT_EQ(os.str(), after_close);
+  EXPECT_TRUE(json::parse(after_close).has_value());
+}
+
+}  // namespace
+}  // namespace ppssd::telemetry
