@@ -110,6 +110,9 @@ void Scheme::emit_program(BlockId block, std::uint32_t subpages,
   op.mode = array_.block(block).mode();
   op.subpages = subpages;
   op.background = background;
+  // Relocation programs consume data produced by a GC page read earlier in
+  // this request; host programs have no intra-request data dependency.
+  if (background) op.depends_on = gc_read_dep_;
   ops.push_back(op);
 }
 
@@ -413,6 +416,7 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
                     {"valid", static_cast<double>(blk.valid_subpages())}});
   }
 
+  const std::size_t victim_ops_start = ops.size();
   for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
     const auto page_id = static_cast<PageId>(p);
     const auto& page = blk.page(page_id);
@@ -430,14 +434,21 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
     }
     if (valid == 0) continue;
     emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
+    gc_read_dep_ = static_cast<std::uint32_t>(ops.size() - 1);
     relocate_slc_page(victim, page_id, now, ops);
     PPSSD_CHECK_MSG(
         blk.page(page_id).count(nand::SubpageState::kValid, spp_) == 0,
         "relocate_slc_page left valid data behind");
   }
   flush_evictions(array_.geometry().plane_of(victim), now, ops);
+  gc_read_dep_ = PhysOp::kNoDependency;
 
   emit_erase(victim, ops);
+  // The victim may be erased only after its valid data has been rewritten
+  // elsewhere: chain the erase behind the last relocation op.
+  if (ops.size() - 1 > victim_ops_start) {
+    ops.back().depends_on = static_cast<std::uint32_t>(ops.size() - 2);
+  }
   array_.erase(victim, now);
   on_slc_block_erased(victim);
   bm_.release_block(victim);
@@ -463,6 +474,12 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
                     {"invalid", static_cast<double>(blk.invalid_subpages())},
                     {"valid", static_cast<double>(blk.valid_subpages())}});
   }
+
+  // MLC GC can run nested inside SLC victim processing (an eviction flush
+  // below the free threshold triggers it); keep the outer read dependency
+  // intact for the ops emitted after this pass returns.
+  const std::uint32_t outer_read_dep = gc_read_dep_;
+  const std::size_t victim_ops_start = ops.size();
 
   // Pack the victim's valid subpages into fresh MLC pages of the same
   // plane: one read per source page, one program per packed destination.
@@ -505,6 +522,7 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
     }
     if (valid == 0) continue;
     emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
+    gc_read_dep_ = static_cast<std::uint32_t>(ops.size() - 1);
     for (std::uint32_t s = 0; s < spp_; ++s) {
       const auto& sp = page.subpage(static_cast<SubpageId>(s));
       if (sp.state != nand::SubpageState::kValid) continue;
@@ -515,6 +533,10 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
   flush_pack();
 
   emit_erase(victim, ops);
+  if (ops.size() - 1 > victim_ops_start) {
+    ops.back().depends_on = static_cast<std::uint32_t>(ops.size() - 2);
+  }
+  gc_read_dep_ = outer_read_dep;
   array_.erase(victim, now);
   bm_.release_block(victim);
   return true;

@@ -42,8 +42,18 @@
 namespace ppssd::cache {
 
 /// One physical flash operation for the timing model.
+///
+/// Ops within one host request form a dependency DAG: `depends_on` names
+/// the index (within the request's op sequence) of the op whose data this
+/// op consumes — a GC relocation program depends on the page read that
+/// sourced its data, a victim erase depends on the last relocation op of
+/// that victim. The controller dispatches an op only once its dependency
+/// has completed; independent ops overlap freely across chips/channels.
 struct PhysOp {
   enum class Kind : std::uint8_t { kRead = 0, kProgram = 1, kErase = 2 };
+
+  /// Sentinel: the op has no intra-request dependency.
+  static constexpr std::uint32_t kNoDependency = 0xffffffffu;
 
   std::uint32_t chip = 0;
   std::uint32_t channel = 0;
@@ -52,6 +62,7 @@ struct PhysOp {
   std::uint32_t subpages = 1;  // transferred / ECC-decoded payload
   double ber = 0.0;            // raw BER priced by ECC (reads only)
   bool background = false;     // GC / migration work
+  std::uint32_t depends_on = kNoDependency;  // earlier op index, or none
 };
 
 enum class SchemeKind : std::uint8_t { kBaseline = 0, kMga = 1, kIpu = 2 };
@@ -261,6 +272,14 @@ class Scheme {
   void count_partial_program(std::uint32_t n) {
     if (tl_partial_programs_) tl_partial_programs_->inc(n);
   }
+
+  /// Index (into the current request's op vector) of the GC page read that
+  /// sourced the data currently being relocated; kNoDependency outside GC
+  /// victim processing. emit_program() attaches it to background programs
+  /// so relocation writes wait for their source read in the controller.
+  /// MLC GC nests inside SLC victim processing (eviction flush can trigger
+  /// it), so mlc_gc_once() saves and restores the surrounding value.
+  std::uint32_t gc_read_dep_ = PhysOp::kNoDependency;
 
   SsdConfig cfg_;
   nand::FlashArray array_;

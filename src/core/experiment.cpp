@@ -130,6 +130,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   r.evicted_subpages = m.evicted_subpages;
   r.gc_moved_subpages = m.gc_moved_subpages;
   r.avg_queue_depth = replay.avg_queue_depth;
+  r.avg_queue_depth_at_arrival = replay.avg_queue_depth_at_arrival;
   {
     const auto& u = ssd.service_model().usage();
     r.chip_fg_seconds = ns_to_ms(u.read_fg + u.program_fg) / 1e3;
@@ -175,6 +176,7 @@ std::string ExperimentResult::serialize() const {
      << "evicted_subpages=" << evicted_subpages << '\n'
      << "gc_moved_subpages=" << gc_moved_subpages << '\n'
      << "avg_queue_depth=" << avg_queue_depth << '\n'
+     << "avg_queue_depth_at_arrival=" << avg_queue_depth_at_arrival << '\n'
      << "chip_fg_seconds=" << chip_fg_seconds << '\n'
      << "chip_bg_seconds=" << chip_bg_seconds << '\n'
      << "chip_erase_seconds=" << chip_erase_seconds << '\n'
@@ -253,6 +255,8 @@ std::optional<ExperimentResult> ExperimentResult::deserialize(
         r.gc_moved_subpages = std::stoull(v);
       } else if (k == "avg_queue_depth") {
         r.avg_queue_depth = std::stod(v);
+      } else if (k == "avg_queue_depth_at_arrival") {
+        r.avg_queue_depth_at_arrival = std::stod(v);
       } else if (k == "chip_fg_seconds") {
         r.chip_fg_seconds = std::stod(v);
       } else if (k == "chip_bg_seconds") {

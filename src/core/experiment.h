@@ -16,7 +16,7 @@ namespace ppssd::core {
 /// are added/removed or their meaning changes: the runner keys its disk
 /// cache by this version and deserialize() rejects other versions, so a
 /// stale cache can never masquerade as a fresh result.
-inline constexpr int kResultSchemaVersion = 2;
+inline constexpr int kResultSchemaVersion = 3;
 
 struct ExperimentSpec {
   cache::SchemeKind scheme = cache::SchemeKind::kIpu;
@@ -72,7 +72,8 @@ struct ExperimentResult {
   std::uint64_t evicted_subpages = 0;
   std::uint64_t gc_moved_subpages = 0;
 
-  double avg_queue_depth = 0.0;
+  double avg_queue_depth = 0.0;             // time-weighted mean in-flight
+  double avg_queue_depth_at_arrival = 0.0;  // legacy at-arrival sampling
   double wall_seconds = 0.0;
 
   // Chip-occupancy breakdown (seconds of array time) for diagnosis.

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "telemetry/telemetry.h"
 #include "trace/profiles.h"
 
@@ -64,21 +65,50 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) {
   return result;
 }
 
+std::vector<ExperimentResult> Runner::run_all(
+    const std::vector<ExperimentSpec>& specs, std::size_t jobs) {
+  if (jobs == 0) {
+    const std::string env = env_or("PPSSD_JOBS", "");
+    if (!env.empty()) {
+      try {
+        jobs = static_cast<std::size_t>(std::stoul(env));
+      } catch (...) {
+        jobs = 1;
+      }
+    }
+    if (jobs == 0) jobs = 1;
+  }
+  // The telemetry artifact writers (trace JSON, metrics CSV, time series)
+  // share env-configured output paths; concurrent cells would clobber
+  // each other's files. Telemetry runs force sequential execution.
+  if (telemetry::TelemetryOptions::from_env().any()) jobs = 1;
+
+  std::vector<ExperimentResult> results(specs.size());
+  if (jobs <= 1 || specs.size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) results[i] = run(specs[i]);
+    return results;
+  }
+  ThreadPool pool(jobs);
+  pool.parallel_for(specs.size(),
+                    [&](std::size_t i) { results[i] = run(specs[i]); });
+  return results;
+}
+
 std::vector<ExperimentResult> Runner::run_matrix(
     const std::vector<cache::SchemeKind>& schemes,
     const std::vector<std::string>& traces, std::uint32_t pe_cycles) {
-  std::vector<ExperimentResult> results;
-  results.reserve(schemes.size() * traces.size());
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(schemes.size() * traces.size());
   for (const auto& trace : traces) {
     for (const auto scheme : schemes) {
       ExperimentSpec spec = default_spec();
       spec.scheme = scheme;
       spec.trace = trace;
       spec.pe_cycles = pe_cycles;
-      results.push_back(run(spec));
+      specs.push_back(std::move(spec));
     }
   }
-  return results;
+  return run_all(specs);
 }
 
 ExperimentSpec Runner::default_spec() {

@@ -10,6 +10,12 @@
 //   PPSSD_BLOCKS=n     device scale override
 //   PPSSD_SCALE=f      trace-length fraction override
 //   PPSSD_NO_CACHE=1   disable the disk cache
+//
+// Matrix-level knob (run_all / run_matrix):
+//   PPSSD_JOBS=n       simulate up to n cells concurrently (default 1).
+//                      Each cell owns its Ssd and deterministic RNG, so
+//                      results are bit-identical at any job count; only
+//                      wall_seconds varies.
 #pragma once
 
 #include <string>
@@ -28,7 +34,16 @@ class Runner {
   /// Run (or load) one cell.
   ExperimentResult run(const ExperimentSpec& spec);
 
-  /// Run the full scheme × trace matrix at the default scale.
+  /// Run every spec, up to `jobs` concurrently (0 = $PPSSD_JOBS, default
+  /// 1). Results come back in spec order regardless of job count; cells
+  /// are independent simulations, so the values are bit-identical at any
+  /// parallelism. Telemetry env vars force sequential execution (the
+  /// artifact writers share output paths).
+  std::vector<ExperimentResult> run_all(
+      const std::vector<ExperimentSpec>& specs, std::size_t jobs = 0);
+
+  /// Run the full scheme × trace matrix at the default scale (delegates
+  /// to run_all, honouring $PPSSD_JOBS).
   std::vector<ExperimentResult> run_matrix(
       const std::vector<cache::SchemeKind>& schemes,
       const std::vector<std::string>& traces, std::uint32_t pe_cycles = 4000);

@@ -1,0 +1,163 @@
+#include "sim/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppssd::sim {
+
+Controller::Controller(const SsdConfig& cfg, std::uint32_t chips,
+                       std::uint32_t channels)
+    : timing_(cfg.timing), ecc_(cfg.ecc) {
+  PPSSD_CHECK(chips > 0 && channels > 0);
+  lanes_.assign(chips, ChipLane{});
+  channel_busy_.assign(channels, 0);
+  chip_occupancy_.assign(chips, 0);
+}
+
+void Controller::reset() {
+  std::fill(lanes_.begin(), lanes_.end(), ChipLane{});
+  std::fill(channel_busy_.begin(), channel_busy_.end(), SimTime{0});
+  std::fill(chip_occupancy_.begin(), chip_occupancy_.end(), SimTime{0});
+  usage_ = Usage{};
+  clock_ = 0;
+  while (!inflight_.empty()) inflight_.pop();
+}
+
+SimTime Controller::ecc_cost(const cache::PhysOp& op) const {
+  return ecc_.decode_time(op.ber, op.subpages);
+}
+
+void Controller::advance_to(SimTime now) {
+  SimTime last = clock_;
+  inflight_.drain_until(now, [&](const auto& ev) { last = ev.time; });
+  // kNoTime means "retire everything"; the clock lands on the last
+  // retirement instead of the sentinel.
+  clock_ = std::max(clock_, now == kNoTime ? last : now);
+}
+
+void Controller::attach_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    trace_ = nullptr;
+    tl_ops_[0][0] = tl_ops_[0][1] = tl_ops_[1][0] = tl_ops_[1][1] = nullptr;
+    tl_erases_ = tl_ecc_decodes_ = tl_ecc_saturated_ = nullptr;
+    tl_chip_wait_ = tl_ecc_ns_ = nullptr;
+    return;
+  }
+  auto& reg = telemetry->registry();
+  trace_ = telemetry->trace();
+  const char* kinds[2] = {"read", "program"};
+  const char* modes[2] = {"slc", "mlc"};
+  for (int k = 0; k < 2; ++k) {
+    for (int m = 0; m < 2; ++m) {
+      tl_ops_[k][m] =
+          reg.counter("flash_ops", {{"kind", kinds[k]}, {"mode", modes[m]}});
+    }
+  }
+  tl_erases_ = reg.counter("flash_ops", {{"kind", "erase"}});
+  tl_ecc_decodes_ = reg.counter("ecc_decodes");
+  tl_ecc_saturated_ = reg.counter("ecc_decodes_saturated");
+  // Chip queueing delay seen by array ops (ns): 100 ns .. 10 s.
+  tl_chip_wait_ = reg.histogram("chip_wait_ns", {}, 1e2, 1e10);
+  tl_ecc_ns_ = reg.histogram("ecc_decode_ns", {}, 1e2, 1e8);
+}
+
+SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
+  using Kind = cache::PhysOp::Kind;
+  PPSSD_CHECK(op.chip < lanes_.size());
+  PPSSD_CHECK(op.channel < channel_busy_.size());
+  advance_to(ready);
+
+  ChipLane& lane = lanes_[op.chip];
+  SimTime& channel = channel_busy_[op.channel];
+  SimTime end = ready;
+
+  switch (op.kind) {
+    case Kind::kRead: {
+      // Array sense, then transfer out, then controller-side ECC. A
+      // background read must wait for an in-progress erase; a foreground
+      // read suspends it.
+      SimTime sense_start = std::max(ready, lane.busy_until);
+      if (op.background) sense_start = std::max(sense_start, lane.erase_until);
+      const SimTime sense_end = sense_start + timing_.read_latency(op.mode);
+      (op.background ? usage_.read_bg : usage_.read_fg) +=
+          timing_.read_latency(op.mode);
+      chip_occupancy_[op.chip] += timing_.read_latency(op.mode);
+      lane.busy_until = sense_end;
+      const SimTime xfer_start = std::max(sense_end, channel);
+      const SimTime xfer_end =
+          xfer_start + timing_.transfer_latency(op.subpages);
+      channel = xfer_end;
+      const SimTime ecc_ns = ecc_cost(op);
+      end = xfer_end + ecc_ns;
+      if (tl_ecc_decodes_) {
+        tl_ecc_decodes_->inc(op.subpages);
+        if (ecc_.saturated(op.ber)) tl_ecc_saturated_->inc(op.subpages);
+        tl_ecc_ns_->observe(static_cast<double>(ecc_ns));
+        tl_ops_[0][static_cast<int>(op.mode)]->inc();
+        tl_chip_wait_->observe(static_cast<double>(sense_start - ready));
+      }
+      if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+        trace_->span(telemetry::TraceCategory::kFlash,
+                     op.mode == CellMode::kSlc ? "read_slc" : "read_mlc",
+                     sense_start, end, op.chip,
+                     {{"subpages", static_cast<double>(op.subpages)},
+                      {"ber", op.ber},
+                      {"bg", op.background ? 1.0 : 0.0}});
+      }
+      break;
+    }
+    case Kind::kProgram: {
+      // Transfer in, then program pulse on the chip. Background programs
+      // queue behind an in-progress erase; foreground programs suspend it.
+      const SimTime xfer_start = std::max(ready, channel);
+      const SimTime xfer_end =
+          xfer_start + timing_.transfer_latency(op.subpages);
+      channel = xfer_end;
+      SimTime prog_start = std::max(xfer_end, lane.busy_until);
+      if (op.background) prog_start = std::max(prog_start, lane.erase_until);
+      end = prog_start + timing_.program_latency(op.mode);
+      (op.background ? usage_.program_bg : usage_.program_fg) +=
+          timing_.program_latency(op.mode);
+      chip_occupancy_[op.chip] += timing_.program_latency(op.mode);
+      lane.busy_until = end;
+      if (tl_ops_[1][static_cast<int>(op.mode)]) {
+        tl_ops_[1][static_cast<int>(op.mode)]->inc();
+        tl_chip_wait_->observe(static_cast<double>(prog_start - ready));
+      }
+      if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+        trace_->span(telemetry::TraceCategory::kFlash,
+                     op.mode == CellMode::kSlc ? "prog_slc" : "prog_mlc",
+                     xfer_start, end, op.chip,
+                     {{"subpages", static_cast<double>(op.subpages)},
+                      {"bg", op.background ? 1.0 : 0.0}});
+      }
+      break;
+    }
+    case Kind::kErase: {
+      // Erase-suspend: the controller suspends a background erase when a
+      // host command arrives, so erases occupy a *separate* per-chip
+      // horizon that serialises only background work. Host ops see the
+      // chip as available; the erase's wall-clock completion still gates
+      // background progress on the lane.
+      const SimTime start =
+          std::max({ready, lane.erase_until, lane.busy_until});
+      end = start + timing_.erase_latency();
+      usage_.erase_bg += timing_.erase_latency();
+      chip_occupancy_[op.chip] += timing_.erase_latency();
+      lane.erase_until = end;
+      if (tl_erases_) tl_erases_->inc();
+      if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+        trace_->span(telemetry::TraceCategory::kFlash, "erase", start, end,
+                     op.chip,
+                     {{"mode", op.mode == CellMode::kSlc ? 0.0 : 1.0}});
+      }
+      break;
+    }
+  }
+
+  inflight_.push(end, op.chip);
+  return end;
+}
+
+}  // namespace ppssd::sim

@@ -1,0 +1,121 @@
+// Event-driven flash controller: per-chip command lanes, a simulation
+// clock, and dependency-aware command scheduling.
+//
+// The controller owns the device's timing resources. Each chip lane
+// executes one array operation (read sense / program pulse) at a time;
+// each channel serialises data transfers; ECC decoding happens
+// controller-side after a read transfer and scales with the raw BER
+// (ecc::EccLatencyModel). Erases run on a separate, suspendable per-chip
+// horizon: a foreground (host) command suspends an in-progress erase and
+// executes immediately, while background (GC) commands wait for the erase
+// to finish — the paper's erase-suspend semantics.
+//
+// Commands are scheduled one at a time via schedule(op, ready): the op
+// starts no earlier than `ready` (its arrival time joined with the
+// completion of its dependency, resolved by the caller from
+// PhysOp::depends_on), then queues FIFO behind the commands already
+// claimed on its lane and channel. Because callers submit commands in
+// arrival order, this eager per-command scheduling is exactly equivalent
+// to a lazy event-driven dispatch with FIFO resource queues — while
+// keeping the hot path allocation-free and bit-reproducible.
+//
+// Completion *delivery* is event-driven: every scheduled command pushes a
+// retirement event into a stable EventQueue; advance_to(now) moves the
+// controller clock forward and retires everything that finished, so
+// callers (Ssd, Replayer) can observe in-flight command counts and
+// harvest host-request completions out of submission order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/scheme.h"
+#include "common/config.h"
+#include "ecc/latency_model.h"
+#include "nand/timing.h"
+#include "sim/event_queue.h"
+#include "telemetry/telemetry.h"
+
+namespace ppssd::sim {
+
+class Controller {
+ public:
+  Controller(const SsdConfig& cfg, std::uint32_t chips,
+             std::uint32_t channels);
+
+  /// Price one command. The op may not start before `ready`; it then
+  /// queues behind the commands already scheduled on its chip lane and
+  /// channel. Returns the completion time (for reads: after the
+  /// controller-side ECC decode).
+  SimTime schedule(const cache::PhysOp& op, SimTime ready);
+
+  /// Advance the controller clock, retiring every in-flight command that
+  /// completes at or before `now` (kNoTime retires everything).
+  void advance_to(SimTime now);
+
+  [[nodiscard]] SimTime clock() const { return clock_; }
+  /// Commands scheduled but not yet retired by advance_to().
+  [[nodiscard]] std::size_t inflight_ops() const { return inflight_.size(); }
+
+  [[nodiscard]] SimTime chip_free_at(std::uint32_t chip) const {
+    return lanes_[chip].busy_until;
+  }
+  [[nodiscard]] SimTime channel_free_at(std::uint32_t ch) const {
+    return channel_busy_[ch];
+  }
+
+  /// Decode latency the model charges for a read op (exposed for tests).
+  [[nodiscard]] SimTime ecc_cost(const cache::PhysOp& op) const;
+
+  /// Accumulated chip-occupancy by op kind (ns), foreground/background.
+  struct Usage {
+    SimTime read_fg = 0, read_bg = 0;
+    SimTime program_fg = 0, program_bg = 0;
+    SimTime erase_bg = 0;
+    [[nodiscard]] SimTime total() const {
+      return read_fg + read_bg + program_fg + program_bg + erase_bg;
+    }
+  };
+  [[nodiscard]] const Usage& usage() const { return usage_; }
+
+  /// Accumulated array-op occupancy per chip (ns) — load-balance probe.
+  [[nodiscard]] const std::vector<SimTime>& chip_occupancy() const {
+    return chip_occupancy_;
+  }
+
+  void reset();
+
+  /// Register flash-op counters / wait histograms and adopt the bundle's
+  /// trace log for per-op chip-lane spans. Null detaches.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
+ private:
+  /// Per-chip command lane: the array horizon (one read/program at a
+  /// time) and the suspendable-erase horizon.
+  struct ChipLane {
+    SimTime busy_until = 0;
+    SimTime erase_until = 0;
+  };
+
+  nand::TimingModel timing_;
+  ecc::EccLatencyModel ecc_;
+  std::vector<ChipLane> lanes_;
+  std::vector<SimTime> channel_busy_;
+  std::vector<SimTime> chip_occupancy_;
+  Usage usage_;
+  SimTime clock_ = 0;
+  EventQueue<std::uint32_t> inflight_;  // retirement events, payload = chip
+
+  // Telemetry handles (null until attached). Counter index is
+  // [kind][mode] for read/program, erase is mode-independent.
+  telemetry::TraceLog* trace_ = nullptr;
+  telemetry::Counter* tl_ops_[2][2] = {{nullptr, nullptr},
+                                       {nullptr, nullptr}};
+  telemetry::Counter* tl_erases_ = nullptr;
+  telemetry::Counter* tl_ecc_decodes_ = nullptr;
+  telemetry::Counter* tl_ecc_saturated_ = nullptr;
+  telemetry::Histogram* tl_chip_wait_ = nullptr;
+  telemetry::Histogram* tl_ecc_ns_ = nullptr;
+};
+
+}  // namespace ppssd::sim

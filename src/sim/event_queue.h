@@ -1,8 +1,12 @@
-// Time-ordered min-heap of (time, payload) events.
+// Time-ordered min-heap of (time, payload) events with stable ordering:
+// events that carry the same timestamp pop in push (FIFO) order. Stability
+// is what makes replays bit-reproducible — the controller completion queue
+// and multi-stream trace merges must not depend on heap internals to break
+// timestamp ties.
 //
-// The replayer uses it to track in-flight request completions against
-// arrivals (device queue-depth statistics); it is also the building block
-// for multi-stream trace merging in the examples.
+// The replayer uses it to deliver request completions in simulation-time
+// order against arrivals (out-of-order host completions, device queue-depth
+// statistics); the controller uses it to retire in-flight flash commands.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +23,12 @@ class EventQueue {
  public:
   struct Event {
     SimTime time;
+    std::uint64_t seq;  // push order; breaks timestamp ties FIFO
     T payload;
   };
 
   void push(SimTime time, T payload) {
-    heap_.push_back(Event{time, std::move(payload)});
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
     sift_up(heap_.size() - 1);
   }
 
@@ -53,10 +58,14 @@ class EventQueue {
   }
 
  private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
   void sift_up(std::size_t i) {
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (heap_[parent].time <= heap_[i].time) break;
+      if (!before(heap_[i], heap_[parent])) break;
       std::swap(heap_[parent], heap_[i]);
       i = parent;
     }
@@ -68,8 +77,8 @@ class EventQueue {
       std::size_t smallest = i;
       const std::size_t l = 2 * i + 1;
       const std::size_t r = 2 * i + 2;
-      if (l < n && heap_[l].time < heap_[smallest].time) smallest = l;
-      if (r < n && heap_[r].time < heap_[smallest].time) smallest = r;
+      if (l < n && before(heap_[l], heap_[smallest])) smallest = l;
+      if (r < n && before(heap_[r], heap_[smallest])) smallest = r;
       if (smallest == i) break;
       std::swap(heap_[i], heap_[smallest]);
       i = smallest;
@@ -77,6 +86,7 @@ class EventQueue {
   }
 
   std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace ppssd::sim

@@ -9,8 +9,6 @@ namespace ppssd::sim {
 ReplayResult Replayer::replay(trace::TraceSource& src,
                               std::uint64_t max_requests) {
   ReplayResult result;
-  EventQueue<std::uint8_t> in_flight;
-  double depth_sum = 0.0;
 
   // Host-level instruments (null without an attached telemetry bundle).
   telemetry::Telemetry* tel = ssd_->telemetry();
@@ -26,40 +24,78 @@ ReplayResult Replayer::replay(trace::TraceSource& src,
     inflight = reg.gauge("inflight_requests");
   }
 
+  // Queue-depth accounting. `depth` mirrors the device's completion queue;
+  // `depth_integral` accumulates depth x time between consecutive events
+  // (arrivals and completions) for the time-weighted mean.
+  std::uint64_t depth = 0;
+  double depth_integral = 0.0;
+  double at_arrival_sum = 0.0;
+  SimTime first_arrival = kNoTime;
+  SimTime prev_event = 0;
+
+  const auto harvest = [&](const Ssd::HostCompletion& c) {
+    if (c.finish > prev_event) {
+      depth_integral +=
+          static_cast<double>(depth) * static_cast<double>(c.finish - prev_event);
+      prev_event = c.finish;
+    }
+    --depth;
+    result.latency.record(c.op, c.latency());
+    result.makespan = std::max(result.makespan, c.finish);
+    if (tel != nullptr) {
+      (c.op == OpType::kRead ? lat_read : lat_write)
+          ->observe(ns_to_ms(c.latency()));
+    }
+  };
+
   trace::TraceRecord rec;
   while (src.next(rec)) {
     if (max_requests != 0 && result.requests >= max_requests) break;
 
-    in_flight.drain_until(rec.arrival, [](const auto&) {});
-    depth_sum += static_cast<double>(in_flight.size());
-    result.max_queue_depth =
-        std::max<std::uint64_t>(result.max_queue_depth, in_flight.size());
+    // Retire everything that completed before this request arrives, in
+    // completion order, then advance the depth integral to the arrival.
+    ssd_->drain_completions(rec.arrival, harvest);
+    if (rec.arrival > prev_event) {
+      depth_integral += static_cast<double>(depth) *
+                        static_cast<double>(rec.arrival - prev_event);
+      prev_event = rec.arrival;
+    }
+    at_arrival_sum += static_cast<double>(depth);
+    result.max_queue_depth = std::max(result.max_queue_depth, depth);
+    if (first_arrival == kNoTime) first_arrival = rec.arrival;
 
-    const auto done = ssd_->submit(rec.op, rec.offset, rec.size, rec.arrival);
-    result.latency.record(rec.op, done.latency());
+    const auto done = ssd_->enqueue(rec.op, rec.offset, rec.size, rec.arrival);
+    ++depth;
     result.makespan = std::max(result.makespan, done.drained);
-    in_flight.push(done.finish, 0);
     ++result.requests;
 
     if (tel != nullptr) {
-      inflight->set(static_cast<double>(in_flight.size()));
+      inflight->set(static_cast<double>(depth));
       const double ms = ns_to_ms(done.latency());
       const bool read = rec.op == OpType::kRead;
-      (read ? lat_read : lat_write)->observe(ms);
-      if (tlog != nullptr &&
-          tlog->enabled(telemetry::TraceCategory::kHost)) {
+      if (tlog != nullptr && tlog->enabled(telemetry::TraceCategory::kHost)) {
         tlog->span(telemetry::TraceCategory::kHost,
-                   read ? "host_read" : "host_write", rec.arrival,
-                   done.finish, telemetry::kHostLane,
+                   read ? "host_read" : "host_write", rec.arrival, done.finish,
+                   telemetry::kHostLane,
                    {{"bytes", static_cast<double>(rec.size)},
-                    {"queue_depth", static_cast<double>(in_flight.size())},
+                    {"queue_depth", static_cast<double>(depth)},
                     {"latency_ms", ms}});
       }
       tel->on_request(rec.arrival);
     }
   }
+
+  // Source exhausted: harvest every remaining completion.
+  ssd_->drain_completions(kNoTime, harvest);
+  if (tel != nullptr && inflight != nullptr) inflight->set(0.0);
+
   if (result.requests > 0) {
-    result.avg_queue_depth = depth_sum / static_cast<double>(result.requests);
+    result.avg_queue_depth_at_arrival =
+        at_arrival_sum / static_cast<double>(result.requests);
+    if (prev_event > first_arrival) {
+      result.avg_queue_depth =
+          depth_integral / static_cast<double>(prev_event - first_arrival);
+    }
   }
   return result;
 }

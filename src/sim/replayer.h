@@ -1,11 +1,15 @@
 // Trace replay loop: drives an Ssd with a TraceSource and accumulates the
 // host-visible metrics (latency distributions, in-flight statistics).
+//
+// Requests are submitted at their arrival times and completions are
+// harvested from the device's completion queue in *completion* order,
+// which generally differs from submission order (a short read on an idle
+// chip overtakes a long GC-laden write on a busy one).
 #pragma once
 
 #include <cstdint>
 
 #include "common/latency_recorder.h"
-#include "sim/event_queue.h"
 #include "sim/ssd.h"
 #include "trace/record.h"
 
@@ -14,8 +18,15 @@ namespace ppssd::sim {
 struct ReplayResult {
   LatencyRecorder latency;
   std::uint64_t requests = 0;
-  SimTime makespan = 0;          // last completion time
-  double avg_queue_depth = 0.0;  // mean in-flight requests at arrival
+  SimTime makespan = 0;  // last completion time
+  /// Time-weighted mean in-flight requests over [first arrival, last
+  /// completion]: the integral of the in-flight count divided by the
+  /// active span. The quantity a device-side QD monitor would report.
+  double avg_queue_depth = 0.0;
+  /// Legacy definition: the mean in-flight count sampled at each request
+  /// arrival. Biased low for bursty traces (samples cluster where
+  /// arrivals do, not where queue time accumulates).
+  double avg_queue_depth_at_arrival = 0.0;
   std::uint64_t max_queue_depth = 0;
 };
 

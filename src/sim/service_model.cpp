@@ -6,148 +6,26 @@
 
 namespace ppssd::sim {
 
-ServiceModel::ServiceModel(const SsdConfig& cfg, std::uint32_t chips,
-                           std::uint32_t channels)
-    : timing_(cfg.timing), ecc_(cfg.ecc) {
-  PPSSD_CHECK(chips > 0 && channels > 0);
-  chip_busy_.assign(chips, 0);
-  channel_busy_.assign(channels, 0);
-  chip_occupancy_.assign(chips, 0);
-  erase_busy_.assign(chips, 0);
-}
-
-void ServiceModel::reset() {
-  std::fill(chip_busy_.begin(), chip_busy_.end(), SimTime{0});
-  std::fill(channel_busy_.begin(), channel_busy_.end(), SimTime{0});
-  std::fill(chip_occupancy_.begin(), chip_occupancy_.end(), SimTime{0});
-  std::fill(erase_busy_.begin(), erase_busy_.end(), SimTime{0});
-  usage_ = Usage{};
-}
-
-SimTime ServiceModel::ecc_cost(const cache::PhysOp& op) const {
-  return ecc_.decode_time(op.ber, op.subpages);
-}
-
-void ServiceModel::attach_telemetry(telemetry::Telemetry* telemetry) {
-  if (telemetry == nullptr) {
-    trace_ = nullptr;
-    tl_ops_[0][0] = tl_ops_[0][1] = tl_ops_[1][0] = tl_ops_[1][1] = nullptr;
-    tl_erases_ = tl_ecc_decodes_ = tl_ecc_saturated_ = nullptr;
-    tl_chip_wait_ = tl_ecc_ns_ = nullptr;
-    return;
-  }
-  auto& reg = telemetry->registry();
-  trace_ = telemetry->trace();
-  const char* kinds[2] = {"read", "program"};
-  const char* modes[2] = {"slc", "mlc"};
-  for (int k = 0; k < 2; ++k) {
-    for (int m = 0; m < 2; ++m) {
-      tl_ops_[k][m] =
-          reg.counter("flash_ops", {{"kind", kinds[k]}, {"mode", modes[m]}});
-    }
-  }
-  tl_erases_ = reg.counter("flash_ops", {{"kind", "erase"}});
-  tl_ecc_decodes_ = reg.counter("ecc_decodes");
-  tl_ecc_saturated_ = reg.counter("ecc_decodes_saturated");
-  // Chip queueing delay seen by array ops (ns): 100 ns .. 10 s.
-  tl_chip_wait_ = reg.histogram("chip_wait_ns", {}, 1e2, 1e10);
-  tl_ecc_ns_ = reg.histogram("ecc_decode_ns", {}, 1e2, 1e8);
-}
-
 ServiceModel::Outcome ServiceModel::service(
     std::span<const cache::PhysOp> ops, SimTime now) {
-  using Kind = cache::PhysOp::Kind;
   Outcome out;
   out.foreground_end = now;
   out.background_end = now;
 
+  // Completion time of each already-scheduled op of this sequence, for
+  // dependency resolution.
+  std::vector<SimTime> ends;
+  ends.reserve(ops.size());
+
   for (const auto& op : ops) {
-    PPSSD_CHECK(op.chip < chip_busy_.size());
-    PPSSD_CHECK(op.channel < channel_busy_.size());
-    SimTime& chip = chip_busy_[op.chip];
-    SimTime& channel = channel_busy_[op.channel];
-    SimTime end = now;
-
-    switch (op.kind) {
-      case Kind::kRead: {
-        // Array sense, then transfer out, then controller-side ECC.
-        const SimTime sense_start = std::max(now, chip);
-        const SimTime sense_end =
-            sense_start + timing_.read_latency(op.mode);
-        (op.background ? usage_.read_bg : usage_.read_fg) +=
-            timing_.read_latency(op.mode);
-        chip_occupancy_[op.chip] += timing_.read_latency(op.mode);
-        chip = sense_end;
-        const SimTime xfer_start = std::max(sense_end, channel);
-        const SimTime xfer_end =
-            xfer_start + timing_.transfer_latency(op.subpages);
-        channel = xfer_end;
-        const SimTime ecc_ns = ecc_cost(op);
-        end = xfer_end + ecc_ns;
-        if (tl_ecc_decodes_) {
-          tl_ecc_decodes_->inc(op.subpages);
-          if (ecc_.saturated(op.ber)) tl_ecc_saturated_->inc(op.subpages);
-          tl_ecc_ns_->observe(static_cast<double>(ecc_ns));
-          tl_ops_[0][static_cast<int>(op.mode)]->inc();
-          tl_chip_wait_->observe(static_cast<double>(sense_start - now));
-        }
-        if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
-          trace_->span(telemetry::TraceCategory::kFlash,
-                       op.mode == CellMode::kSlc ? "read_slc" : "read_mlc",
-                       sense_start, end, op.chip,
-                       {{"subpages", static_cast<double>(op.subpages)},
-                        {"ber", op.ber},
-                        {"bg", op.background ? 1.0 : 0.0}});
-        }
-        break;
-      }
-      case Kind::kProgram: {
-        // Transfer in, then program pulse on the chip.
-        const SimTime xfer_start = std::max(now, channel);
-        const SimTime xfer_end =
-            xfer_start + timing_.transfer_latency(op.subpages);
-        channel = xfer_end;
-        const SimTime prog_start = std::max(xfer_end, chip);
-        end = prog_start + timing_.program_latency(op.mode);
-        (op.background ? usage_.program_bg : usage_.program_fg) +=
-            timing_.program_latency(op.mode);
-        chip_occupancy_[op.chip] += timing_.program_latency(op.mode);
-        chip = end;
-        if (tl_ops_[1][static_cast<int>(op.mode)]) {
-          tl_ops_[1][static_cast<int>(op.mode)]->inc();
-          tl_chip_wait_->observe(static_cast<double>(prog_start - now));
-        }
-        if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
-          trace_->span(telemetry::TraceCategory::kFlash,
-                       op.mode == CellMode::kSlc ? "prog_slc" : "prog_mlc",
-                       xfer_start, end, op.chip,
-                       {{"subpages", static_cast<double>(op.subpages)},
-                        {"bg", op.background ? 1.0 : 0.0}});
-        }
-        break;
-      }
-      case Kind::kErase: {
-        // Erase-suspend: the controller suspends a background erase when a
-        // host command arrives, so erases occupy a *separate* per-chip
-        // horizon that only serialises background work. Host ops see the
-        // chip as available; the erase's wall-clock completion still gates
-        // background_end.
-        SimTime& erase_chip = erase_busy_[op.chip];
-        const SimTime start = std::max({now, erase_chip, chip});
-        end = start + timing_.erase_latency();
-        usage_.erase_bg += timing_.erase_latency();
-        chip_occupancy_[op.chip] += timing_.erase_latency();
-        erase_chip = end;
-        if (tl_erases_) tl_erases_->inc();
-        if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
-          trace_->span(telemetry::TraceCategory::kFlash, "erase", start, end,
-                       op.chip,
-                       {{"mode", op.mode == CellMode::kSlc ? 0.0 : 1.0}});
-        }
-        break;
-      }
+    SimTime ready = now;
+    if (op.depends_on != cache::PhysOp::kNoDependency) {
+      PPSSD_CHECK_MSG(op.depends_on < ends.size(),
+                      "depends_on must reference an earlier op");
+      ready = std::max(ready, ends[op.depends_on]);
     }
-
+    const SimTime end = ctrl_.schedule(op, ready);
+    ends.push_back(end);
     if (op.background) {
       out.background_end = std::max(out.background_end, end);
       ++out.background_ops;

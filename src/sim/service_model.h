@@ -1,13 +1,13 @@
-// Resource-timing model: prices a sequence of physical flash operations
-// against per-chip and per-channel availability.
+// Compatibility facade over sim::Controller: prices a whole op sequence
+// in one synchronous call.
 //
-// A chip executes one array operation (read sense / program pulse /
-// erase) at a time; a channel serialises data transfers; ECC decoding
-// happens controller-side after the transfer and scales with the raw BER
-// of the read (ecc::EccLatencyModel). Host latency is the completion of
-// the request's foreground ops; background (GC) ops occupy the same
-// resources and surface as queueing delay for later requests — exactly
-// the mechanism that differentiates the schemes in Figure 5.
+// The event-driven controller (sim/controller.h) is the real timing
+// model; this wrapper resolves each op's intra-request dependency
+// (PhysOp::depends_on) to a ready time and schedules the sequence in
+// issue order, returning the aggregate foreground/background completion
+// — the contract the original one-shot horizon model exposed. Existing
+// unit tests and probes (ecc_cost, usage, chip occupancy) keep working
+// unchanged; new code should talk to the Controller directly.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +16,7 @@
 
 #include "cache/scheme.h"
 #include "common/config.h"
-#include "ecc/latency_model.h"
-#include "nand/timing.h"
+#include "sim/controller.h"
 #include "telemetry/telemetry.h"
 
 namespace ppssd::sim {
@@ -25,7 +24,8 @@ namespace ppssd::sim {
 class ServiceModel {
  public:
   ServiceModel(const SsdConfig& cfg, std::uint32_t chips,
-               std::uint32_t channels);
+               std::uint32_t channels)
+      : ctrl_(cfg, chips, channels) {}
 
   struct Outcome {
     SimTime foreground_end = 0;  // completion of the host-visible ops
@@ -35,60 +35,41 @@ class ServiceModel {
   };
 
   /// Price the op sequence starting no earlier than `now`, in issue order
-  /// per resource. Returns completion times; chip/channel horizons advance.
+  /// per resource, honouring intra-sequence depends_on edges. Returns
+  /// completion times; the controller's lane/channel horizons advance.
   Outcome service(std::span<const cache::PhysOp> ops, SimTime now);
 
   [[nodiscard]] SimTime chip_busy_until(std::uint32_t chip) const {
-    return chip_busy_[chip];
+    return ctrl_.chip_free_at(chip);
   }
   [[nodiscard]] SimTime channel_busy_until(std::uint32_t ch) const {
-    return channel_busy_[ch];
+    return ctrl_.channel_free_at(ch);
   }
 
   /// Decode latency the model charges for a read op (exposed for tests).
-  [[nodiscard]] SimTime ecc_cost(const cache::PhysOp& op) const;
+  [[nodiscard]] SimTime ecc_cost(const cache::PhysOp& op) const {
+    return ctrl_.ecc_cost(op);
+  }
 
-  /// Accumulated chip-occupancy by op kind (ns), foreground/background.
-  struct Usage {
-    SimTime read_fg = 0, read_bg = 0;
-    SimTime program_fg = 0, program_bg = 0;
-    SimTime erase_bg = 0;
-    [[nodiscard]] SimTime total() const {
-      return read_fg + read_bg + program_fg + program_bg + erase_bg;
-    }
-  };
-  [[nodiscard]] const Usage& usage() const { return usage_; }
+  using Usage = Controller::Usage;
+  [[nodiscard]] const Usage& usage() const { return ctrl_.usage(); }
 
   /// Accumulated array-op occupancy per chip (ns) — load-balance probe.
   [[nodiscard]] const std::vector<SimTime>& chip_occupancy() const {
-    return chip_occupancy_;
+    return ctrl_.chip_occupancy();
   }
 
-  void reset();
+  void reset() { ctrl_.reset(); }
 
-  /// Register flash-op counters / wait histograms and adopt the bundle's
-  /// trace log for per-op chip-lane spans. Null detaches.
-  void attach_telemetry(telemetry::Telemetry* telemetry);
+  void attach_telemetry(telemetry::Telemetry* telemetry) {
+    ctrl_.attach_telemetry(telemetry);
+  }
+
+  [[nodiscard]] Controller& controller() { return ctrl_; }
+  [[nodiscard]] const Controller& controller() const { return ctrl_; }
 
  private:
-  nand::TimingModel timing_;
-  ecc::EccLatencyModel ecc_;
-  std::vector<SimTime> chip_busy_;
-  std::vector<SimTime> channel_busy_;
-  std::vector<SimTime> erase_busy_;  // suspendable-erase horizon per chip
-  std::vector<SimTime> chip_occupancy_;
-  Usage usage_;
-
-  // Telemetry handles (null until attached). Counter index is
-  // [kind][mode] for read/program, erase is mode-independent.
-  telemetry::TraceLog* trace_ = nullptr;
-  telemetry::Counter* tl_ops_[2][2] = {{nullptr, nullptr},
-                                       {nullptr, nullptr}};
-  telemetry::Counter* tl_erases_ = nullptr;
-  telemetry::Counter* tl_ecc_decodes_ = nullptr;
-  telemetry::Counter* tl_ecc_saturated_ = nullptr;
-  telemetry::Histogram* tl_chip_wait_ = nullptr;
-  telemetry::Histogram* tl_ecc_ns_ = nullptr;
+  Controller ctrl_;
 };
 
 }  // namespace ppssd::sim

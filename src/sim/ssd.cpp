@@ -28,8 +28,39 @@ void Ssd::attach_telemetry(telemetry::Telemetry* telemetry) {
   service_.attach_telemetry(telemetry);
 }
 
-Ssd::Completion Ssd::submit(OpType op, std::uint64_t offset,
-                            std::uint32_t size, SimTime arrival) {
+void Ssd::reset_timing() {
+  service_.reset();
+  // Unharvested completions carry pre-reset finish times.
+  pending_.drain_until(kNoTime, [](const auto&) {});
+  // Pending deferred ops may reference finish times from before the reset;
+  // those would distort post-reset scheduling. Dependencies on entries that
+  // are themselves still pending stay intact — they resolve to post-reset
+  // times when the dependency is scheduled.
+  for (std::size_t i = deferred_head_; i < deferred_.size(); ++i) {
+    Deferred& d = deferred_[i];
+    d.dep_finish = 0;
+    if (d.dep_entry != kNoEntry && deferred_[d.dep_entry].scheduled) {
+      d.dep_entry = kNoEntry;
+    }
+  }
+}
+
+SimTime Ssd::schedule_deferred(Deferred& d, SimTime now) {
+  SimTime ready = std::max(now, d.dep_finish);
+  if (d.dep_entry != kNoEntry) {
+    const Deferred& dep = deferred_[d.dep_entry];
+    // Deferral is FIFO and dependencies only point backward, so the
+    // dependency has always been scheduled by the time we get here.
+    PPSSD_CHECK_MSG(dep.scheduled, "deferred dependency scheduled out of order");
+    ready = std::max(ready, dep.finish);
+  }
+  d.finish = service_.controller().schedule(d.op, ready);
+  d.scheduled = true;
+  return d.finish;
+}
+
+Ssd::Completion Ssd::do_submit(OpType op, std::uint64_t offset,
+                               std::uint32_t size, SimTime arrival) {
   PPSSD_CHECK(size > 0);
   const std::uint64_t total = scheme_->array().geometry().logical_subpages();
 
@@ -47,42 +78,63 @@ Ssd::Completion Ssd::submit(OpType op, std::uint64_t offset,
     scheme_->host_read(lsn, count, arrival, ops_);
   }
 
+  Completion done;
+  done.id = next_request_id_++;
+  done.start = arrival;
+
   // GC interleaving: the controller gives host commands priority and
   // spreads background flash work across subsequent requests rather than
   // monopolising chips in one burst. Logical state already advanced in
-  // the scheme; only the op *pricing* is deferred.
+  // the scheme; only the command *scheduling* is deferred.
   const std::uint32_t interleave = config().cache.gc_interleave_ops;
-  SimTime bg_end = arrival;
   if (interleave == 0) {
     const auto outcome = service_.service(ops_, arrival);
-    Completion done;
-    done.start = arrival;
     done.finish = outcome.foreground_end;
     done.drained = outcome.background_end;
     return done;
   }
 
-  // Price this request's foreground ops immediately; queue its background
-  // ops, then drain a bounded slice of the backlog.
+  // Schedule this request's foreground commands immediately; queue its
+  // background commands, then drain a bounded slice of the backlog.
+  // Dependency edges (PhysOp::depends_on, request-local indices) are
+  // translated here: an edge to a foreground op becomes a resolved finish
+  // time, an edge to a deferred op becomes a deferred-queue index that the
+  // FIFO drain resolves when the dependency is scheduled.
+  Controller& ctrl = service_.controller();
   SimTime fg_end = arrival;
+  op_finish_.clear();
+  op_deferred_.clear();
   for (const auto& o : ops_) {
+    SimTime dep_finish = 0;
+    std::size_t dep_entry = kNoEntry;
+    if (o.depends_on != cache::PhysOp::kNoDependency) {
+      PPSSD_CHECK_MSG(o.depends_on < op_finish_.size(),
+                      "depends_on must reference an earlier op");
+      dep_entry = op_deferred_[o.depends_on];
+      if (dep_entry == kNoEntry) dep_finish = op_finish_[o.depends_on];
+    }
     if (o.background) {
-      deferred_.push_back(o);
+      op_deferred_.push_back(deferred_.size());
+      op_finish_.push_back(0);
+      deferred_.push_back(Deferred{o, dep_finish, dep_entry});
     } else {
-      const auto outcome =
-          service_.service(std::span<const cache::PhysOp>(&o, 1), arrival);
-      fg_end = std::max(fg_end, outcome.foreground_end);
+      PPSSD_CHECK_MSG(dep_entry == kNoEntry,
+                      "foreground op cannot depend on a deferred op");
+      const SimTime end =
+          ctrl.schedule(o, std::max(arrival, dep_finish));
+      fg_end = std::max(fg_end, end);
+      op_deferred_.push_back(kNoEntry);
+      op_finish_.push_back(end);
     }
   }
+  SimTime bg_end = arrival;
   std::uint32_t budget = interleave;
   // Never let the backlog grow unboundedly: drain faster when it piles up.
   budget = std::max<std::uint32_t>(
       budget, static_cast<std::uint32_t>(deferred_background_ops() / 64));
   while (budget-- > 0 && deferred_head_ < deferred_.size()) {
-    const auto outcome = service_.service(
-        std::span<const cache::PhysOp>(&deferred_[deferred_head_], 1),
-        arrival);
-    bg_end = std::max(bg_end, outcome.background_end);
+    bg_end = std::max(bg_end, schedule_deferred(deferred_[deferred_head_],
+                                                arrival));
     ++deferred_head_;
   }
   if (deferred_head_ == deferred_.size()) {
@@ -90,19 +142,33 @@ Ssd::Completion Ssd::submit(OpType op, std::uint64_t offset,
     deferred_head_ = 0;
   }
 
-  Completion done;
-  done.start = arrival;
   done.finish = fg_end;
   done.drained = std::max(fg_end, bg_end);
+  return done;
+}
+
+Ssd::Completion Ssd::submit(OpType op, std::uint64_t offset,
+                            std::uint32_t size, SimTime arrival) {
+  return do_submit(op, offset, size, arrival);
+}
+
+Ssd::Completion Ssd::enqueue(OpType op, std::uint64_t offset,
+                             std::uint32_t size, SimTime arrival) {
+  const Completion done = do_submit(op, offset, size, arrival);
+  HostCompletion host;
+  host.id = done.id;
+  host.op = op;
+  host.arrival = arrival;
+  host.finish = done.finish;
+  host.drained = done.drained;
+  pending_.push(done.finish, host);
   return done;
 }
 
 SimTime Ssd::drain_background(SimTime now) {
   SimTime end = now;
   while (deferred_head_ < deferred_.size()) {
-    const auto outcome = service_.service(
-        std::span<const cache::PhysOp>(&deferred_[deferred_head_], 1), now);
-    end = std::max(end, outcome.background_end);
+    end = std::max(end, schedule_deferred(deferred_[deferred_head_], now));
     ++deferred_head_;
   }
   deferred_.clear();

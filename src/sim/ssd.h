@@ -1,5 +1,14 @@
-// The simulated SSD: cache scheme + flash array + timing, behind a
-// byte-addressed host interface.
+// The simulated SSD: cache scheme + flash array + event-driven controller,
+// behind a byte-addressed host interface.
+//
+// Two submission paths share one controller:
+//  * submit()  — synchronous: generate ops, schedule them, return the
+//    completion record immediately (unit tests, warm-up helpers).
+//  * enqueue() — pipelined: same scheduling, but the completion is also
+//    pushed into a host completion queue keyed by finish time, so the
+//    replayer can harvest completions in *completion order* against later
+//    arrivals — true device queue depth and out-of-order host completions
+//    (a short read on an idle chip overtakes a long GC-laden write).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +18,7 @@
 #include "cache/scheme.h"
 #include "common/config.h"
 #include "common/types.h"
+#include "sim/event_queue.h"
 #include "sim/service_model.h"
 
 namespace ppssd::sim {
@@ -21,23 +31,60 @@ class Ssd {
   Ssd(const SsdConfig& cfg, std::unique_ptr<cache::Scheme> scheme);
 
   struct Completion {
+    std::uint64_t id = 0;  // submission order, unique per request
     SimTime start = 0;     // host submission time
     SimTime finish = 0;    // host-visible completion
     SimTime drained = 0;   // background work completion
     [[nodiscard]] SimTime latency() const { return finish - start; }
   };
 
-  /// Submit one host request. `offset` and `size` are in bytes; addresses
-  /// beyond the logical capacity wrap (size is clamped at the top).
+  /// One harvested host completion (see drain_completions).
+  struct HostCompletion {
+    std::uint64_t id = 0;
+    OpType op = OpType::kRead;
+    SimTime arrival = 0;
+    SimTime finish = 0;
+    SimTime drained = 0;
+    [[nodiscard]] SimTime latency() const { return finish - arrival; }
+  };
+
+  /// Submit one host request synchronously. `offset` and `size` are in
+  /// bytes; addresses beyond the logical capacity wrap (size is clamped at
+  /// the top).
   Completion submit(OpType op, std::uint64_t offset, std::uint32_t size,
                     SimTime arrival);
+
+  /// Pipelined submission: like submit(), but the request is also entered
+  /// into the host completion queue for later harvesting.
+  Completion enqueue(OpType op, std::uint64_t offset, std::uint32_t size,
+                     SimTime arrival);
+
+  /// Pop every pending completion with finish <= cutoff, in completion
+  /// order (ties by submission order), invoking fn(const HostCompletion&).
+  /// Also advances the controller clock.
+  template <typename Fn>
+  void drain_completions(SimTime cutoff, Fn&& fn) {
+    pending_.drain_until(cutoff, [&](auto ev) { fn(ev.payload); });
+    service_.controller().advance_to(cutoff);
+  }
+
+  /// Requests enqueued but not yet harvested.
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  /// Finish time of the earliest pending completion (kNoTime if none).
+  [[nodiscard]] SimTime next_completion_time() const {
+    return pending_.empty() ? kNoTime : pending_.top().time;
+  }
 
   [[nodiscard]] const cache::Scheme& scheme() const { return *scheme_; }
   [[nodiscard]] cache::Scheme& scheme() { return *scheme_; }
 
-  /// Clear chip/channel queues (used between warm-up and measurement).
-  void reset_timing() { service_.reset(); }
+  /// Clear chip/channel lanes (used between warm-up and measurement).
+  void reset_timing();
   [[nodiscard]] const ServiceModel& service_model() const { return service_; }
+  [[nodiscard]] Controller& controller() { return service_.controller(); }
+  [[nodiscard]] const Controller& controller() const {
+    return service_.controller();
+  }
   [[nodiscard]] const SsdConfig& config() const { return scheme_->config(); }
   [[nodiscard]] std::uint64_t logical_bytes() const;
 
@@ -46,23 +93,45 @@ class Ssd {
     return deferred_.size() - deferred_head_;
   }
 
-  /// Price every deferred background op now (end-of-replay flush).
+  /// Schedule every deferred background op now (end-of-replay flush).
   SimTime drain_background(SimTime now);
 
   /// Fan the bundle out to the scheme (placement/GC instruments) and the
-  /// service model (flash-op spans). Null detaches.
+  /// controller (flash-op spans). Null detaches.
   void attach_telemetry(telemetry::Telemetry* telemetry);
   /// The attached bundle, or null. The replayer uses this for host-level
   /// spans and sampler ticks.
   [[nodiscard]] telemetry::Telemetry* telemetry() const { return telemetry_; }
 
  private:
+  static constexpr std::size_t kNoEntry = static_cast<std::size_t>(-1);
+
+  /// A background op whose scheduling is deferred for GC interleaving.
+  /// Its dependency is carried either as an already-known finish time
+  /// (dep_finish) or as the index of an earlier deferred entry that will
+  /// be scheduled first (dep_entry).
+  struct Deferred {
+    cache::PhysOp op;
+    SimTime dep_finish = 0;
+    std::size_t dep_entry = kNoEntry;
+    SimTime finish = 0;  // set once scheduled
+    bool scheduled = false;
+  };
+
+  Completion do_submit(OpType op, std::uint64_t offset, std::uint32_t size,
+                       SimTime arrival);
+  SimTime schedule_deferred(Deferred& d, SimTime now);
+
   std::unique_ptr<cache::Scheme> scheme_;
   ServiceModel service_;
   telemetry::Telemetry* telemetry_ = nullptr;
-  std::vector<cache::PhysOp> ops_;       // reused per request
-  std::vector<cache::PhysOp> deferred_;  // background ops not yet priced
+  std::vector<cache::PhysOp> ops_;        // reused per request
+  std::vector<SimTime> op_finish_;        // reused per request
+  std::vector<std::size_t> op_deferred_;  // reused per request
+  std::vector<Deferred> deferred_;        // background ops not yet scheduled
   std::size_t deferred_head_ = 0;
+  EventQueue<HostCompletion> pending_;
+  std::uint64_t next_request_id_ = 0;
 };
 
 }  // namespace ppssd::sim

@@ -78,7 +78,33 @@ TEST(Replayer, IdleArrivalsKeepQueueEmpty) {
   trace::VectorTraceSource src(std::move(slow));
   Replayer replayer(ssd);
   const auto result = replayer.replay(src);
-  EXPECT_DOUBLE_EQ(result.avg_queue_depth, 0.0);
+  // Every request completes long before the next arrives: no arrival
+  // ever observes an outstanding request, while the time-weighted depth
+  // is the (small, positive) busy fraction of the replay window.
+  EXPECT_DOUBLE_EQ(result.avg_queue_depth_at_arrival, 0.0);
+  EXPECT_GT(result.avg_queue_depth, 0.0);
+  EXPECT_LT(result.avg_queue_depth, 0.1);
+}
+
+TEST(Replayer, TimeWeightedQueueDepthClosedForm) {
+  // Two non-overlapping writes of identical latency L, arrivals t1 and
+  // t2 with t2 > t1 + L. The depth is 1 for 2L of simulated time and 0
+  // otherwise, so the time-weighted mean over [t1, t2 + L] is
+  // 2L / (t2 + L - t1); the at-arrival sample never sees a queue.
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  const SimTime t1 = ms_to_ns(1.0);
+  const SimTime t2 = ms_to_ns(201.0);
+  std::vector<trace::TraceRecord> records = {
+      rec(t1, OpType::kWrite, 0, 4096),
+      rec(t2, OpType::kWrite, 1 << 20, 4096)};
+  trace::VectorTraceSource src(std::move(records));
+  Replayer replayer(ssd);
+  const auto result = replayer.replay(src);
+  ASSERT_EQ(result.requests, 2u);
+  EXPECT_DOUBLE_EQ(result.avg_queue_depth_at_arrival, 0.0);
+  const double busy_ns = 2.0 * result.latency.avg_write_ms() * 1e6;
+  const double span_ns = static_cast<double>(result.makespan - t1);
+  EXPECT_NEAR(result.avg_queue_depth, busy_ns / span_ns, 1e-12);
 }
 
 TEST(Replayer, EmptySource) {

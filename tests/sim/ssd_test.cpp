@@ -84,6 +84,67 @@ TEST(Ssd, InlineGcModeHasNoDeferredOps) {
   EXPECT_EQ(ssd.deferred_background_ops(), 0u);
 }
 
+TEST(Ssd, EnqueueMatchesSubmitTiming) {
+  // The pipelined path schedules through the same controller: identical
+  // request streams produce identical completion times.
+  Ssd sync_ssd(cfg(), cache::SchemeKind::kIpu);
+  Ssd async_ssd(cfg(), cache::SchemeKind::kIpu);
+  SimTime now = 0;
+  for (Lsn lsn = 0; lsn < 2000; lsn += 2) {
+    now += ms_to_ns(0.05);
+    const auto a = sync_ssd.submit(OpType::kWrite, lsn * kSubpageBytes, 8192,
+                                   now);
+    const auto b = async_ssd.enqueue(OpType::kWrite, lsn * kSubpageBytes,
+                                     8192, now);
+    ASSERT_EQ(a.finish, b.finish);
+    ASSERT_EQ(a.drained, b.drained);
+  }
+  EXPECT_EQ(async_ssd.in_flight(), 1000u);
+  async_ssd.drain_completions(kNoTime, [](const auto&) {});
+  EXPECT_EQ(async_ssd.in_flight(), 0u);
+}
+
+TEST(Ssd, CompletionsHarvestedOutOfSubmissionOrder) {
+  // A fast read enqueued after a slow write is delivered to the host
+  // first: the completion queue orders by finish time, not submission.
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  // Prime one LSN so the read touches flash, then clear the horizons.
+  ssd.submit(OpType::kWrite, 0, 4096, 0);
+  ssd.reset_timing();
+
+  const auto w = ssd.enqueue(OpType::kWrite, 1 << 20, 16384, 1000);
+  const auto r = ssd.enqueue(OpType::kRead, 0, 4096, 2000);
+  ASSERT_LT(r.finish, w.finish);  // short read overtakes the long write
+  EXPECT_EQ(ssd.in_flight(), 2u);
+  EXPECT_EQ(ssd.next_completion_time(), r.finish);
+
+  std::vector<std::uint64_t> order;
+  ssd.drain_completions(r.finish, [&](const Ssd::HostCompletion& c) {
+    order.push_back(c.id);
+    EXPECT_EQ(c.op, OpType::kRead);
+    EXPECT_EQ(c.latency(), r.finish - 2000);
+  });
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], r.id);
+  EXPECT_EQ(ssd.in_flight(), 1u);
+
+  ssd.drain_completions(kNoTime, [&](const Ssd::HostCompletion& c) {
+    order.push_back(c.id);
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], w.id);
+  EXPECT_EQ(ssd.in_flight(), 0u);
+}
+
+TEST(Ssd, ResetTimingDropsPendingCompletions) {
+  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  ssd.enqueue(OpType::kWrite, 0, 4096, 1000);
+  EXPECT_EQ(ssd.in_flight(), 1u);
+  ssd.reset_timing();
+  EXPECT_EQ(ssd.in_flight(), 0u);
+  EXPECT_EQ(ssd.next_completion_time(), kNoTime);
+}
+
 TEST(Ssd, CustomSchemeInjection) {
   SsdConfig c = cfg();
   auto ipu = std::make_unique<cache::IpuScheme>(c);
