@@ -1,0 +1,78 @@
+// Wall-clock performance suite: replays the fixed paper scheme × trace
+// matrix with the result cache disabled (every cell simulates) and writes
+// the machine-readable BENCH_perf.json next to a human summary table.
+//
+//   ./perf_suite [output.json]        default output: BENCH_perf.json
+//
+// Scale knobs are the usual ones — PPSSD_BLOCKS / PPSSD_SCALE shrink the
+// device and trace, PPSSD_JOBS parallelises cells. The committed
+// repo-root baseline is generated at PPSSD_BLOCKS=2048 PPSSD_SCALE=0.02
+// (matching the CI perf-smoke job); compare runs only against baselines
+// produced with the same knobs.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "perf/bench_report.h"
+
+using namespace ppssd;
+using namespace ppssd::bench;
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  print_scale_banner("Wall-clock performance suite");
+
+  // Empty cache dir: a cache hit would report zero wall time for the cell.
+  Runner runner("");
+  const auto traces = Runner::paper_traces();
+  const auto schemes = Runner::paper_schemes();
+  const auto results = runner.run_matrix(schemes, traces);
+
+  perf::BenchReport report;
+  const auto spec = Runner::default_spec();
+  report.blocks = spec.total_blocks;
+  report.scale = spec.trace_scale;
+  report.jobs = 1;
+  if (const char* jobs = std::getenv("PPSSD_JOBS")) {
+    try {
+      report.jobs = std::stoul(jobs);
+    } catch (...) {
+    }
+  }
+
+  Table table({"cell", "requests", "wall s", "req/s", "ctrl ev/s",
+               "measure s", "warmup s"});
+  for (const auto& r : results) {
+    perf::BenchCell cell;
+    cell.key = r.spec.key();
+    cell.scheme = cache::scheme_name(r.spec.scheme);
+    cell.trace = r.spec.trace;
+    cell.requests = r.reads + r.writes;
+    cell.ctrl_events = r.ctrl_events;
+    cell.wall_seconds = r.wall_seconds;
+    cell.reqs_per_sec = r.wall_reqs_per_sec;
+    cell.ctrl_events_per_sec = r.wall_ctrl_events_per_sec;
+    cell.phases.setup_seconds = r.wall_setup_seconds;
+    cell.phases.warmup_seconds = r.wall_warmup_seconds;
+    cell.phases.measure_seconds = r.wall_measure_seconds;
+    cell.phases.report_seconds = r.wall_report_seconds;
+    report.cells.push_back(cell);
+
+    table.add_row({cell.scheme + "/" + cell.trace,
+                   Table::count(cell.requests), Table::fmt(cell.wall_seconds, 2),
+                   Table::fmt(cell.reqs_per_sec, 0),
+                   Table::fmt(cell.ctrl_events_per_sec, 0),
+                   Table::fmt(cell.phases.measure_seconds, 2),
+                   Table::fmt(cell.phases.warmup_seconds, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("total wall %.1fs, geomean %.0f req/s\n",
+              report.total_wall_seconds(), report.geomean_reqs_per_sec());
+
+  if (!report.save(out_path)) {
+    std::fprintf(stderr, "perf_suite: failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cells)\n", out_path.c_str(), report.cells.size());
+  return 0;
+}

@@ -45,6 +45,10 @@ class LatencyRecorder {
   [[nodiscard]] double write_p50_ms() const {
     return write_quantile_ms(0.50);
   }
+  [[nodiscard]] double read_p95_ms() const { return read_quantile_ms(0.95); }
+  [[nodiscard]] double write_p95_ms() const {
+    return write_quantile_ms(0.95);
+  }
   [[nodiscard]] double read_p99_ms() const { return read_quantile_ms(0.99); }
   [[nodiscard]] double write_p99_ms() const {
     return write_quantile_ms(0.99);

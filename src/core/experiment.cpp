@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "perf/profiler.h"
 #include "sim/replayer.h"
 #include "sim/ssd.h"
 #include "telemetry/telemetry.h"
@@ -12,6 +13,14 @@
 #include "trace/synthetic.h"
 
 namespace ppssd::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
 
 std::string ExperimentSpec::key() const {
   std::ostringstream os;
@@ -33,24 +42,40 @@ SsdConfig config_for(const ExperimentSpec& spec) {
   return cfg;
 }
 
-ExperimentResult run_experiment(const ExperimentSpec& spec) {
-  const auto wall_start = std::chrono::steady_clock::now();
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                perf::ProgressSink* progress) {
+  perf::Profiler::init_from_env();
+  PPSSD_PROFILE_SCOPE("experiment");
+  const auto wall_start = Clock::now();
+  auto phase_start = wall_start;
 
-  const SsdConfig cfg = config_for(spec);
-  std::unique_ptr<cache::Scheme> scheme;
-  if (spec.scheme == cache::SchemeKind::kIpu && spec.ipu_options) {
-    auto ipu = std::make_unique<cache::IpuScheme>(cfg);
-    ipu->set_options(*spec.ipu_options);
-    scheme = std::move(ipu);
-  } else {
-    scheme = cache::make_scheme(spec.scheme, cfg);
+  ExperimentResult r;
+  r.spec = spec;
+
+  std::unique_ptr<sim::Ssd> ssd_owner;
+  std::unique_ptr<trace::SyntheticWorkload> workload_owner;
+  {
+    PPSSD_PROFILE_SCOPE("setup");
+    const SsdConfig cfg = config_for(spec);
+    std::unique_ptr<cache::Scheme> scheme;
+    if (spec.scheme == cache::SchemeKind::kIpu && spec.ipu_options) {
+      auto ipu = std::make_unique<cache::IpuScheme>(cfg);
+      ipu->set_options(*spec.ipu_options);
+      scheme = std::move(ipu);
+    } else {
+      scheme = cache::make_scheme(spec.scheme, cfg);
+    }
+    ssd_owner = std::make_unique<sim::Ssd>(cfg, std::move(scheme));
+    workload_owner = std::make_unique<trace::SyntheticWorkload>(
+        trace::profile_by_name(spec.trace), ssd_owner->logical_bytes(),
+        spec.trace_scale);
   }
-  sim::Ssd ssd(cfg, std::move(scheme));
-
+  sim::Ssd& ssd = *ssd_owner;
+  trace::SyntheticWorkload& workload = *workload_owner;
   const auto& profile = trace::profile_by_name(spec.trace);
   sim::Replayer replayer(ssd);
-  trace::SyntheticWorkload workload(profile, ssd.logical_bytes(),
-                                    spec.trace_scale);
+  r.wall_setup_seconds = seconds_since(phase_start);
+  phase_start = Clock::now();
 
   // Warm-up: the paper evaluates a pre-worn device (P/E already at
   // thousands of cycles), i.e. an aged SSD in steady state. Two phases:
@@ -61,6 +86,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   // Metrics and queues reset afterwards so the measured phase starts from
   // steady state.
   {
+    PPSSD_PROFILE_SCOPE("warmup");
     const auto& geom = ssd.scheme().array().geometry();
     // Fill the whole logical space: an aged drive holds the trace's
     // footprint plus other resident data, so the MLC region runs near its
@@ -89,6 +115,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     ssd.scheme().reset_metrics();
     ssd.reset_timing();
   }
+  r.wall_warmup_seconds = seconds_since(phase_start);
+  phase_start = Clock::now();
 
   // Telemetry (PPSSD_TRACE / PPSSD_METRICS / PPSSD_TIMESERIES): attach
   // after warm-up so the artifacts cover only the measured phase. The
@@ -98,20 +126,35 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       telemetry::Telemetry::from_env();
   if (tel) ssd.attach_telemetry(tel.get());
 
-  const sim::ReplayResult replay = replayer.replay(workload);
+  if (progress != nullptr) {
+    progress->begin(workload.expected_records());
+    replayer.set_progress(progress);
+  }
+  sim::ReplayResult replay;
+  {
+    PPSSD_PROFILE_SCOPE("measure");
+    replay = replayer.replay(workload);
+  }
   if (tel) tel->finish(replay.makespan);
+  r.wall_measure_seconds = seconds_since(phase_start);
+  phase_start = Clock::now();
 
+  PPSSD_PROFILE_SCOPE("report");
   const auto& m = ssd.scheme().metrics();
   const auto fp = ssd.scheme().footprint();
   const auto& counters = ssd.scheme().array().counters();
 
-  ExperimentResult r;
-  r.spec = spec;
   r.avg_read_ms = replay.latency.avg_read_ms();
   r.avg_write_ms = replay.latency.avg_write_ms();
   r.avg_overall_ms = replay.latency.avg_overall_ms();
+  r.p50_read_ms = replay.latency.read_p50_ms();
+  r.p50_write_ms = replay.latency.write_p50_ms();
+  r.p95_read_ms = replay.latency.read_p95_ms();
+  r.p95_write_ms = replay.latency.write_p95_ms();
   r.p99_read_ms = replay.latency.read_p99_ms();
   r.p99_write_ms = replay.latency.write_p99_ms();
+  r.p999_read_ms = replay.latency.read_p999_ms();
+  r.p999_write_ms = replay.latency.write_p999_ms();
   r.reads = replay.latency.read_count();
   r.writes = replay.latency.write_count();
   r.read_ber = m.read_ber.mean();
@@ -137,9 +180,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     r.chip_bg_seconds = ns_to_ms(u.read_bg + u.program_bg) / 1e3;
     r.chip_erase_seconds = ns_to_ms(u.erase_bg) / 1e3;
   }
-  r.wall_seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - wall_start)
-                       .count();
+  // The controller was reset at the end of warm-up, so its command count
+  // covers exactly the measured phase.
+  r.ctrl_events = ssd.controller().scheduled_ops();
+  r.wall_report_seconds = seconds_since(phase_start);
+  r.wall_seconds = seconds_since(wall_start);
+  if (r.wall_measure_seconds > 0.0) {
+    r.wall_reqs_per_sec =
+        static_cast<double>(r.reads + r.writes) / r.wall_measure_seconds;
+    r.wall_ctrl_events_per_sec =
+        static_cast<double>(r.ctrl_events) / r.wall_measure_seconds;
+  }
   return r;
 }
 
@@ -153,8 +204,14 @@ std::string ExperimentResult::serialize() const {
      << "avg_read_ms=" << avg_read_ms << '\n'
      << "avg_write_ms=" << avg_write_ms << '\n'
      << "avg_overall_ms=" << avg_overall_ms << '\n'
+     << "p50_read_ms=" << p50_read_ms << '\n'
+     << "p50_write_ms=" << p50_write_ms << '\n'
+     << "p95_read_ms=" << p95_read_ms << '\n'
+     << "p95_write_ms=" << p95_write_ms << '\n'
      << "p99_read_ms=" << p99_read_ms << '\n'
      << "p99_write_ms=" << p99_write_ms << '\n'
+     << "p999_read_ms=" << p999_read_ms << '\n'
+     << "p999_write_ms=" << p999_write_ms << '\n'
      << "reads=" << reads << '\n'
      << "writes=" << writes << '\n'
      << "read_ber=" << read_ber << '\n'
@@ -180,7 +237,16 @@ std::string ExperimentResult::serialize() const {
      << "chip_fg_seconds=" << chip_fg_seconds << '\n'
      << "chip_bg_seconds=" << chip_bg_seconds << '\n'
      << "chip_erase_seconds=" << chip_erase_seconds << '\n'
-     << "wall_seconds=" << wall_seconds << '\n';
+     << "ctrl_events=" << ctrl_events << '\n'
+     // Every wall_* key is wall-clock-derived and nondeterministic; the
+     // determinism checks filter on this prefix.
+     << "wall_seconds=" << wall_seconds << '\n'
+     << "wall_setup_seconds=" << wall_setup_seconds << '\n'
+     << "wall_warmup_seconds=" << wall_warmup_seconds << '\n'
+     << "wall_measure_seconds=" << wall_measure_seconds << '\n'
+     << "wall_report_seconds=" << wall_report_seconds << '\n'
+     << "wall_reqs_per_sec=" << wall_reqs_per_sec << '\n'
+     << "wall_ctrl_events_per_sec=" << wall_ctrl_events_per_sec << '\n';
   return os.str();
 }
 
@@ -209,10 +275,22 @@ std::optional<ExperimentResult> ExperimentResult::deserialize(
         r.avg_write_ms = std::stod(v);
       } else if (k == "avg_overall_ms") {
         r.avg_overall_ms = std::stod(v);
+      } else if (k == "p50_read_ms") {
+        r.p50_read_ms = std::stod(v);
+      } else if (k == "p50_write_ms") {
+        r.p50_write_ms = std::stod(v);
+      } else if (k == "p95_read_ms") {
+        r.p95_read_ms = std::stod(v);
+      } else if (k == "p95_write_ms") {
+        r.p95_write_ms = std::stod(v);
       } else if (k == "p99_read_ms") {
         r.p99_read_ms = std::stod(v);
       } else if (k == "p99_write_ms") {
         r.p99_write_ms = std::stod(v);
+      } else if (k == "p999_read_ms") {
+        r.p999_read_ms = std::stod(v);
+      } else if (k == "p999_write_ms") {
+        r.p999_write_ms = std::stod(v);
       } else if (k == "reads") {
         r.reads = std::stoull(v);
       } else if (k == "writes") {
@@ -263,8 +341,22 @@ std::optional<ExperimentResult> ExperimentResult::deserialize(
         r.chip_bg_seconds = std::stod(v);
       } else if (k == "chip_erase_seconds") {
         r.chip_erase_seconds = std::stod(v);
+      } else if (k == "ctrl_events") {
+        r.ctrl_events = std::stoull(v);
       } else if (k == "wall_seconds") {
         r.wall_seconds = std::stod(v);
+      } else if (k == "wall_setup_seconds") {
+        r.wall_setup_seconds = std::stod(v);
+      } else if (k == "wall_warmup_seconds") {
+        r.wall_warmup_seconds = std::stod(v);
+      } else if (k == "wall_measure_seconds") {
+        r.wall_measure_seconds = std::stod(v);
+      } else if (k == "wall_report_seconds") {
+        r.wall_report_seconds = std::stod(v);
+      } else if (k == "wall_reqs_per_sec") {
+        r.wall_reqs_per_sec = std::stod(v);
+      } else if (k == "wall_ctrl_events_per_sec") {
+        r.wall_ctrl_events_per_sec = std::stod(v);
       } else {
         --seen;
       }

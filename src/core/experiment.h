@@ -9,6 +9,7 @@
 #include "cache/ipu_scheme.h"
 #include "cache/scheme.h"
 #include "common/config.h"
+#include "perf/progress.h"
 
 namespace ppssd::core {
 
@@ -16,7 +17,7 @@ namespace ppssd::core {
 /// are added/removed or their meaning changes: the runner keys its disk
 /// cache by this version and deserialize() rejects other versions, so a
 /// stale cache can never masquerade as a fresh result.
-inline constexpr int kResultSchemaVersion = 3;
+inline constexpr int kResultSchemaVersion = 4;
 
 struct ExperimentSpec {
   cache::SchemeKind scheme = cache::SchemeKind::kIpu;
@@ -34,12 +35,19 @@ struct ExperimentSpec {
 struct ExperimentResult {
   ExperimentSpec spec;
 
-  // Figure 5 / 13: response times (ms).
+  // Figure 5 / 13: response times (ms). Percentiles form the uniform
+  // p50/p95/p99/p999 ladder the report layer exposes everywhere.
   double avg_read_ms = 0.0;
   double avg_write_ms = 0.0;
   double avg_overall_ms = 0.0;
+  double p50_read_ms = 0.0;
+  double p50_write_ms = 0.0;
+  double p95_read_ms = 0.0;
+  double p95_write_ms = 0.0;
   double p99_read_ms = 0.0;
   double p99_write_ms = 0.0;
+  double p999_read_ms = 0.0;
+  double p999_write_ms = 0.0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
 
@@ -74,7 +82,20 @@ struct ExperimentResult {
 
   double avg_queue_depth = 0.0;             // time-weighted mean in-flight
   double avg_queue_depth_at_arrival = 0.0;  // legacy at-arrival sampling
-  double wall_seconds = 0.0;
+
+  // Host-side (wall-clock) performance of the simulator itself. Every
+  // serialized key here starts with "wall_" — the determinism checks
+  // (tests + CI) filter that prefix, since only these fields may differ
+  // between bit-identical replays. `ctrl_events` (flash commands the
+  // controller scheduled during the measured phase) is deterministic.
+  double wall_seconds = 0.0;          // whole cell, all phases
+  double wall_setup_seconds = 0.0;    // config + scheme + workload build
+  double wall_warmup_seconds = 0.0;   // prefill + cache warm replay
+  double wall_measure_seconds = 0.0;  // measured replay
+  double wall_report_seconds = 0.0;   // metric collection + assembly
+  double wall_reqs_per_sec = 0.0;     // host requests / measured second
+  double wall_ctrl_events_per_sec = 0.0;
+  std::uint64_t ctrl_events = 0;
 
   // Chip-occupancy breakdown (seconds of array time) for diagnosis.
   double chip_fg_seconds = 0.0;   // host reads+programs
@@ -97,7 +118,10 @@ struct ExperimentResult {
 /// Build the SsdConfig for a spec (scale + wear applied).
 [[nodiscard]] SsdConfig config_for(const ExperimentSpec& spec);
 
-/// Run the cell end-to-end (synthesise trace, replay, collect).
-[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+/// Run the cell end-to-end (synthesise trace, replay, collect). The
+/// optional sink receives begin/advance ticks over the measured replay
+/// (the runner passes its live progress cell; null costs nothing).
+[[nodiscard]] ExperimentResult run_experiment(
+    const ExperimentSpec& spec, perf::ProgressSink* progress = nullptr);
 
 }  // namespace ppssd::core

@@ -81,25 +81,32 @@ bool write_results_csv(const std::string& path,
   std::ofstream out(path);
   if (!out) return false;
   out << "scheme,trace,pe_cycles,blocks,scale,avg_read_ms,avg_write_ms,"
-         "avg_overall_ms,p99_read_ms,p99_write_ms,reads,writes,read_ber,"
-         "slc_subpages,mlc_subpages,work_subpages,monitor_subpages,"
+         "avg_overall_ms,p50_read_ms,p50_write_ms,p95_read_ms,p95_write_ms,"
+         "p99_read_ms,p99_write_ms,p999_read_ms,p999_write_ms,reads,writes,"
+         "read_ber,slc_subpages,mlc_subpages,work_subpages,monitor_subpages,"
          "hot_subpages,intra_page_updates,gc_utilization,slc_erases,"
          "mlc_erases,map_total_bytes,slc_gc_count,mlc_gc_count,"
-         "evicted_subpages,gc_moved_subpages\n";
+         "evicted_subpages,gc_moved_subpages,ctrl_events,"
+         "wall_measure_seconds,wall_reqs_per_sec,wall_ctrl_events_per_sec\n";
   out.precision(10);
   for (const auto& r : results) {
     out << cache::scheme_name(r.spec.scheme) << ',' << r.spec.trace << ','
         << r.spec.pe_cycles << ',' << r.spec.total_blocks << ','
         << r.spec.trace_scale << ',' << r.avg_read_ms << ','
-        << r.avg_write_ms << ',' << r.avg_overall_ms << ',' << r.p99_read_ms
-        << ',' << r.p99_write_ms << ',' << r.reads << ',' << r.writes << ','
+        << r.avg_write_ms << ',' << r.avg_overall_ms << ',' << r.p50_read_ms
+        << ',' << r.p50_write_ms << ',' << r.p95_read_ms << ','
+        << r.p95_write_ms << ',' << r.p99_read_ms << ',' << r.p99_write_ms
+        << ',' << r.p999_read_ms << ',' << r.p999_write_ms << ','
+        << r.reads << ',' << r.writes << ','
         << r.read_ber << ',' << r.slc_subpages << ',' << r.mlc_subpages
         << ',' << r.level_subpages[1] << ',' << r.level_subpages[2] << ','
         << r.level_subpages[3] << ',' << r.intra_page_updates << ','
         << r.gc_utilization << ',' << r.slc_erases << ',' << r.mlc_erases
         << ',' << (r.map_base_bytes + r.map_extra_bytes) << ','
         << r.slc_gc_count << ',' << r.mlc_gc_count << ','
-        << r.evicted_subpages << ',' << r.gc_moved_subpages << '\n';
+        << r.evicted_subpages << ',' << r.gc_moved_subpages << ','
+        << r.ctrl_events << ',' << r.wall_measure_seconds << ','
+        << r.wall_reqs_per_sec << ',' << r.wall_ctrl_events_per_sec << '\n';
   }
   return static_cast<bool>(out);
 }

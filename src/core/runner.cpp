@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/thread_pool.h"
+#include "perf/profiler.h"
+#include "perf/progress.h"
 #include "telemetry/telemetry.h"
 #include "trace/profiles.h"
 
@@ -22,9 +24,13 @@ std::string env_or(const char* name, const std::string& fallback) {
 Runner::Runner()
     : cache_dir_(env_or("PPSSD_NO_CACHE", "").empty()
                      ? env_or("PPSSD_CACHE_DIR", ".ppssd_cache")
-                     : "") {}
+                     : "") {
+  perf::Profiler::init_from_env();
+}
 
-Runner::Runner(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {}
+Runner::Runner(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {
+  perf::Profiler::init_from_env();
+}
 
 std::string Runner::cache_path(const ExperimentSpec& spec) const {
   // The schema version is part of the key: a result-layout change makes
@@ -50,11 +56,17 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) {
     }
   }
 
-  std::fprintf(stderr, "[ppssd] simulating %s ...\n", spec.key().c_str());
-  ExperimentResult result = run_experiment(spec);
-  std::fprintf(stderr, "[ppssd]   done in %.1fs (%llu reqs)\n",
-               result.wall_seconds,
-               static_cast<unsigned long long>(result.reads + result.writes));
+  // All status output funnels through the progress reporter: it owns the
+  // stderr mutex (so PPSSD_JOBS>1 cells never interleave mid-line), obeys
+  // the TTY / PPSSD_PROGRESS activation policy, and drives the live
+  // percent/rate/ETA line from the replayer's ticks.
+  auto& progress = perf::ProgressReporter::global();
+  progress.note("[ppssd] simulating " + spec.key() + " ...");
+  perf::ProgressCell* cell = progress.start_cell(
+      std::string(cache::scheme_name(spec.scheme)) + "/" + spec.trace);
+  ExperimentResult result = run_experiment(spec, cell);
+  progress.finish_cell(cell, result.wall_seconds,
+                       result.reads + result.writes);
 
   if (!cache_dir_.empty()) {
     std::error_code ec;
@@ -83,6 +95,7 @@ std::vector<ExperimentResult> Runner::run_all(
   // each other's files. Telemetry runs force sequential execution.
   if (telemetry::TelemetryOptions::from_env().any()) jobs = 1;
 
+  perf::ProgressReporter::global().set_expected_cells(specs.size());
   std::vector<ExperimentResult> results(specs.size());
   if (jobs <= 1 || specs.size() <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) results[i] = run(specs[i]);

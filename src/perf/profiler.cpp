@@ -1,0 +1,285 @@
+#include "perf/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ppssd::perf {
+
+namespace {
+
+// Cache the owning profiler alongside the state so a test that installs a
+// fresh instance re-registers instead of writing into the old one's tree.
+thread_local Profiler* t_owner = nullptr;
+thread_local void* t_state = nullptr;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string fmt_seconds(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  return buf;
+}
+
+}  // namespace
+
+Profiler::Profiler(Options opts)
+    : opts_(std::move(opts)), epoch_ns_(steady_now_ns()) {}
+
+Profiler::~Profiler() {
+  finalize();
+  if (instance_ == this) instance_ = nullptr;
+}
+
+void Profiler::init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("PPSSD_PROFILE");
+    if (path == nullptr || *path == '\0') return;
+    // Function-local static: destroyed (and therefore finalized) at
+    // process exit, after the runner has joined any worker pool.
+    static Profiler prof(Options{.json_path = path});
+    instance_ = &prof;
+  });
+}
+
+Profiler* Profiler::exchange_instance(Profiler* p) {
+  Profiler* prev = instance_;
+  instance_ = p;
+  return prev;
+}
+
+std::uint64_t Profiler::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+Profiler::ThreadState* Profiler::register_thread() {
+  auto state = std::make_unique<ThreadState>();
+  Node root;
+  root.name = "";
+  root.parent = 0;
+  state->nodes.push_back(std::move(root));
+  state->stack.push_back(0);
+  ThreadState* raw = state.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->tid = static_cast<std::uint32_t>(threads_.size());
+    threads_.push_back(std::move(state));
+  }
+  t_owner = this;
+  t_state = raw;
+  return raw;
+}
+
+std::uint32_t Profiler::child_for(ThreadState& ts, std::uint32_t parent,
+                                  const char* name) {
+  for (const std::uint32_t c : ts.nodes[parent].children) {
+    // Pointer equality first: scope names are string literals, and the
+    // same site always passes the same pointer.
+    if (ts.nodes[c].name == name ||
+        std::strcmp(ts.nodes[c].name, name) == 0) {
+      return c;
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(ts.nodes.size());
+  Node n;
+  n.name = name;
+  n.parent = parent;
+  ts.nodes.push_back(std::move(n));
+  ts.nodes[parent].children.push_back(idx);
+  return idx;
+}
+
+void Profiler::enter(const char* name) {
+  ThreadState* ts = (t_owner == this)
+                        ? static_cast<ThreadState*>(t_state)
+                        : register_thread();
+  const std::uint32_t node = child_for(*ts, ts->stack.back(), name);
+  ++ts->nodes[node].calls;
+  ts->stack.push_back(node);
+  ts->starts.push_back(now_ns());
+}
+
+void Profiler::leave() {
+  ThreadState* ts = static_cast<ThreadState*>(t_state);
+  if (ts == nullptr || t_owner != this || ts->stack.size() <= 1) return;
+  const std::uint64_t end = now_ns();
+  const std::uint32_t node = ts->stack.back();
+  const std::uint64_t start = ts->starts.back();
+  ts->stack.pop_back();
+  ts->starts.pop_back();
+  ts->nodes[node].total_ns += end - start;
+  if (ts->spans.size() < opts_.max_spans_per_thread) {
+    ts->spans.push_back({ts->nodes[node].name, start, end - start});
+  } else {
+    ++ts->dropped;
+  }
+}
+
+std::vector<Profiler::NodeReport> Profiler::merged_tree() const {
+  // Merge per-thread trees by path. A std::map keyed by the full path
+  // yields a stable, alphabetical-within-depth order; each entry keeps
+  // the insertion-free aggregate.
+  struct Agg {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t child_ns = 0;
+    std::string name;
+    int depth = 0;
+  };
+  std::map<std::string, Agg> merged;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    // Pre-order walk of this thread's tree, accumulating into `merged`.
+    struct Item {
+      std::uint32_t node;
+      std::string path;
+      int depth;
+    };
+    std::vector<Item> work;
+    for (auto it = ts->nodes[0].children.rbegin();
+         it != ts->nodes[0].children.rend(); ++it) {
+      work.push_back({*it, "", 0});
+    }
+    while (!work.empty()) {
+      const Item item = work.back();
+      work.pop_back();
+      const Node& n = ts->nodes[item.node];
+      const std::string path =
+          item.path.empty() ? n.name : item.path + "/" + n.name;
+      Agg& a = merged[path];
+      a.calls += n.calls;
+      a.total_ns += n.total_ns;
+      a.name = n.name;
+      a.depth = item.depth;
+      std::uint64_t child_total = 0;
+      for (const std::uint32_t c : n.children) {
+        child_total += ts->nodes[c].total_ns;
+      }
+      a.child_ns += child_total;
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        work.push_back({*it, path, item.depth + 1});
+      }
+    }
+  }
+
+  std::vector<NodeReport> out;
+  out.reserve(merged.size());
+  for (const auto& [path, a] : merged) {
+    NodeReport r;
+    r.path = path;
+    r.name = a.name;
+    r.depth = a.depth;
+    r.calls = a.calls;
+    r.total_ns = a.total_ns;
+    r.self_ns = a.total_ns > a.child_ns ? a.total_ns - a.child_ns : 0;
+    out.push_back(std::move(r));
+  }
+  // Map order sorts "a/b" before "a0" lexicographically but always keeps a
+  // parent before its children ('/' sorts low among the characters scope
+  // names use), which is all the indented rendering needs.
+  return out;
+}
+
+std::string Profiler::report_text() const {
+  const auto tree = merged_tree();
+  std::uint64_t top_total = 0;
+  for (const auto& n : tree) {
+    if (n.depth == 0) top_total += n.total_ns;
+  }
+  std::ostringstream os;
+  os << "[ppssd] wall-clock profile: " << fmt_seconds(top_total)
+     << " profiled across " << thread_count() << " thread(s)\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-40s %10s %12s %12s\n", "scope",
+                "calls", "total", "self");
+  os << line;
+  for (const auto& n : tree) {
+    const std::string label = std::string(
+        static_cast<std::size_t>(n.depth) * 2, ' ') + n.name;
+    std::snprintf(line, sizeof line, "  %-40s %10llu %12s %12s\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(n.calls),
+                  fmt_seconds(n.total_ns).c_str(),
+                  fmt_seconds(n.self_ns).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+void Profiler::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"ppssd wall-clock\"}}";
+  char buf[256];
+  std::uint64_t spans = 0;
+  std::uint64_t dropped = 0;
+  for (const auto& ts : threads_) {
+    std::snprintf(buf, sizeof buf,
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"host thread %u\"}}",
+                  ts->tid, ts->tid);
+    out << buf;
+    for (const Span& s : ts->spans) {
+      std::snprintf(buf, sizeof buf,
+                    ",{\"name\":\"%s\",\"cat\":\"wall\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                    s.name, static_cast<double>(s.start_ns) / 1e3,
+                    static_cast<double>(s.dur_ns) / 1e3, ts->tid);
+      out << buf;
+      ++spans;
+    }
+    dropped += ts->dropped;
+  }
+  std::snprintf(buf, sizeof buf,
+                ",{\"name\":\"profile_closed\",\"cat\":\"wall\",\"ph\":\"i\","
+                "\"s\":\"p\",\"ts\":0,\"pid\":1,\"tid\":0,"
+                "\"args\":{\"spans\":%llu,\"dropped\":%llu}}",
+                static_cast<unsigned long long>(spans),
+                static_cast<unsigned long long>(dropped));
+  out << buf << "]}";
+}
+
+void Profiler::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (!opts_.json_path.empty()) {
+    std::ofstream out(opts_.json_path);
+    if (out) write_chrome_json(out);
+  }
+  if (opts_.report_to_stderr) {
+    std::fputs(report_text().c_str(), stderr);
+  }
+}
+
+std::uint64_t Profiler::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ts : threads_) n += ts->spans.size();
+  return n;
+}
+
+std::uint64_t Profiler::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ts : threads_) n += ts->dropped;
+  return n;
+}
+
+std::size_t Profiler::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+}  // namespace ppssd::perf

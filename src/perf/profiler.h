@@ -1,0 +1,154 @@
+// Wall-clock self-profiler: RAII hierarchical scopes, per-thread frames,
+// a merged call-tree report, and a Chrome trace-event timeline.
+//
+// This is the *host-side* twin of src/telemetry: telemetry answers "where
+// did simulated time go inside the device", this layer answers "where did
+// the simulator's own wall-clock time go". The two never mix clocks — the
+// telemetry trace uses pid 0 (sim time), the profiler emits pid 1 (wall
+// time), so the JSON artifacts can be concatenated into one Perfetto view
+// without the domains colliding.
+//
+// Usage contract:
+//
+//  * `Profiler::init_from_env()` installs a process-wide instance when
+//    PPSSD_PROFILE=f.json is set (idempotent, thread-safe). The instance
+//    writes f.json and a call-tree summary to stderr at process exit.
+//  * Instrumented code uses `PPSSD_PROFILE_SCOPE("name")`. When no
+//    profiler is installed the scope costs one null-pointer test — there
+//    is no lock, no clock read, and no allocation on the disabled path.
+//  * When enabled, enter/leave touch only thread-local state: a frame
+//    stack plus an interned call-tree (nodes keyed by parent + name).
+//    The only lock is taken once per thread, at registration.
+//  * merged_tree()/report_text()/write_chrome_json() merge the per-thread
+//    trees by scope-name path. Call them (and finalize()) only while no
+//    other thread is inside a scope — the runner satisfies this by
+//    joining its worker pool before the process exits.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppssd::perf {
+
+class Profiler {
+ public:
+  struct Options {
+    std::string json_path;  // empty = no JSON artifact
+    /// Cap on timeline span events kept per thread; beyond it the call
+    /// tree still accumulates and drops are counted in-band.
+    std::size_t max_spans_per_thread = 1u << 20;
+    bool report_to_stderr = true;
+  };
+
+  explicit Profiler(Options opts);
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+  ~Profiler();
+
+  /// The installed process-wide profiler (nullptr = profiling disabled).
+  [[nodiscard]] static Profiler* instance() { return instance_; }
+
+  /// Install from PPSSD_PROFILE once. Safe to call from multiple threads;
+  /// only the first call reads the environment.
+  static void init_from_env();
+
+  /// Swap the installed instance (testing); returns the previous one.
+  static Profiler* exchange_instance(Profiler* p);
+
+  // -- hot path (only reached when a profiler is installed) --------------
+  void enter(const char* name);
+  void leave();
+
+  // -- reporting ----------------------------------------------------------
+  /// One row of the merged (cross-thread) call tree, pre-order.
+  struct NodeReport {
+    std::string path;  // "experiment/measure"
+    std::string name;  // leaf scope name
+    int depth = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;  // inclusive
+    std::uint64_t self_ns = 0;   // total minus profiled children
+  };
+  [[nodiscard]] std::vector<NodeReport> merged_tree() const;
+
+  /// Human-readable indented call-tree summary.
+  [[nodiscard]] std::string report_text() const;
+
+  /// Chrome trace-event JSON: every retained span as a complete event on
+  /// pid 1 (wall-clock domain), tid = thread registration index, ts/dur
+  /// in microseconds since profiler construction. Ends with a
+  /// "profile_closed" instant carrying span/drop counts in-band.
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Write the JSON artifact and the stderr summary once. Runs from the
+  /// destructor; exposed so tests and tools can flush eagerly.
+  void finalize();
+
+  [[nodiscard]] std::uint64_t span_count() const;
+  [[nodiscard]] std::uint64_t dropped_spans() const;
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  struct Node {
+    const char* name;
+    std::uint32_t parent;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::vector<std::uint32_t> children;
+  };
+  struct Span {
+    const char* name;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+  };
+  struct ThreadState {
+    std::uint32_t tid = 0;
+    std::vector<Node> nodes;               // [0] is the synthetic root
+    std::vector<std::uint32_t> stack;      // open node indices
+    std::vector<std::uint64_t> starts;     // start times of open frames
+    std::vector<Span> spans;               // retained timeline events
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] std::uint64_t now_ns() const;
+  ThreadState* register_thread();
+  static std::uint32_t child_for(ThreadState& ts, std::uint32_t parent,
+                                 const char* name);
+
+  inline static Profiler* instance_ = nullptr;
+
+  Options opts_;
+  std::uint64_t epoch_ns_;  // steady_clock at construction
+  mutable std::mutex mu_;   // guards threads_ (registration + reporting)
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  bool finalized_ = false;
+};
+
+/// RAII frame: opens a profiler scope when a profiler is installed.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) : prof_(Profiler::instance()) {
+    if (prof_) prof_->enter(name);
+  }
+  ~ProfileScope() {
+    if (prof_) prof_->leave();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler* prof_;
+};
+
+#define PPSSD_PROFILE_CONCAT2(a, b) a##b
+#define PPSSD_PROFILE_CONCAT(a, b) PPSSD_PROFILE_CONCAT2(a, b)
+/// Profile the enclosing block under `name` (a string literal).
+#define PPSSD_PROFILE_SCOPE(name) \
+  ::ppssd::perf::ProfileScope PPSSD_PROFILE_CONCAT(ppssd_prof_scope_, \
+                                                   __LINE__)(name)
+
+}  // namespace ppssd::perf

@@ -20,6 +20,7 @@ void Controller::reset() {
   std::fill(channel_busy_.begin(), channel_busy_.end(), SimTime{0});
   std::fill(chip_occupancy_.begin(), chip_occupancy_.end(), SimTime{0});
   usage_ = Usage{};
+  scheduled_ops_ = 0;
   clock_ = 0;
   while (!inflight_.empty()) inflight_.pop();
 }
@@ -156,6 +157,7 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
     }
   }
 
+  ++scheduled_ops_;
   inflight_.push(end, op.chip);
   return end;
 }

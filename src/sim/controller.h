@@ -56,6 +56,10 @@ class Controller {
   [[nodiscard]] SimTime clock() const { return clock_; }
   /// Commands scheduled but not yet retired by advance_to().
   [[nodiscard]] std::size_t inflight_ops() const { return inflight_.size(); }
+  /// Total commands scheduled since construction / reset(). This is the
+  /// denominator-free "controller events" count the wall-clock perf layer
+  /// divides by measured seconds (events/s); deterministic per replay.
+  [[nodiscard]] std::uint64_t scheduled_ops() const { return scheduled_ops_; }
 
   [[nodiscard]] SimTime chip_free_at(std::uint32_t chip) const {
     return lanes_[chip].busy_until;
@@ -103,6 +107,7 @@ class Controller {
   std::vector<SimTime> channel_busy_;
   std::vector<SimTime> chip_occupancy_;
   Usage usage_;
+  std::uint64_t scheduled_ops_ = 0;
   SimTime clock_ = 0;
   EventQueue<std::uint32_t> inflight_;  // retirement events, payload = chip
 

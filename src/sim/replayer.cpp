@@ -68,6 +68,9 @@ ReplayResult Replayer::replay(trace::TraceSource& src,
     ++depth;
     result.makespan = std::max(result.makespan, done.drained);
     ++result.requests;
+    if (progress_ != nullptr && (result.requests & kProgressMask) == 0) {
+      progress_->advance(result.requests);
+    }
 
     if (tel != nullptr) {
       inflight->set(static_cast<double>(depth));

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/latency_recorder.h"
+#include "perf/progress.h"
 #include "sim/ssd.h"
 #include "trace/record.h"
 
@@ -37,8 +38,18 @@ class Replayer {
   /// Replay the source to exhaustion (or `max_requests` if nonzero).
   ReplayResult replay(trace::TraceSource& src, std::uint64_t max_requests = 0);
 
+  /// Optional live-progress sink, ticked every few thousand requests (a
+  /// null sink costs one pointer test per request). Caller keeps
+  /// ownership; the sink must outlive the replay.
+  void set_progress(perf::ProgressSink* sink) { progress_ = sink; }
+
  private:
+  /// Tick granularity: frequent enough for a smooth ETA, rare enough to
+  /// stay invisible in the replay loop's profile.
+  static constexpr std::uint64_t kProgressMask = (1u << 14) - 1;
+
   Ssd* ssd_;
+  perf::ProgressSink* progress_ = nullptr;
 };
 
 }  // namespace ppssd::sim

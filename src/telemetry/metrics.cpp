@@ -120,7 +120,9 @@ std::vector<Sample> MetricsRegistry::snapshot() const {
             {e.id + ".count", static_cast<double>(h.count()), true});
         out.push_back({e.id + ".mean", h.mean(), false});
         out.push_back({e.id + ".p50", h.quantile(0.50), false});
+        out.push_back({e.id + ".p95", h.quantile(0.95), false});
         out.push_back({e.id + ".p99", h.quantile(0.99), false});
+        out.push_back({e.id + ".p999", h.quantile(0.999), false});
         out.push_back({e.id + ".max", h.max(), false});
         break;
       }

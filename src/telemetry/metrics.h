@@ -16,8 +16,9 @@
 //    Typical labels: scheme=IPU, region=slc, op=read, level=hot.
 //
 // Snapshots flatten every instrument into one or more scalar samples
-// (histograms expand to count/mean/p50/p99/max), which is what the
-// TimeSeriesSampler windows and the end-of-run CSV dump serialize.
+// (histograms expand to the uniform count/mean/p50/p95/p99/p999/max
+// ladder), which is what the TimeSeriesSampler windows and the
+// end-of-run CSV dump serialize.
 #pragma once
 
 #include <cstdint>

@@ -53,12 +53,24 @@ TEST(LatencyRecorder, MedianIgnoresTheTail) {
   EXPECT_GT(rec.read_p999_ms(), rec.read_p50_ms());
 }
 
+TEST(LatencyRecorder, P95SitsBetweenMedianAndP99) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) {
+    rec.record(OpType::kRead, ms_to_ns(0.1 * i));  // 0.1 .. 100 ms
+  }
+  EXPECT_GT(rec.read_p95_ms(), rec.read_p50_ms());
+  EXPECT_LE(rec.read_p95_ms(), rec.read_p99_ms());
+  // ~95th of a uniform 0.1..100 ms ramp lands in the 90s (log buckets).
+  EXPECT_GT(rec.read_p95_ms(), 60.0);
+}
+
 TEST(LatencyRecorder, QuantilesAreMonotoneInQ) {
   LatencyRecorder rec;
   for (int i = 1; i <= 1000; ++i) {
     rec.record(OpType::kWrite, ms_to_ns(0.1 * i));  // 0.1 .. 100 ms
   }
-  EXPECT_LE(rec.write_p50_ms(), rec.write_p99_ms());
+  EXPECT_LE(rec.write_p50_ms(), rec.write_p95_ms());
+  EXPECT_LE(rec.write_p95_ms(), rec.write_p99_ms());
   EXPECT_LE(rec.write_p99_ms(), rec.write_p999_ms());
   // Quantiles interpolate inside a log bucket, so p999 may land slightly
   // above the exact max — but never outside the max's bucket.

@@ -53,10 +53,29 @@ TEST(ExperimentResult, SerializeRoundTrip) {
   r.slc_gc_count = 12;
   r.evicted_subpages = 200;
   r.chip_fg_seconds = 1.5;
+  r.p50_read_ms = 0.1;
+  r.p95_read_ms = 0.2;
+  r.p99_write_ms = 0.9;
+  r.p999_write_ms = 1.9;
+  r.ctrl_events = 123456;
+  r.wall_seconds = 2.5;
+  r.wall_measure_seconds = 1.25;
+  r.wall_reqs_per_sec = 8000.0;
+  r.wall_ctrl_events_per_sec = 98764.8;
 
   const auto parsed = ExperimentResult::deserialize(r.serialize());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_DOUBLE_EQ(parsed->avg_read_ms, r.avg_read_ms);
+  EXPECT_DOUBLE_EQ(parsed->p50_read_ms, r.p50_read_ms);
+  EXPECT_DOUBLE_EQ(parsed->p95_read_ms, r.p95_read_ms);
+  EXPECT_DOUBLE_EQ(parsed->p99_write_ms, r.p99_write_ms);
+  EXPECT_DOUBLE_EQ(parsed->p999_write_ms, r.p999_write_ms);
+  EXPECT_EQ(parsed->ctrl_events, r.ctrl_events);
+  EXPECT_DOUBLE_EQ(parsed->wall_seconds, r.wall_seconds);
+  EXPECT_DOUBLE_EQ(parsed->wall_measure_seconds, r.wall_measure_seconds);
+  EXPECT_DOUBLE_EQ(parsed->wall_reqs_per_sec, r.wall_reqs_per_sec);
+  EXPECT_DOUBLE_EQ(parsed->wall_ctrl_events_per_sec,
+                   r.wall_ctrl_events_per_sec);
   EXPECT_DOUBLE_EQ(parsed->read_ber, r.read_ber);
   EXPECT_EQ(parsed->slc_subpages, r.slc_subpages);
   EXPECT_EQ(parsed->level_subpages[3], r.level_subpages[3]);
@@ -92,6 +111,23 @@ TEST(RunExperiment, TinyCellEndToEnd) {
   EXPECT_GT(r.map_base_bytes, 0u);
   // Warm-up guarantees steady state: the SLC cache saw GC.
   EXPECT_GT(r.slc_gc_count, 0u);
+  // Percentile ladder is ordered.
+  EXPECT_LE(r.p50_write_ms, r.p95_write_ms);
+  EXPECT_LE(r.p95_write_ms, r.p99_write_ms);
+  EXPECT_LE(r.p99_write_ms, r.p999_write_ms);
+  // Wall-clock throughput accounting is populated and consistent.
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.wall_measure_seconds, 0.0);
+  EXPECT_GE(r.wall_seconds, r.wall_measure_seconds);
+  EXPECT_GT(r.ctrl_events, 0u);
+  EXPECT_GT(r.wall_reqs_per_sec, 0.0);
+  EXPECT_GT(r.wall_ctrl_events_per_sec, 0.0);
+}
+
+TEST(RunExperiment, CtrlEventsDeterministic) {
+  const ExperimentResult a = run_experiment(tiny_spec());
+  const ExperimentResult b = run_experiment(tiny_spec());
+  EXPECT_EQ(a.ctrl_events, b.ctrl_events);
 }
 
 TEST(RunExperiment, DeterministicAcrossRuns) {

@@ -50,6 +50,8 @@ TEST(WriteResultsCsv, RoundTripColumns) {
   r.avg_overall_ms = 0.5;
   r.read_ber = 2.8e-4;
   r.slc_erases = 42;
+  r.p95_write_ms = 1.5;
+  r.wall_reqs_per_sec = 12345.5;
   const std::string path = ::testing::TempDir() + "ppssd_results.csv";
   ASSERT_TRUE(write_results_csv(path, {r}));
 
@@ -62,6 +64,15 @@ TEST(WriteResultsCsv, RoundTripColumns) {
             std::count(row.begin(), row.end(), ','));
   EXPECT_NE(row.find("IPU,ts0,"), std::string::npos);
   EXPECT_NE(row.find(",42,"), std::string::npos);
+  EXPECT_NE(row.find("12345.5"), std::string::npos);
+  // The uniform percentile ladder and throughput columns are present.
+  for (const char* col :
+       {"p50_read_ms", "p95_read_ms", "p99_read_ms", "p999_read_ms",
+        "p50_write_ms", "p95_write_ms", "p99_write_ms", "p999_write_ms",
+        "ctrl_events", "wall_measure_seconds", "wall_reqs_per_sec",
+        "wall_ctrl_events_per_sec"}) {
+    EXPECT_NE(header.find(col), std::string::npos) << col;
+  }
   std::remove(path.c_str());
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "perf/profiler.h"
 
 namespace ppssd::core {
 namespace {
@@ -25,14 +26,14 @@ std::vector<ExperimentSpec> tiny_matrix() {
   return specs;
 }
 
-// Everything but wall_seconds (the only field that may differ between
-// otherwise identical runs).
+// Everything but the wall_* keys (the only fields that may differ
+// between otherwise identical runs — host-side timing, not sim state).
 std::string stable_serialization(const ExperimentResult& r) {
   std::istringstream in(r.serialize());
   std::string line;
   std::string out;
   while (std::getline(in, line)) {
-    if (line.rfind("wall_seconds=", 0) == 0) continue;
+    if (line.rfind("wall_", 0) == 0) continue;
     out += line;
     out += '\n';
   }
@@ -50,6 +51,27 @@ TEST(RunnerParallel, JobsProduceBitIdenticalResults) {
     EXPECT_EQ(stable_serialization(seq[i]), stable_serialization(par[i]))
         << specs[i].key();
   }
+}
+
+// The profiler must be an observer: with an instance installed, parallel
+// replays still produce bit-identical simulation results.
+TEST(RunnerParallel, ProfilingOnKeepsResultsBitIdentical) {
+  perf::Profiler prof(perf::Profiler::Options{
+      .json_path = "", .report_to_stderr = false});
+  perf::Profiler* prev = perf::Profiler::exchange_instance(&prof);
+
+  Runner runner("");
+  const auto specs = tiny_matrix();
+  const auto seq = runner.run_all(specs, 1);
+  const auto par = runner.run_all(specs, 4);
+
+  perf::Profiler::exchange_instance(prev);
+  ASSERT_EQ(par.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(stable_serialization(seq[i]), stable_serialization(par[i]))
+        << specs[i].key();
+  }
+  EXPECT_GT(prof.span_count(), 0u);
 }
 
 TEST(RunnerParallel, ResultsComeBackInSpecOrder) {

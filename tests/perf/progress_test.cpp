@@ -1,0 +1,127 @@
+#include "perf/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace ppssd::perf {
+namespace {
+
+ProgressReporter::Options plain(std::ostream& os) {
+  ProgressReporter::Options opts;
+  opts.enabled = true;
+  opts.live = false;  // sequential lines, no \r control characters
+  opts.out = &os;
+  return opts;
+}
+
+TEST(ProgressFormat, RateScalesUnits) {
+  EXPECT_EQ(ProgressReporter::format_rate(12.4), "12 req/s");
+  EXPECT_EQ(ProgressReporter::format_rate(8500.0), "8.5 kreq/s");
+  EXPECT_EQ(ProgressReporter::format_rate(2.25e6), "2.25 Mreq/s");
+  EXPECT_EQ(ProgressReporter::format_rate(0.0), "0 req/s");
+}
+
+TEST(ProgressFormat, EtaPicksHumanUnits) {
+  EXPECT_EQ(ProgressReporter::format_eta(12.0), "12s");
+  EXPECT_EQ(ProgressReporter::format_eta(125.0), "2m05s");
+  EXPECT_EQ(ProgressReporter::format_eta(5400.0), "1.5h");
+}
+
+TEST(ProgressReporter, DisabledSwallowsEverything) {
+  std::ostringstream os;
+  ProgressReporter::Options opts;
+  opts.enabled = false;
+  opts.out = &os;
+  ProgressReporter rep(opts);
+  rep.note("[ppssd] should not appear");
+  ProgressCell* cell = rep.start_cell("IPU/ts0");
+  cell->begin(100);
+  cell->advance(50);
+  rep.finish_cell(cell, 1.0, 100);
+  EXPECT_TRUE(os.str().empty()) << os.str();
+}
+
+TEST(ProgressReporter, NotesAndFinishLinesAreSequential) {
+  std::ostringstream os;
+  ProgressReporter rep(plain(os));
+  rep.set_expected_cells(2);
+  rep.note("[ppssd] simulating IPU-ts0 ...");
+  ProgressCell* cell = rep.start_cell("IPU/ts0");
+  cell->begin(1000);
+  cell->advance(1000);
+  rep.finish_cell(cell, 2.0, 1000);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("simulating IPU-ts0"), std::string::npos);
+  EXPECT_NE(out.find("done IPU/ts0"), std::string::npos);
+  EXPECT_NE(out.find("2.0s"), std::string::npos);
+  EXPECT_NE(out.find("500 req/s"), std::string::npos);
+  EXPECT_NE(out.find("(1/2 cells)"), std::string::npos);
+  // Non-live mode must never emit carriage returns.
+  EXPECT_EQ(out.find('\r'), std::string::npos);
+}
+
+TEST(ProgressReporter, StatusLineTracksMultipleActiveCells) {
+  std::ostringstream os;
+  ProgressReporter rep(plain(os));
+  rep.set_expected_cells(3);
+  ProgressCell* a = rep.start_cell("Baseline/ts0");
+  ProgressCell* b = rep.start_cell("IPU/prxy0");
+  a->begin(200);
+  a->advance(50);
+  b->begin(400);
+  b->advance(100);
+
+  const std::string line = rep.status_line();
+  EXPECT_EQ(line.rfind("[ppssd] 0/3 cells", 0), 0u) << line;
+  EXPECT_NE(line.find("Baseline/ts0 25%"), std::string::npos) << line;
+  EXPECT_NE(line.find("IPU/prxy0 25%"), std::string::npos) << line;
+
+  rep.finish_cell(a, 0.5, 200);
+  const std::string after = rep.status_line();
+  EXPECT_EQ(after.rfind("[ppssd] 1/3 cells", 0), 0u) << after;
+  EXPECT_EQ(after.find("Baseline/ts0"), std::string::npos) << after;
+  rep.finish_cell(b, 0.5, 400);
+}
+
+TEST(ProgressReporter, StatusLineElidesBeyondThreeActiveCells) {
+  std::ostringstream os;
+  ProgressReporter rep(plain(os));
+  for (int i = 0; i < 5; ++i) {
+    ProgressCell* c = rep.start_cell("cell" + std::to_string(i));
+    c->begin(100);
+    c->advance(10);
+  }
+  const std::string line = rep.status_line();
+  EXPECT_NE(line.find("cell0"), std::string::npos);
+  EXPECT_NE(line.find("cell2"), std::string::npos);
+  EXPECT_EQ(line.find("cell3"), std::string::npos) << line;
+  EXPECT_NE(line.find("+2 more"), std::string::npos) << line;
+}
+
+TEST(ProgressReporter, ExpectedCellsResetStartsANewBatch) {
+  std::ostringstream os;
+  ProgressReporter rep(plain(os));
+  rep.set_expected_cells(1);
+  ProgressCell* a = rep.start_cell("batch1");
+  a->begin(10);
+  rep.finish_cell(a, 0.1, 10);
+  EXPECT_EQ(rep.status_line().rfind("[ppssd] 1/1 cells", 0), 0u);
+  // A second run_all batch in the same process starts over.
+  rep.set_expected_cells(2);
+  EXPECT_EQ(rep.status_line().rfind("[ppssd] 0/2 cells", 0), 0u);
+}
+
+TEST(ProgressReporter, AdvanceClampsToTotal) {
+  std::ostringstream os;
+  ProgressReporter rep(plain(os));
+  ProgressCell* c = rep.start_cell("clamped");
+  c->begin(100);
+  c->advance(250);  // replayer ticks on a mask; the last tick can overshoot
+  EXPECT_NE(rep.status_line().find("clamped 100%"), std::string::npos);
+  rep.finish_cell(c, 0.1, 100);
+}
+
+}  // namespace
+}  // namespace ppssd::perf

@@ -52,13 +52,23 @@ TEST(MetricsRegistry, HistogramExpandsToScalarSamples) {
   h->observe(1.0);
   h->observe(2.0);
   const auto samples = reg.snapshot();
-  ASSERT_EQ(samples.size(), 5u);  // count/mean/p50/p99/max
+  // The uniform percentile ladder: count/mean/p50/p95/p99/p999/max.
+  ASSERT_EQ(samples.size(), 7u);
   EXPECT_EQ(samples[0].series, "lat_ms{op=read}.count");
   EXPECT_TRUE(samples[0].cumulative);
   EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
   EXPECT_EQ(samples[1].series, "lat_ms{op=read}.mean");
   EXPECT_FALSE(samples[1].cumulative);
   EXPECT_DOUBLE_EQ(samples[1].value, 1.5);
+  EXPECT_EQ(samples[2].series, "lat_ms{op=read}.p50");
+  EXPECT_EQ(samples[3].series, "lat_ms{op=read}.p95");
+  EXPECT_EQ(samples[4].series, "lat_ms{op=read}.p99");
+  EXPECT_EQ(samples[5].series, "lat_ms{op=read}.p999");
+  EXPECT_EQ(samples[6].series, "lat_ms{op=read}.max");
+  // Quantiles of the same distribution are monotone in q.
+  EXPECT_LE(samples[2].value, samples[3].value);
+  EXPECT_LE(samples[3].value, samples[4].value);
+  EXPECT_LE(samples[4].value, samples[5].value);
 }
 
 TEST(MetricsRegistry, GaugeFnIsPolledAtSnapshot) {

@@ -1,6 +1,7 @@
 // End-to-end: attach a Telemetry bundle to a real Ssd, replay a slice of
 // a synthetic workload, and validate every artifact the way a user would
 // consume it (parse the trace, read the CSVs back).
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -104,6 +105,47 @@ TEST(TelemetryE2e, RegistryOnlyBundleCountsWithoutArtifacts) {
   }
   EXPECT_GT(cache_writes, 0u);
   EXPECT_GE(tel.registry().instrument_count(), 10u);
+}
+
+TEST(TelemetryE2e, TraceLimitFromEnvCapsEventsAndAccountsDropsInBand) {
+  // The PPSSD_TRACE_LIMIT path end-to-end: env → TelemetryOptions →
+  // TraceLog cap. The artifact must stay parseable and the trace_closed
+  // metadata must account for every event the cap discarded.
+  const std::string path = ::testing::TempDir() + "/e2e.capped.trace.json";
+  ::setenv("PPSSD_TRACE", path.c_str(), 1);
+  ::setenv("PPSSD_TRACE_LIMIT", "50", 1);
+  auto tel = telemetry::Telemetry::from_env();
+  ::unsetenv("PPSSD_TRACE");
+  ::unsetenv("PPSSD_TRACE_LIMIT");
+  ASSERT_NE(tel, nullptr);
+
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  {
+    sim::Ssd ssd(SsdConfig::scaled(1024), cache::SchemeKind::kIpu);
+    ssd.attach_telemetry(tel.get());
+    trace::SyntheticWorkload workload(trace::profile_by_name("ts0"),
+                                      ssd.logical_bytes(), 0.01);
+    sim::Replayer replayer(ssd);
+    const auto result = replayer.replay(workload, 300);
+    tel->finish(result.makespan);
+    emitted = tel->trace()->emitted();
+    dropped = tel->trace()->dropped();
+    ssd.attach_telemetry(nullptr);
+  }
+  EXPECT_EQ(emitted, 50u);
+  EXPECT_GT(dropped, 0u);
+
+  const auto doc = telemetry::json::parse(slurp(path));
+  ASSERT_TRUE(doc.has_value() && doc->is_object());
+  const auto& events = doc->find("traceEvents")->array;
+  ASSERT_EQ(events.size(), 51u);  // the cap + trace_closed
+  const auto& meta = events.back();
+  ASSERT_EQ(meta.find("name")->string, "trace_closed");
+  EXPECT_DOUBLE_EQ(meta.find("args")->find("emitted")->number,
+                   static_cast<double>(emitted));
+  EXPECT_DOUBLE_EQ(meta.find("args")->find("dropped")->number,
+                   static_cast<double>(dropped));
 }
 
 TEST(TelemetryE2e, DetachedSsdReplaysIdenticallyToNeverAttached) {

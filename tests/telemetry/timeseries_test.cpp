@@ -84,6 +84,20 @@ TEST(TimeSeriesSampler, FinishOnEmptyWindowIsNoOp) {
   EXPECT_EQ(lines_of(os).size(), 2u);
 }
 
+TEST(TimeSeriesSampler, FinishWithNoRequestsEmitsNoWindows) {
+  // A replay that never ticked the sampler (empty workload, or telemetry
+  // attached after the last request): finish must not invent a window or
+  // emit a dangling header-only artifact crash.
+  MetricsRegistry reg;
+  reg.counter("ops")->inc(5);
+  std::ostringstream os;
+  TimeSeriesSampler sampler(reg, os, {.every_requests = 10});
+  sampler.finish(1000);
+  EXPECT_EQ(sampler.windows(), 0u);
+  EXPECT_TRUE(lines_of(os).empty() || lines_of(os).size() == 1u)
+      << os.str();  // at most the header, never a data row
+}
+
 TEST(TimeSeriesSampler, LateRegistrationsDoNotMisalignColumns) {
   MetricsRegistry reg;
   reg.counter("a")->inc();

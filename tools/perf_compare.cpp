@@ -1,0 +1,84 @@
+// Diff two BENCH_perf.json files with a noise tolerance.
+//
+//   perf_compare <baseline.json> <current.json> [--tolerance 0.25]
+//                [--warn-only]
+//
+// Exit status: 0 when every matched cell's throughput is within
+// tolerance (or --warn-only is set), 1 on regression, 2 on usage or
+// unreadable/invalid input. Cells present on only one side are reported
+// but never fail the run — the matrix legitimately grows.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "perf/bench_report.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--tolerance <fraction>] [--warn-only]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double tolerance = 0.25;
+  bool warn_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      tolerance = std::strtod(argv[++i], nullptr);
+      if (tolerance < 0.0 || tolerance >= 1.0) {
+        std::fprintf(stderr, "perf_compare: tolerance must be in [0, 1)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+      warn_only = true;
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage(argv[0]);
+
+  const auto baseline = ppssd::perf::BenchReport::load(baseline_path);
+  if (!baseline) {
+    std::fprintf(stderr, "perf_compare: cannot read %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  const auto current = ppssd::perf::BenchReport::load(current_path);
+  if (!current) {
+    std::fprintf(stderr, "perf_compare: cannot read %s\n",
+                 current_path.c_str());
+    return 2;
+  }
+  if (baseline->blocks != current->blocks ||
+      baseline->scale != current->scale) {
+    std::fprintf(stderr,
+                 "perf_compare: warning: configs differ (baseline %u blocks "
+                 "scale %g, current %u blocks scale %g) — ratios are not "
+                 "meaningful across scales\n",
+                 baseline->blocks, baseline->scale, current->blocks,
+                 current->scale);
+  }
+
+  const auto cmp =
+      ppssd::perf::compare_bench(*baseline, *current, tolerance);
+  std::printf("%s", cmp.render().c_str());
+  if (cmp.has_regression()) {
+    return warn_only ? 0 : 1;
+  }
+  return 0;
+}
