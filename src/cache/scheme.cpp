@@ -397,6 +397,9 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
     });
     if (victim == kInvalidBlock) return false;
   }
+  if (gc_decision_hook_) {
+    gc_decision_hook_(plane, CellMode::kSlc, victim, now);
+  }
 
   nand::Block& blk = array_.block(victim);
   ++metrics_.slc_gc_count;
@@ -464,6 +467,9 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
 
   nand::Block& blk = array_.block(victim);
   if (blk.invalid_subpages() < min_invalid) return false;
+  if (gc_decision_hook_) {
+    gc_decision_hook_(plane, CellMode::kMlc, victim, now);
+  }
   ++metrics_.mlc_gc_count;
   if (tl_gc_mlc_) tl_gc_mlc_->inc();
   if (tlog_ && tlog_->enabled(telemetry::TraceCategory::kGc)) {
@@ -654,12 +660,17 @@ void Scheme::check_consistency() const {
     const auto& blk = array_.block(b);
     std::uint32_t recount_valid = 0;
     std::uint32_t recount_invalid = 0;
+    std::uint64_t recount_wt_sum = 0;
+    nand::AgeHistogram recount_hist;
+    recount_hist.clear(blk.age_histogram().base_ms());
     for (std::uint32_t p = 0; p < blk.page_count(); ++p) {
       const auto& page = blk.page(static_cast<PageId>(p));
       for (std::uint32_t s = 0; s < blk.subpages_per_page(); ++s) {
         const auto& sp = page.subpage(static_cast<SubpageId>(s));
         if (sp.state == nand::SubpageState::kInvalid) ++recount_invalid;
         if (sp.state != nand::SubpageState::kValid) continue;
+        recount_wt_sum += sp.write_time_ms;
+        if (page.program_ops() == 1) recount_hist.add(sp.write_time_ms);
         ++recount_valid;
         ++valid_total;
         const Lsn lsn = sp.owner_lsn;
@@ -676,10 +687,17 @@ void Scheme::check_consistency() const {
     }
     PPSSD_CHECK(recount_valid == blk.valid_subpages());
     PPSSD_CHECK(recount_invalid == blk.invalid_subpages());
+    // The GC-score aggregates must agree with a from-scratch rebuild.
+    PPSSD_CHECK_MSG(recount_wt_sum == blk.sum_write_time_ms(),
+                    "running write-time sum is stale");
+    PPSSD_CHECK_MSG(recount_hist == blk.age_histogram(),
+                    "age histogram disagrees with page state");
   }
   // Bijection: mapped LSNs == valid physical subpages (each valid subpage
   // points back at its unique mapping, counts close the loop).
   PPSSD_CHECK(valid_total == map_.mapped_count());
+  // The GC victim index must mirror block states and invalid counts.
+  bm_.check_victim_index();
 }
 
 std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SsdConfig& cfg) {

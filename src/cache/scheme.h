@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -151,6 +152,14 @@ class Scheme {
   /// before replay. Returns the number of subpages filled.
   std::uint64_t prefill_mlc(std::uint64_t max_subpages,
                             std::uint32_t free_floor_blocks);
+
+  /// Observer of committed GC victim decisions, fired once per GC pass
+  /// right after victim selection resolves (test / capture use).
+  using GcDecisionHook = std::function<void(
+      std::uint32_t plane, CellMode mode, BlockId victim, SimTime now)>;
+  void set_gc_decision_hook(GcDecisionHook hook) {
+    gc_decision_hook_ = std::move(hook);
+  }
 
   /// Register the scheme's counters/histograms (cache hit/miss, partial
   /// programs, evictions, GC episodes, read BER…) labelled
@@ -307,6 +316,8 @@ class Scheme {
     std::uint32_t version;
   };
   std::vector<StagedEviction> staged_evictions_;
+
+  GcDecisionHook gc_decision_hook_;
 
   std::uint32_t spp_;
   std::uint32_t rr_plane_ = 0;

@@ -33,9 +33,21 @@ BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
 
   planes_.resize(geom.planes());
   state_.assign(geom.total_blocks(), State::kFree);
+  indexed_invalid_.assign(geom.total_blocks(), 0);
 
+  const std::uint32_t slc_subpages =
+      geom.pages_per_block(CellMode::kSlc) * geom.subpages_per_page();
+  const std::uint32_t mlc_subpages =
+      geom.pages_per_block(CellMode::kMlc) * geom.subpages_per_page();
+
+  const std::uint32_t slc_per_plane_blocks = geom.slc_blocks_per_plane();
   for (std::uint32_t p = 0; p < geom.planes(); ++p) {
     const BlockId first = geom.plane_first_block(p);
+    planes_[p].slc_victims.init(first, slc_per_plane_blocks,
+                                slc_subpages + 1);
+    planes_[p].mlc_victims.init(
+        first + slc_per_plane_blocks,
+        geom.blocks_per_plane() - slc_per_plane_blocks, mlc_subpages + 1);
     for (std::uint32_t i = 0; i < geom.blocks_per_plane(); ++i) {
       const BlockId b = first + i;
       const auto& blk = array.block(b);
@@ -60,7 +72,11 @@ BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
       1, static_cast<std::uint32_t>(slc_per_plane * cache.monitor_ratio));
   hot_cap_ = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(slc_per_plane * cache.hot_ratio));
+
+  array_->set_block_observer(this);
 }
+
+BlockManager::~BlockManager() { array_->set_block_observer(nullptr); }
 
 std::uint32_t BlockManager::level_cap(BlockLevel level) const {
   switch (level) {
@@ -71,6 +87,72 @@ std::uint32_t BlockManager::level_cap(BlockLevel level) const {
     default:
       return UINT32_MAX;  // Work and MLC are bounded only by the free list
   }
+}
+
+BlockManager::VictimIndex& BlockManager::victim_index(BlockId b) {
+  PlaneState& ps = planes_[array_->geometry().plane_of(b)];
+  return array_->block(b).mode() == CellMode::kSlc ? ps.slc_victims
+                                                   : ps.mlc_victims;
+}
+
+const BlockManager::VictimIndex& BlockManager::victim_index(
+    std::uint32_t plane, CellMode mode) const {
+  const PlaneState& ps = planes_[plane];
+  return mode == CellMode::kSlc ? ps.slc_victims : ps.mlc_victims;
+}
+
+void BlockManager::index_insert(BlockId b) {
+  VictimIndex& idx = victim_index(b);
+  const std::uint32_t invalid = array_->block(b).invalid_subpages();
+  PPSSD_CHECK(invalid < idx.counts.size());
+  const std::uint32_t slot = b - idx.first;
+  const std::uint64_t mask = 1ull << (slot % 64);
+  PPSSD_CHECK((idx.members[slot / 64] & mask) == 0);
+  idx.members[slot / 64] |= mask;
+  idx.row(invalid)[slot / 64] |= mask;
+  ++idx.counts[invalid];
+  ++idx.candidates;
+  indexed_invalid_[b] = invalid;
+  idx.max_invalid = std::max(idx.max_invalid, invalid);
+}
+
+void BlockManager::index_erase(BlockId b) {
+  VictimIndex& idx = victim_index(b);
+  const std::uint32_t key = indexed_invalid_[b];
+  const std::uint32_t slot = b - idx.first;
+  const std::uint64_t mask = 1ull << (slot % 64);
+  PPSSD_CHECK((idx.members[slot / 64] & mask) != 0);
+  idx.members[slot / 64] &= ~mask;
+  idx.row(key)[slot / 64] &= ~mask;
+  PPSSD_CHECK(idx.counts[key] > 0);
+  --idx.counts[key];
+  --idx.candidates;
+  indexed_invalid_[b] = 0;
+  // Keep the watermark exact so the victim query never probes an empty
+  // bucket: walk it down past any buckets this removal drained.
+  while (idx.max_invalid > 0 && idx.counts[idx.max_invalid] == 0) {
+    --idx.max_invalid;
+  }
+}
+
+void BlockManager::on_subpage_invalidated(BlockId b, std::uint32_t invalid) {
+  // Open blocks are not candidates; their invalid count is captured when
+  // they close. Free blocks cannot be invalidated at all.
+  if (state_[b] != State::kUsed) return;
+  VictimIndex& idx = victim_index(b);
+  const std::uint32_t key = indexed_invalid_[b];
+  PPSSD_CHECK_MSG(invalid == key + 1,
+                  "victim index out of sync with block invalid count");
+  PPSSD_CHECK(invalid < idx.counts.size());
+  const std::uint32_t slot = b - idx.first;
+  const std::uint64_t mask = 1ull << (slot % 64);
+  PPSSD_CHECK((idx.row(key)[slot / 64] & mask) != 0);
+  idx.row(key)[slot / 64] &= ~mask;
+  idx.row(invalid)[slot / 64] |= mask;
+  --idx.counts[key];
+  ++idx.counts[invalid];
+  indexed_invalid_[b] = invalid;
+  idx.max_invalid = std::max(idx.max_invalid, invalid);
 }
 
 bool BlockManager::open_block(std::uint32_t plane, BlockLevel level) {
@@ -98,6 +180,7 @@ void BlockManager::close_open(std::uint32_t plane, BlockLevel level) {
   PPSSD_CHECK(b != kInvalidBlock);
   state_[b] = State::kUsed;
   ps.open[level_index(level)] = kInvalidBlock;
+  index_insert(b);
 }
 
 std::optional<PageAlloc> BlockManager::allocate_page(std::uint32_t plane,
@@ -146,16 +229,30 @@ std::uint32_t BlockManager::gc_threshold_blocks(CellMode mode) const {
 void BlockManager::for_each_candidate(
     std::uint32_t plane, CellMode mode,
     const std::function<void(BlockId)>& fn) const {
-  const auto& geom = array_->geometry();
-  const BlockId first = geom.plane_first_block(plane);
-  const std::uint32_t slc = geom.slc_blocks_per_plane();
-  const std::uint32_t begin = mode == CellMode::kSlc ? 0 : slc;
-  const std::uint32_t end =
-      mode == CellMode::kSlc ? slc : geom.blocks_per_plane();
-  for (std::uint32_t i = begin; i < end; ++i) {
-    const BlockId b = first + i;
-    if (is_candidate(b)) fn(b);
+  const VictimIndex& idx = victim_index(plane, mode);
+  for (std::uint32_t w = 0; w < idx.words; ++w) {
+    std::uint64_t bitsw = idx.members[w];
+    while (bitsw != 0) {
+      const auto i = static_cast<std::uint32_t>(std::countr_zero(bitsw));
+      fn(idx.first + w * 64 + i);
+      bitsw &= bitsw - 1;
+    }
   }
+}
+
+BlockId BlockManager::max_invalid_candidate(std::uint32_t plane,
+                                            CellMode mode) const {
+  const VictimIndex& idx = victim_index(plane, mode);
+  if (idx.max_invalid == 0) return kInvalidBlock;
+  const std::uint64_t* bucket = idx.row(idx.max_invalid);
+  for (std::uint32_t w = 0; w < idx.words; ++w) {
+    if (bucket[w] != 0) {
+      return idx.first + w * 64 +
+             static_cast<std::uint32_t>(std::countr_zero(bucket[w]));
+    }
+  }
+  PPSSD_CHECK_MSG(false, "victim-index watermark points at an empty bucket");
+  return kInvalidBlock;
 }
 
 void BlockManager::release_block(BlockId b) {
@@ -165,6 +262,7 @@ void BlockManager::release_block(BlockId b) {
   nand::Block& blk = array_->block(b);
   PPSSD_CHECK_MSG(blk.programmed_subpages() == 0,
                   "released block was not erased");
+  index_erase(b);
   PlaneState& ps = planes_[geom.plane_of(b)];
   // Retire the level label.
   const auto li = level_index(blk.level());
@@ -199,6 +297,55 @@ std::uint64_t BlockManager::free_blocks_total(CellMode mode) const {
                                     : ps.mlc_free.size();
   }
   return total;
+}
+
+void BlockManager::check_victim_index() const {
+  const auto& geom = array_->geometry();
+  for (std::uint32_t p = 0; p < geom.planes(); ++p) {
+    for (const CellMode mode : {CellMode::kSlc, CellMode::kMlc}) {
+      const VictimIndex& idx = victim_index(p, mode);
+      std::uint32_t expected_watermark = 0;
+      std::uint32_t filed = 0;
+      for (std::uint32_t key = 0;
+           key < static_cast<std::uint32_t>(idx.counts.size()); ++key) {
+        const std::uint64_t* bucket = idx.row(key);
+        std::uint32_t popcount = 0;
+        for (std::uint32_t w = 0; w < idx.words; ++w) {
+          std::uint64_t bitsw = bucket[w];
+          popcount += static_cast<std::uint32_t>(std::popcount(bitsw));
+          while (bitsw != 0) {
+            const auto i =
+                static_cast<std::uint32_t>(std::countr_zero(bitsw));
+            const BlockId b = idx.first + w * 64 + i;
+            PPSSD_CHECK_MSG((idx.members[w] >> i) & 1,
+                            "bucketed block missing from candidate bitmap");
+            PPSSD_CHECK_MSG(indexed_invalid_[b] == key,
+                            "block filed under the wrong invalid count");
+            PPSSD_CHECK_MSG(array_->block(b).invalid_subpages() == key,
+                            "filed invalid count is stale");
+            bitsw &= bitsw - 1;
+          }
+        }
+        PPSSD_CHECK_MSG(popcount == idx.counts[key],
+                        "bucket population count is stale");
+        filed += popcount;
+        if (popcount > 0) expected_watermark = key;
+      }
+      PPSSD_CHECK_MSG(filed == idx.candidates,
+                      "candidate count and buckets disagree on membership");
+      PPSSD_CHECK_MSG(idx.max_invalid == expected_watermark,
+                      "victim-index watermark is stale");
+    }
+  }
+  // Every kUsed block must be filed exactly once; no open/free block may be.
+  for (BlockId b = 0; b < geom.total_blocks(); ++b) {
+    const auto& idx =
+        victim_index(geom.plane_of(b), array_->block(b).mode());
+    const std::uint32_t slot = b - idx.first;
+    const bool member = (idx.members[slot / 64] >> (slot % 64)) & 1;
+    PPSSD_CHECK_MSG(member == (state_[b] == State::kUsed),
+                    "candidacy disagrees with block state");
+  }
 }
 
 void BlockManager::attach_telemetry(telemetry::MetricsRegistry& registry,

@@ -1,5 +1,5 @@
 // Block allocation: per-plane free lists, open (active) blocks, wear-aware
-// selection, and GC-trigger accounting.
+// selection, GC-trigger accounting, and the GC victim index.
 //
 // Allocation policy follows the paper's Table 2 settings: dynamic page
 // allocation striped over planes, "static" wear-levelling realised as
@@ -13,9 +13,20 @@
 // exhausted the allocator degrades to the next lower level, as Algorithm 1
 // prescribes ("lower level blocks can be instead selected only if no
 // available block can be found").
+//
+// Victim index: every closed in-use block is filed, per (plane, region),
+// in (a) a candidate membership bitmap — what for_each_candidate
+// iterates, so candidate walks cost O(candidates) instead of
+// O(blocks_per_plane) — and (b) an invalid-count bucket bitmap array with
+// a max watermark, so the greedy "most invalid subpages, lowest BlockId
+// tie-break" victim query is O(1) amortized and the per-invalidation
+// bucket move is two word operations. The index learns about
+// invalidations through the nand::BlockObserver hook; candidacy
+// transitions happen at close / release time inside this class.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -34,9 +45,13 @@ struct PageAlloc {
   BlockLevel level = BlockLevel::kWork;  // actual level after fallback
 };
 
-class BlockManager {
+class BlockManager : private nand::BlockObserver {
  public:
   explicit BlockManager(nand::FlashArray& array);
+  ~BlockManager() override;
+
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
 
   /// Allocate the next fresh page for (plane, level). SLC levels may
   /// degrade (Hot -> Monitor -> Work) when caps or free blocks run out;
@@ -65,9 +80,16 @@ class BlockManager {
     return state_[b] == State::kUsed;
   }
 
-  /// Invoke fn(block) for every GC candidate of the plane's region.
+  /// Invoke fn(block) for every GC candidate of the plane's region, in
+  /// ascending BlockId order. O(candidates) via the victim index.
   void for_each_candidate(std::uint32_t plane, CellMode mode,
                           const std::function<void(BlockId)>& fn) const;
+
+  /// The candidate with the most invalid subpages (ties broken by lowest
+  /// BlockId), or kInvalidBlock when no candidate has any invalid
+  /// subpage. O(1) amortized via the invalid-count bucket index.
+  [[nodiscard]] BlockId max_invalid_candidate(std::uint32_t plane,
+                                              CellMode mode) const;
 
   /// Return an erased block to its plane's free list. The caller must have
   /// erased it via FlashArray::erase first.
@@ -85,6 +107,11 @@ class BlockManager {
   [[nodiscard]] std::uint64_t level_count_total(BlockLevel level) const;
   /// Total free blocks of a region across all planes.
   [[nodiscard]] std::uint64_t free_blocks_total(CellMode mode) const;
+
+  /// Abort on any victim-index inconsistency against a full state scan
+  /// (candidate membership, bucket keys, watermark). O(blocks);
+  /// test/diagnostic use.
+  void check_victim_index() const;
 
   /// Register pool-transition counters (blocks opened per level, level
   /// fallbacks) and polled pool-size gauges. `labels` identifies the
@@ -106,9 +133,46 @@ class BlockManager {
   using FreeHeap =
       std::priority_queue<FreeEntry, std::vector<FreeEntry>, std::greater<>>;
 
+  /// Per-(plane, region) GC candidate index. A region's blocks occupy the
+  /// contiguous BlockId range [first, first + slots), so membership is a
+  /// bitmap: `members` holds every candidate, `bits` holds one bitmap row
+  /// per invalid-subpage count. Bucket moves on the invalidation hot path
+  /// are then two word operations, and bit order is BlockId order, so a
+  /// first-set-bit scan reproduces the lowest-BlockId tie-break.
+  /// `max_invalid` is an exact watermark — the highest non-empty bucket
+  /// (0 when empty or when all candidates are fully valid).
+  struct VictimIndex {
+    BlockId first = 0;        // region's first BlockId
+    std::uint32_t slots = 0;  // blocks in the region
+    std::uint32_t words = 0;  // 64-bit words per bitmap row
+    std::vector<std::uint64_t> members;  // candidate membership
+    std::vector<std::uint64_t> bits;     // buckets × words, row-major
+    std::vector<std::uint32_t> counts;   // population per bucket
+    std::uint32_t candidates = 0;
+    std::uint32_t max_invalid = 0;
+
+    void init(BlockId first_block, std::uint32_t block_count,
+              std::uint32_t bucket_count) {
+      first = first_block;
+      slots = block_count;
+      words = (block_count + 63) / 64;
+      members.assign(words, 0);
+      bits.assign(static_cast<std::size_t>(bucket_count) * words, 0);
+      counts.assign(bucket_count, 0);
+    }
+    [[nodiscard]] std::uint64_t* row(std::uint32_t key) {
+      return bits.data() + static_cast<std::size_t>(key) * words;
+    }
+    [[nodiscard]] const std::uint64_t* row(std::uint32_t key) const {
+      return bits.data() + static_cast<std::size_t>(key) * words;
+    }
+  };
+
   struct PlaneState {
     FreeHeap slc_free;
     FreeHeap mlc_free;
+    VictimIndex slc_victims;
+    VictimIndex mlc_victims;
     // Open block per SLC level (index by BlockLevel value; 0 = MLC open).
     std::array<BlockId, 4> open{kInvalidBlock, kInvalidBlock, kInvalidBlock,
                                 kInvalidBlock};
@@ -117,14 +181,32 @@ class BlockManager {
 
   /// Open a fresh block for (plane, level); returns false when impossible.
   bool open_block(std::uint32_t plane, BlockLevel level);
-  /// Retire the plane's open block for a level (it became full).
+  /// Retire the plane's open block for a level (it became full) into the
+  /// victim index.
   void close_open(std::uint32_t plane, BlockLevel level);
 
   [[nodiscard]] std::uint32_t level_cap(BlockLevel level) const;
 
+  [[nodiscard]] VictimIndex& victim_index(BlockId b);
+  [[nodiscard]] const VictimIndex& victim_index(std::uint32_t plane,
+                                                CellMode mode) const;
+
+  /// File a newly closed block under its current invalid count.
+  void index_insert(BlockId b);
+  /// Remove a candidate filed under `indexed_invalid_[b]`.
+  void index_erase(BlockId b);
+
+  /// nand::BlockObserver — an invalidation moves a filed candidate one
+  /// bucket up; invalidations of open/free blocks are intentionally
+  /// ignored (the count is captured when the block closes).
+  void on_subpage_invalidated(BlockId b, std::uint32_t invalid) override;
+
   nand::FlashArray* array_;
   std::vector<PlaneState> planes_;
   std::vector<State> state_;
+  /// Invalid count each kUsed block is currently filed under (stable even
+  /// while the underlying block is concurrently erased, until release).
+  std::vector<std::uint32_t> indexed_invalid_;
   std::uint32_t slc_threshold_;
   std::uint32_t mlc_threshold_;
   std::uint32_t monitor_cap_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "common/units.h"
+
 namespace ppssd::ftl {
 
 void GcPolicy::attach_telemetry(telemetry::MetricsRegistry& registry,
@@ -12,10 +14,22 @@ void GcPolicy::attach_telemetry(telemetry::MetricsRegistry& registry,
   exhausted_ = registry.counter("gc_victims_exhausted", labels);
 }
 
-BlockId GreedyPolicy::select_victim(const nand::FlashArray& array,
+BlockId GreedyPolicy::select_victim(const nand::FlashArray& /*array*/,
                                     const BlockManager& bm,
                                     std::uint32_t plane, CellMode mode,
                                     SimTime /*now*/) const {
+  // The index files every candidate under its invalid count and keeps the
+  // max watermark; a victim must reclaim at least one subpage, and the
+  // index returns kInvalidBlock when no candidate has any.
+  const BlockId best = bm.max_invalid_candidate(plane, mode);
+  count_selection(best != kInvalidBlock);
+  return best;
+}
+
+BlockId GreedyPolicy::select_victim_reference(const nand::FlashArray& array,
+                                              const BlockManager& bm,
+                                              std::uint32_t plane,
+                                              CellMode mode) const {
   BlockId best = kInvalidBlock;
   std::uint32_t best_invalid = 0;
   bm.for_each_candidate(plane, mode, [&](BlockId b) {
@@ -29,13 +43,22 @@ BlockId GreedyPolicy::select_victim(const nand::FlashArray& array,
     }
   });
   if (best_invalid == 0) best = kInvalidBlock;
-  count_selection(best != kInvalidBlock);
   return best;
 }
 
 std::pair<double, std::uint64_t> IsrPolicy::age_sum(const nand::Block& block,
                                                     SimTime now) {
-  const auto now_ms = static_cast<double>(now / 1'000'000);
+  // sum_j (now - wt_j) over valid subpages == valid * now - sum_j wt_j,
+  // and the block maintains sum_j wt_j incrementally.
+  const std::uint64_t valid = block.valid_subpages();
+  return {static_cast<double>(valid) * ns_to_ms(now) -
+              static_cast<double>(block.sum_write_time_ms()),
+          valid};
+}
+
+std::pair<double, std::uint64_t> IsrPolicy::age_sum_exact(
+    const nand::Block& block, SimTime now) {
+  const double now_ms = ns_to_ms(now);
   const std::uint32_t spp = block.subpages_per_page();
   double sum = 0.0;
   std::uint64_t valid = 0;
@@ -55,7 +78,20 @@ std::pair<double, std::uint64_t> IsrPolicy::age_sum(const nand::Block& block,
 double IsrPolicy::cold_weight(const nand::Block& block, SimTime now,
                               double mean_age_ms) {
   if (mean_age_ms <= 0.0) return 0.0;
-  const auto now_ms = static_cast<double>(now / 1'000'000);
+  const double now_ms = ns_to_ms(now);
+  // One exp per occupied histogram bucket, each bucket's subpages
+  // evaluated at their mean write time. The kernel is concave in the
+  // write time, so this overestimates the exact sum by at most
+  // count * (bucket width) / (2 * T) per bucket (see DESIGN.md).
+  return block.age_histogram().fold([&](double mean_wt_ms) {
+    return 1.0 - std::exp(-(now_ms - mean_wt_ms) / mean_age_ms);
+  });
+}
+
+double IsrPolicy::cold_weight_exact(const nand::Block& block, SimTime now,
+                                    double mean_age_ms) {
+  if (mean_age_ms <= 0.0) return 0.0;
+  const double now_ms = ns_to_ms(now);
   const std::uint32_t spp = block.subpages_per_page();
 
   // IS' sums the age weight of valid subpages in never-updated pages.
@@ -81,16 +117,58 @@ double IsrPolicy::isr(const nand::Block& block, SimTime now,
          total;
 }
 
+double IsrPolicy::isr_exact(const nand::Block& block, SimTime now,
+                            double mean_age_ms) {
+  const double total = block.total_subpages();
+  return (block.invalid_subpages() +
+          cold_weight_exact(block, now, mean_age_ms)) /
+         total;
+}
+
 BlockId IsrPolicy::select_victim(const nand::FlashArray& array,
                                  const BlockManager& bm, std::uint32_t plane,
                                  CellMode mode, SimTime now) const {
+  // Pass 1: T = mean valid-subpage age over the plane's candidates.
+  // age_sum() is O(1) per block, so this pass is O(candidates).
+  scratch_.clear();
+  double age_total = 0.0;
+  std::uint64_t valid_total = 0;
+  bm.for_each_candidate(plane, mode, [&](BlockId b) {
+    scratch_.push_back(b);
+    const auto [sum, count] = age_sum(array.block(b), now);
+    age_total += sum;
+    valid_total += count;
+  });
+  const double mean_age =
+      valid_total > 0 ? age_total / static_cast<double>(valid_total) : 0.0;
+
+  // Pass 2: score by Equation 1, O(kBuckets) per block.
+  BlockId best = kInvalidBlock;
+  double best_isr = 0.0;
+  for (const BlockId b : scratch_) {
+    const auto& blk = array.block(b);
+    if (blk.programmed_subpages() == 0) continue;  // nothing to reclaim
+    const double v = isr(blk, now, mean_age);
+    if (v > best_isr) {
+      best = b;
+      best_isr = v;
+    }
+  }
+  count_selection(best != kInvalidBlock);
+  return best;
+}
+
+BlockId IsrPolicy::select_victim_reference(const nand::FlashArray& array,
+                                           const BlockManager& bm,
+                                           std::uint32_t plane, CellMode mode,
+                                           SimTime now) const {
   // Pass 1: T = mean valid-subpage age over the plane's candidates.
   double age_total = 0.0;
   std::uint64_t valid_total = 0;
   std::vector<BlockId> candidates;
   bm.for_each_candidate(plane, mode, [&](BlockId b) {
     candidates.push_back(b);
-    const auto [sum, count] = age_sum(array.block(b), now);
+    const auto [sum, count] = age_sum_exact(array.block(b), now);
     age_total += sum;
     valid_total += count;
   });
@@ -103,13 +181,12 @@ BlockId IsrPolicy::select_victim(const nand::FlashArray& array,
   for (const BlockId b : candidates) {
     const auto& blk = array.block(b);
     if (blk.programmed_subpages() == 0) continue;  // nothing to reclaim
-    const double v = isr(blk, now, mean_age);
+    const double v = isr_exact(blk, now, mean_age);
     if (v > best_isr) {
       best = b;
       best_isr = v;
     }
   }
-  count_selection(best != kInvalidBlock);
   return best;
 }
 

@@ -13,10 +13,22 @@
 //   subpage's age and T_i the block's mean valid-subpage age (the Poisson
 //   inter-update assumption of [23]). Cold-heavy blocks are preferred so
 //   the GC pass doubles as a cold-data ejection pass.
+//
+// Both policies run off incrementally maintained state instead of walking
+// pages: Greedy answers from the BlockManager's invalid-count bucket index
+// in O(1), and ISR's per-block terms come from nand::Block running
+// aggregates — age_sum() is an O(1) identity over sum_write_time_ms() and
+// cold_weight() an O(kBuckets) fold over the block's age histogram (one
+// exp per occupied bucket instead of one per valid subpage; see
+// DESIGN.md's GC-complexity section for the approximation bound). The
+// original full-scan forms survive as *_exact / select_victim_reference —
+// they define the semantics the fast paths are tested against and anchor
+// the gc_bench comparison.
 #pragma once
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/types.h"
 #include "ftl/block_manager.h"
@@ -68,10 +80,20 @@ class GreedyPolicy final : public GcPolicy {
  public:
   [[nodiscard]] const char* name() const override { return "greedy"; }
 
+  /// O(1) amortized: the answer is the head of the BlockManager's
+  /// max-invalid bucket, which already encodes the lowest-BlockId
+  /// tie-break.
   [[nodiscard]] BlockId select_victim(const nand::FlashArray& array,
                                       const BlockManager& bm,
                                       std::uint32_t plane, CellMode mode,
                                       SimTime now) const override;
+
+  /// The pre-index full candidate scan. Semantically identical to
+  /// select_victim(); kept as the test oracle and gc_bench baseline.
+  [[nodiscard]] BlockId select_victim_reference(const nand::FlashArray& array,
+                                                const BlockManager& bm,
+                                                std::uint32_t plane,
+                                                CellMode mode) const;
 };
 
 class IsrPolicy final : public GcPolicy {
@@ -83,6 +105,14 @@ class IsrPolicy final : public GcPolicy {
                                       std::uint32_t plane, CellMode mode,
                                       SimTime now) const override;
 
+  /// The pre-optimization two-pass page walk (exact per-subpage terms).
+  /// Kept as the test oracle and gc_bench baseline.
+  [[nodiscard]] BlockId select_victim_reference(const nand::FlashArray& array,
+                                                const BlockManager& bm,
+                                                std::uint32_t plane,
+                                                CellMode mode,
+                                                SimTime now) const;
+
   /// ISR_i of Equation 1 for one block. `mean_age_ms` is T_i — the average
   /// valid-subpage age the exponential is normalised by. The paper derives
   /// it from "all subpages"; select_victim() computes it over the plane's
@@ -90,13 +120,31 @@ class IsrPolicy final : public GcPolicy {
   [[nodiscard]] static double isr(const nand::Block& block, SimTime now,
                                   double mean_age_ms);
 
-  /// IS'_i of Equation 2 (the cold-valid weight term).
+  /// IS'_i of Equation 2 (the cold-valid weight term), evaluated in
+  /// O(AgeHistogram::kBuckets) from the block's age histogram with each
+  /// bucket's subpages collapsed onto their mean write time.
   [[nodiscard]] static double cold_weight(const nand::Block& block,
                                           SimTime now, double mean_age_ms);
 
   /// (sum of valid-subpage ages in ms, valid count) — T_i building block.
+  /// O(1): valid * now_ms - sum_write_time_ms.
   [[nodiscard]] static std::pair<double, std::uint64_t> age_sum(
       const nand::Block& block, SimTime now);
+
+  /// Per-subpage page-walk forms of the three terms above — the exact
+  /// semantics the aggregate-driven versions approximate.
+  [[nodiscard]] static double isr_exact(const nand::Block& block, SimTime now,
+                                        double mean_age_ms);
+  [[nodiscard]] static double cold_weight_exact(const nand::Block& block,
+                                                SimTime now,
+                                                double mean_age_ms);
+  [[nodiscard]] static std::pair<double, std::uint64_t> age_sum_exact(
+      const nand::Block& block, SimTime now);
+
+ private:
+  // Candidate scratch for select_victim(): reused across calls so the
+  // steady-state GC path allocates nothing.
+  mutable std::vector<BlockId> scratch_;
 };
 
 }  // namespace ppssd::ftl

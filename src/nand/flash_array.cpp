@@ -69,6 +69,9 @@ bool FlashArray::can_partial_program(BlockId b, PageId p) const {
 void FlashArray::invalidate(BlockId b, PageId p, SubpageId s) {
   PPSSD_CHECK(b < blocks_.size());
   blocks_[b].invalidate(p, s);
+  if (observer_ != nullptr) {
+    observer_->on_subpage_invalidated(b, blocks_[b].invalid_subpages());
+  }
 }
 
 void FlashArray::erase(BlockId b, SimTime now) {

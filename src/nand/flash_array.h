@@ -34,6 +34,17 @@ struct ArrayCounters {
   std::uint64_t read_ops = 0;
 };
 
+/// Observer of block bookkeeping changes. The FTL's victim index hangs
+/// off this so per-block scores stay incrementally maintained without the
+/// array knowing anything about GC policy.
+class BlockObserver {
+ public:
+  virtual ~BlockObserver() = default;
+  /// One subpage of `b` went valid -> invalid; `invalid` is the block's
+  /// new invalid-subpage count.
+  virtual void on_subpage_invalidated(BlockId b, std::uint32_t invalid) = 0;
+};
+
 class FlashArray {
  public:
   explicit FlashArray(const SsdConfig& cfg);
@@ -84,6 +95,10 @@ class FlashArray {
   /// Sum of erase counts over SLC-mode / MLC blocks (wear inspection).
   [[nodiscard]] std::uint64_t total_erases(CellMode mode) const;
 
+  /// Register (or clear, with nullptr) the single block observer. The
+  /// observer must outlive the array or unregister before destruction.
+  void set_block_observer(BlockObserver* observer) { observer_ = observer; }
+
  private:
   SsdConfig cfg_;
   Geometry geom_;
@@ -91,6 +106,7 @@ class FlashArray {
   std::vector<Plane> planes_;
   std::vector<Chip> chips_;
   ArrayCounters counters_;
+  BlockObserver* observer_ = nullptr;
 };
 
 }  // namespace ppssd::nand

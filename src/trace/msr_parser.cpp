@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <cstring>
 #include <stdexcept>
 
 namespace ppssd::trace {
@@ -28,26 +29,25 @@ bool parse_uint(std::string_view field, T& out) {
 }  // namespace
 
 MsrTraceParser::MsrTraceParser(const std::string& path)
-    : path_(path), in_(path) {
+    : path_(path), in_(path, std::ios::binary), buf_(kChunkBytes) {
   if (!in_) {
     throw std::runtime_error("cannot open trace file: " + path);
   }
 }
 
-bool MsrTraceParser::parse_line(const std::string& line, TraceRecord& out,
+bool MsrTraceParser::parse_line(std::string_view line, TraceRecord& out,
                                 std::uint64_t* raw_timestamp) {
   // Split into at most 7 comma-separated fields.
   std::array<std::string_view, 7> fields;
   std::size_t nfields = 0;
   std::size_t start = 0;
-  const std::string_view sv(line);
   while (nfields < fields.size()) {
-    const std::size_t comma = sv.find(',', start);
+    const std::size_t comma = line.find(',', start);
     if (comma == std::string_view::npos) {
-      fields[nfields++] = sv.substr(start);
+      fields[nfields++] = line.substr(start);
       break;
     }
-    fields[nfields++] = sv.substr(start, comma - start);
+    fields[nfields++] = line.substr(start, comma - start);
     start = comma + 1;
   }
   if (nfields < 6) return false;
@@ -74,9 +74,49 @@ bool MsrTraceParser::parse_line(const std::string& line, TraceRecord& out,
   return true;
 }
 
+bool MsrTraceParser::next_line(std::string_view& line) {
+  if (carry_returned_) {
+    carry_.clear();
+    carry_returned_ = false;
+  }
+  for (;;) {
+    if (pos_ < len_) {
+      const char* base = buf_.data() + pos_;
+      const auto* nl = static_cast<const char*>(
+          std::memchr(base, '\n', len_ - pos_));
+      if (nl != nullptr) {
+        const auto n = static_cast<std::size_t>(nl - base);
+        pos_ += n + 1;
+        if (carry_.empty()) {
+          line = std::string_view(base, n);
+        } else {
+          carry_.append(base, n);
+          line = carry_;
+          carry_returned_ = true;
+        }
+        return true;
+      }
+      // No newline in the rest of the chunk: stash it and refill.
+      carry_.append(base, len_ - pos_);
+      pos_ = len_;
+    }
+    if (eof_) {
+      if (carry_.empty()) return false;
+      line = carry_;  // final line without a trailing newline
+      carry_returned_ = true;
+      return true;
+    }
+    in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    len_ = static_cast<std::size_t>(in_.gcount());
+    pos_ = 0;
+    if (len_ < buf_.size()) eof_ = true;
+  }
+}
+
 bool MsrTraceParser::next(TraceRecord& out) {
-  std::string line;
-  while (std::getline(in_, line)) {
+  std::string_view line;
+  while (next_line(line)) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty() || line[0] == '#') continue;
     std::uint64_t raw = 0;
     if (!parse_line(line, out, &raw)) {
@@ -96,10 +136,15 @@ bool MsrTraceParser::next(TraceRecord& out) {
 
 void MsrTraceParser::reset() {
   in_.close();
-  in_.open(path_);
+  in_.open(path_, std::ios::binary);
   if (!in_) {
     throw std::runtime_error("cannot reopen trace file: " + path_);
   }
+  pos_ = 0;
+  len_ = 0;
+  carry_.clear();
+  carry_returned_ = false;
+  eof_ = false;
   have_first_ = false;
   skipped_ = 0;
 }

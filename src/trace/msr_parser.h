@@ -7,11 +7,18 @@
 // production-server traces and the VDI LUN traces use the same layout, so
 // one parser covers all six paper traces when the real files are present;
 // the synthetic profiles (synthetic.h) stand in when they are not.
+//
+// I/O strategy: the file is read in 256 KiB chunks and split on '\n'
+// in-place, so steady-state parsing touches each byte once and performs
+// no per-line allocation (a line is copied only when it straddles a chunk
+// boundary).
 #pragma once
 
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "trace/record.h"
 
@@ -29,12 +36,24 @@ class MsrTraceParser final : public TraceSource {
   [[nodiscard]] std::uint64_t skipped_lines() const { return skipped_; }
 
   /// Parse one CSV line; returns false if malformed. Exposed for tests.
-  static bool parse_line(const std::string& line, TraceRecord& out,
+  static bool parse_line(std::string_view line, TraceRecord& out,
                          std::uint64_t* raw_timestamp);
 
  private:
+  static constexpr std::size_t kChunkBytes = 256 * 1024;
+
+  /// Yield the next newline-delimited line (without the '\n'); false at
+  /// EOF. The view is valid until the following next_line()/reset() call.
+  bool next_line(std::string_view& line);
+
   std::string path_;
   std::ifstream in_;
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;  // cursor into buf_[0, len_)
+  std::size_t len_ = 0;  // bytes currently buffered
+  std::string carry_;    // prefix of a line that straddles chunks
+  bool carry_returned_ = false;
+  bool eof_ = false;
   std::uint64_t first_timestamp_ = 0;
   bool have_first_ = false;
   std::uint64_t skipped_ = 0;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "nand/flash_array.h"
 
@@ -213,6 +215,101 @@ TEST(BlockManager, ForEachCandidateSkipsFreeAndOpen) {
   commit(arr, *alloc, 0);
   bm.for_each_candidate(0, CellMode::kSlc, [&](BlockId) { ++candidates; });
   EXPECT_EQ(candidates, 0);  // open block is not a candidate
+}
+
+/// Fill and close `n` SLC blocks on plane 0; returns the closed blocks.
+std::vector<BlockId> make_closed_blocks(nand::FlashArray& arr,
+                                        BlockManager& bm, std::uint32_t n) {
+  const std::uint32_t pages = arr.geometry().pages_per_block(CellMode::kSlc);
+  std::vector<BlockId> out;
+  Lsn lsn = 0;
+  for (std::uint32_t i = 0; i <= n; ++i) {
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      const auto alloc = bm.allocate_page(0, BlockLevel::kWork);
+      commit(arr, *alloc, lsn++);
+      if (p == 0 && out.size() < n) out.push_back(alloc->block);
+    }
+  }
+  // The (n+1)-th block stays open, so the first n are closed candidates.
+  return out;
+}
+
+/// Reference implementation of the victim query: full candidate scan.
+BlockId scan_max_invalid(const nand::FlashArray& arr, const BlockManager& bm,
+                         std::uint32_t plane, CellMode mode) {
+  BlockId best = kInvalidBlock;
+  std::uint32_t best_invalid = 0;
+  bm.for_each_candidate(plane, mode, [&](BlockId b) {
+    const std::uint32_t invalid = arr.block(b).invalid_subpages();
+    if (invalid > best_invalid) {
+      best = b;
+      best_invalid = invalid;
+    }
+  });
+  return best;
+}
+
+TEST(BlockManagerVictimIndex, TracksInvalidationsAndReleases) {
+  nand::FlashArray arr(small_config());
+  BlockManager bm(arr);
+  const auto blocks = make_closed_blocks(arr, bm, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), kInvalidBlock);
+
+  // Invalidations bubble candidates up; the query always agrees with a
+  // full scan.
+  arr.invalidate(blocks[1], 0, 0);
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), blocks[1]);
+  arr.invalidate(blocks[2], 0, 0);
+  arr.invalidate(blocks[2], 1, 0);
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), blocks[2]);
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc),
+            scan_max_invalid(arr, bm, 0, CellMode::kSlc));
+  bm.check_victim_index();
+
+  // Erase + release removes the front-runner; the watermark falls back.
+  // (Pages 0 and 1 of blocks[2] are already invalid from above.)
+  const std::uint32_t pages = arr.geometry().pages_per_block(CellMode::kSlc);
+  for (std::uint32_t p = 2; p < pages; ++p) {
+    arr.invalidate(blocks[2], static_cast<PageId>(p), 0);
+  }
+  arr.erase(blocks[2], 0);
+  bm.release_block(blocks[2]);
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), blocks[1]);
+  bm.check_victim_index();
+}
+
+TEST(BlockManagerVictimIndex, TieBreaksOnLowestBlockId) {
+  nand::FlashArray arr(small_config());
+  BlockManager bm(arr);
+  const auto blocks = make_closed_blocks(arr, bm, 3);
+  // Equal invalid counts everywhere: the lowest BlockId must win, exactly
+  // as the pre-index linear scan behaved.
+  for (const BlockId b : blocks) {
+    arr.invalidate(b, 0, 0);
+    arr.invalidate(b, 1, 0);
+  }
+  const BlockId lowest = *std::min_element(blocks.begin(), blocks.end());
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), lowest);
+}
+
+TEST(BlockManagerVictimIndex, OpenBlockInvalidationsCapturedAtClose) {
+  nand::FlashArray arr(small_config());
+  BlockManager bm(arr);
+  const std::uint32_t pages = arr.geometry().pages_per_block(CellMode::kSlc);
+  // Invalidate subpages of the block while it is still open...
+  const auto first = bm.allocate_page(0, BlockLevel::kWork);
+  commit(arr, *first, 0);
+  arr.invalidate(first->block, first->page, 0);
+  for (std::uint32_t p = 1; p < pages; ++p) {
+    commit(arr, *bm.allocate_page(0, BlockLevel::kWork), p);
+  }
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), kInvalidBlock);
+  // ...then close it (next allocation opens a fresh block): the index
+  // must file it under its full invalid count.
+  commit(arr, *bm.allocate_page(0, BlockLevel::kWork), pages);
+  EXPECT_EQ(bm.max_invalid_candidate(0, CellMode::kSlc), first->block);
+  bm.check_victim_index();
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/units.h"
 #include "nand/flash_array.h"
 
@@ -195,6 +198,70 @@ TEST_P(IsrMonotonicity, MoreInvalidNeverLowersIsr) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IsrMonotonicity,
                          ::testing::Values(4u, 12u, 32u));
+
+/// Build a plane of candidates with staggered write times, scattered
+/// updates and invalidations — a miniature of steady-state GC input.
+struct EquivalenceFixture : Fixture {
+  EquivalenceFixture() {
+    blocks = make_candidates(4);
+    const std::uint32_t pages = arr.geometry().pages_per_block(CellMode::kSlc);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const BlockId b = blocks[i];
+      for (std::uint32_t p = 0; p < pages; ++p) {
+        // Stagger extra writes over time; update every third page.
+        const SimTime t = ms_to_ns(100.0 * static_cast<double>(i * pages + p));
+        const nand::SlotWrite extra[] = {w(1, 900000 + i * pages * 4 + p)};
+        arr.program(b, static_cast<PageId>(p), extra, t);
+        if (p % 3 == 0) {
+          const nand::SlotWrite upd[] = {w(2, 950000 + i * pages * 4 + p)};
+          arr.program(b, static_cast<PageId>(p), upd, t + ms_to_ns(1.0));
+        }
+      }
+      // Invalidate a block-dependent share of the first subpages.
+      for (std::uint32_t p = 0; p < pages / (i + 1); ++p) {
+        arr.invalidate(b, static_cast<PageId>(p), 0);
+      }
+    }
+  }
+
+  std::vector<BlockId> blocks;
+};
+
+TEST(GcEquivalence, AggregateAgeSumMatchesExactWalk) {
+  EquivalenceFixture f;
+  const SimTime now = ms_to_ns(500'000);
+  for (const BlockId b : f.blocks) {
+    const auto [opt_sum, opt_n] = IsrPolicy::age_sum(f.arr.block(b), now);
+    const auto [ref_sum, ref_n] = IsrPolicy::age_sum_exact(f.arr.block(b), now);
+    EXPECT_EQ(opt_n, ref_n);
+    EXPECT_NEAR(opt_sum, ref_sum, 1e-6 * std::max(1.0, ref_sum));
+  }
+}
+
+TEST(GcEquivalence, BucketedColdWeightTracksExact) {
+  EquivalenceFixture f;
+  const SimTime now = ms_to_ns(500'000);
+  for (const BlockId b : f.blocks) {
+    const auto [sum, n] = IsrPolicy::age_sum_exact(f.arr.block(b), now);
+    const double mean = n ? sum / static_cast<double>(n) : 0.0;
+    const double opt = IsrPolicy::cold_weight(f.arr.block(b), now, mean);
+    const double ref = IsrPolicy::cold_weight_exact(f.arr.block(b), now, mean);
+    // The bucketed fold evaluates the concave kernel at per-bucket mean
+    // write times; with sub-octave buckets the error stays well under 1%.
+    EXPECT_NEAR(opt, ref, 0.01 * std::max(1.0, ref));
+  }
+}
+
+TEST(GcEquivalence, SelectVictimMatchesReference) {
+  EquivalenceFixture f;
+  const SimTime now = ms_to_ns(500'000);
+  const GreedyPolicy greedy;
+  EXPECT_EQ(greedy.select_victim(f.arr, f.bm, 0, CellMode::kSlc, now),
+            greedy.select_victim_reference(f.arr, f.bm, 0, CellMode::kSlc));
+  const IsrPolicy isr;
+  EXPECT_EQ(isr.select_victim(f.arr, f.bm, 0, CellMode::kSlc, now),
+            isr.select_victim_reference(f.arr, f.bm, 0, CellMode::kSlc, now));
+}
 
 }  // namespace
 }  // namespace ppssd::ftl

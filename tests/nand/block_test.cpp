@@ -91,5 +91,89 @@ TEST(Block, FullBlockHasNoFreePage) {
   EXPECT_FALSE(b.has_free_page());
 }
 
+TEST(AgeHistogram, AddRemoveFold) {
+  AgeHistogram h;
+  h.add(10, 2);
+  h.add(1000);
+  EXPECT_EQ(h.total(), 3u);
+  // Identity fold recovers the exact count; mean-write-time fold recovers
+  // the exact sum because each bucket keeps its true sum.
+  EXPECT_DOUBLE_EQ(h.fold([](double) { return 1.0; }), 3.0);
+  EXPECT_DOUBLE_EQ(h.fold([](double m) { return m; }), 10.0 + 10.0 + 1000.0);
+  h.remove(10);
+  h.remove(1000);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.fold([](double m) { return m; }), 10.0);
+}
+
+TEST(AgeHistogram, RebasedBucketsAreBaseRelative) {
+  AgeHistogram h;
+  h.clear(/*base_ms=*/1'000'000);
+  // Same offsets from different bases land in the same buckets.
+  AgeHistogram h0;
+  EXPECT_EQ(h.bucket_of(1'000'000 + 37), h0.bucket_of(37));
+  EXPECT_EQ(h.bucket_of(1'000'000), h0.bucket_of(0));
+}
+
+TEST(AgeHistogram, SubBucketsSeparateSameOctave) {
+  // Offsets sharing a bit-width but differing in the next two significant
+  // bits must not share a bucket (the width/8 error bound depends on it).
+  AgeHistogram h;
+  EXPECT_NE(h.bucket_of(0b100000), h.bucket_of(0b111000));
+  EXPECT_NE(h.bucket_of(0b100000), h.bucket_of(0b101000));
+}
+
+class BlockAggregates : public ::testing::TestWithParam<CellMode> {};
+
+TEST_P(BlockAggregates, MaintainedAcrossLifecycle) {
+  Block b(GetParam(), 4, 4);
+
+  // First program: both subpages enter the sum and the cold histogram.
+  const SlotWrite first[] = {w(0, 1), w(1, 2)};
+  b.program(0, first, ms_to_ns(2.0));
+  EXPECT_EQ(b.sum_write_time_ms(), 4u);  // 2 * 2 ms
+  EXPECT_EQ(b.never_updated_valid(), 2u);
+
+  // Partial program: the page becomes "updated", so its valid subpages
+  // leave the cold population but stay in the age sum.
+  const SlotWrite upd[] = {w(2, 3)};
+  b.program(0, upd, ms_to_ns(7.0));
+  EXPECT_EQ(b.sum_write_time_ms(), 11u);  // 2 + 2 + 7
+  EXPECT_EQ(b.never_updated_valid(), 0u);
+
+  // A fresh page keeps its own subpages cold.
+  const SlotWrite second[] = {w(0, 4), w(1, 5), w(2, 6), w(3, 7)};
+  b.program(1, second, ms_to_ns(9.0));
+  EXPECT_EQ(b.sum_write_time_ms(), 11u + 4 * 9);
+  EXPECT_EQ(b.never_updated_valid(), 4u);
+
+  // Invalidation drops the subpage from the sum; only never-updated pages
+  // also shed a histogram entry.
+  b.invalidate(0, 0);  // updated page: histogram untouched
+  EXPECT_EQ(b.sum_write_time_ms(), 9u + 4 * 9);
+  EXPECT_EQ(b.never_updated_valid(), 4u);
+  b.invalidate(1, 3);  // never-updated page
+  EXPECT_EQ(b.sum_write_time_ms(), 9u + 3 * 9);
+  EXPECT_EQ(b.never_updated_valid(), 3u);
+
+  // Erase zeroes everything and rebases the histogram on the erase time.
+  for (SubpageId s = 0; s < 3; ++s) b.invalidate(1, s);
+  b.invalidate(0, 1);
+  b.invalidate(0, 2);
+  b.erase(ms_to_ns(50.0));
+  EXPECT_EQ(b.sum_write_time_ms(), 0u);
+  EXPECT_EQ(b.never_updated_valid(), 0u);
+  EXPECT_EQ(b.age_histogram().base_ms(), 50u);
+
+  // Reprogram after erase: aggregates restart from the new base.
+  const SlotWrite again[] = {w(0, 8)};
+  b.program(0, again, ms_to_ns(60.0));
+  EXPECT_EQ(b.sum_write_time_ms(), 60u);
+  EXPECT_EQ(b.never_updated_valid(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, BlockAggregates,
+                         ::testing::Values(CellMode::kSlc, CellMode::kMlc));
+
 }  // namespace
 }  // namespace ppssd::nand

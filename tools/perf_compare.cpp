@@ -1,16 +1,23 @@
 // Diff two BENCH_perf.json files with a noise tolerance.
 //
 //   perf_compare <baseline.json> <current.json> [--tolerance 0.25]
-//                [--warn-only]
+//                [--warn-only] [--require <key-substring>]...
 //
 // Exit status: 0 when every matched cell's throughput is within
 // tolerance (or --warn-only is set), 1 on regression, 2 on usage or
 // unreadable/invalid input. Cells present on only one side are reported
 // but never fail the run — the matrix legitimately grows.
+//
+// --require marks cells whose key contains the substring as
+// load-bearing: a regression there fails the run even under
+// --warn-only, and a required baseline cell missing from the current
+// report is itself a failure (a gate that silently stops measuring is
+// worse than one that fails).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "perf/bench_report.h"
 
@@ -19,9 +26,18 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <current.json> "
-               "[--tolerance <fraction>] [--warn-only]\n",
+               "[--tolerance <fraction>] [--warn-only] "
+               "[--require <key-substring>]...\n",
                argv0);
   return 2;
+}
+
+bool matches_any(const std::string& key,
+                 const std::vector<std::string>& needles) {
+  for (const std::string& n : needles) {
+    if (key.find(n) != std::string::npos) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -31,6 +47,7 @@ int main(int argc, char** argv) {
   std::string current_path;
   double tolerance = 0.25;
   bool warn_only = false;
+  std::vector<std::string> required;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tolerance") == 0) {
@@ -42,6 +59,9 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--warn-only") == 0) {
       warn_only = true;
+    } else if (std::strcmp(argv[i], "--require") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      required.emplace_back(argv[++i]);
     } else if (baseline_path.empty()) {
       baseline_path = argv[i];
     } else if (current_path.empty()) {
@@ -77,6 +97,24 @@ int main(int argc, char** argv) {
   const auto cmp =
       ppssd::perf::compare_bench(*baseline, *current, tolerance);
   std::printf("%s", cmp.render().c_str());
+
+  bool required_failure = false;
+  for (const ppssd::perf::CellDelta& d : cmp.cells) {
+    if (d.regression && matches_any(d.key, required)) {
+      std::fprintf(stderr, "perf_compare: required cell regressed: %s\n",
+                   d.key.c_str());
+      required_failure = true;
+    }
+  }
+  for (const std::string& key : cmp.only_in_baseline) {
+    if (matches_any(key, required)) {
+      std::fprintf(stderr,
+                   "perf_compare: required cell missing from current: %s\n",
+                   key.c_str());
+      required_failure = true;
+    }
+  }
+  if (required_failure) return 1;
   if (cmp.has_regression()) {
     return warn_only ? 0 : 1;
   }
