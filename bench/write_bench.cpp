@@ -1,0 +1,223 @@
+// Write-path microbenchmark: fused vs reference program/invalidate cost.
+//
+//   ./write_bench [report.json]          default: BENCH_perf.json
+//
+// For each device size (2048 / 8192 / 32768 blocks) and each cell mode the
+// bench drives the same fill/drain cycle through both implementations of
+// the two hottest array operations:
+//
+//   write/program/fused        FlashArray::program (single-pass, PR 5)
+//   write/program/reference    FlashArray::program_reference (per-layer)
+//   write/invalidate/fused     FlashArray::invalidate (single-pass)
+//   write/invalidate/reference FlashArray::invalidate_reference
+//
+// A cycle fills plane 0's region page by page through the real allocator
+// (conventional program of all-but-one slot, partial program of the last
+// slot on every other page), then drains it: every valid subpage is
+// invalidated — exercising the BlockManager victim-index observer exactly
+// like the simulator's supersede path — and the blocks are erased and
+// released. Program timing covers the fill loop, invalidate timing the
+// drain loop, so each figure is the operation in its realistic
+// surroundings rather than a bare call in a cache-hot microloop.
+//
+// Results are merged into the report as the "write/..." cell family: any
+// existing write/ cells are replaced, every other cell (perf_suite replay
+// matrix, gc_bench) is preserved, so the three benches can regenerate one
+// shared artifact in any order.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/units.h"
+#include "core/report.h"
+#include "ftl/block_manager.h"
+#include "nand/flash_array.h"
+#include "perf/bench_report.h"
+
+using namespace ppssd;
+using core::Table;
+
+namespace {
+
+constexpr std::uint32_t kSizes[] = {2048, 8192, 32768};
+constexpr double kMinMeasureSeconds = 0.05;
+
+struct Timing {
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(calls) / seconds : 0.0;
+  }
+  [[nodiscard]] double ns_per_call() const {
+    return calls > 0 ? seconds * 1e9 / static_cast<double>(calls) : 0.0;
+  }
+};
+
+/// One fill/drain cycle over plane 0's region. Accumulates program timing
+/// over the fill loop and invalidate timing over the drain loop.
+template <bool kFused>
+void run_cycle(nand::FlashArray& arr, ftl::BlockManager& bm, CellMode mode,
+               SimTime& now, Timing& program, Timing& invalidate) {
+  using clock = std::chrono::steady_clock;
+  const BlockLevel level =
+      mode == CellMode::kSlc ? BlockLevel::kWork : BlockLevel::kHighDensity;
+  const std::uint32_t floor = bm.gc_threshold_blocks(mode) + 1;
+  const std::uint32_t spp = arr.geometry().subpages_per_page();
+  // Conventional programs fill all but the last slot; every other page
+  // then takes a partial program, mirroring the cache's update pattern.
+  const std::uint32_t head = spp > 1 ? spp - 1 : 1;
+
+  Lsn lsn = 0;
+  std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
+  const auto fill_start = clock::now();
+  while (bm.free_blocks(0, mode) > floor) {
+    const auto alloc = bm.allocate_page(0, level);
+    if (!alloc) break;
+    now += ms_to_ns(1.0);
+    for (std::uint32_t s = 0; s < head; ++s) {
+      writes[s] = {static_cast<SubpageId>(s), lsn + s, 1};
+    }
+    const std::span<const nand::SlotWrite> first(writes.data(), head);
+    if constexpr (kFused) {
+      arr.program(alloc->block, alloc->page, first, now);
+    } else {
+      arr.program_reference(alloc->block, alloc->page, first, now);
+    }
+    ++program.calls;
+    if (spp > 1 && alloc->page % 2 == 0) {
+      const nand::SlotWrite upd[] = {
+          {static_cast<SubpageId>(spp - 1), lsn + spp - 1, 1}};
+      if constexpr (kFused) {
+        arr.program(alloc->block, alloc->page, upd, now);
+      } else {
+        arr.program_reference(alloc->block, alloc->page, upd, now);
+      }
+      ++program.calls;
+    }
+    lsn += spp;
+  }
+  program.seconds +=
+      std::chrono::duration<double>(clock::now() - fill_start).count();
+
+  // Drain: invalidate every valid subpage of every closed block (through
+  // the BlockManager observer, as the supersede path does), then erase.
+  std::vector<BlockId> victims;
+  bm.for_each_candidate(0, mode, [&](BlockId b) { victims.push_back(b); });
+  const auto drain_start = clock::now();
+  for (const BlockId b : victims) {
+    const nand::Block& blk = arr.block(b);
+    const std::uint32_t pages = blk.write_frontier();
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      const nand::Page& pg = blk.page(static_cast<PageId>(p));
+      for (std::uint32_t s = 0; s < spp; ++s) {
+        if (pg.subpage(static_cast<SubpageId>(s)).state !=
+            nand::SubpageState::kValid) {
+          continue;
+        }
+        if constexpr (kFused) {
+          arr.invalidate(b, static_cast<PageId>(p),
+                         static_cast<SubpageId>(s));
+        } else {
+          arr.invalidate_reference(b, static_cast<PageId>(p),
+                                   static_cast<SubpageId>(s));
+        }
+        ++invalidate.calls;
+      }
+    }
+  }
+  invalidate.seconds +=
+      std::chrono::duration<double>(clock::now() - drain_start).count();
+
+  for (const BlockId b : victims) {
+    arr.erase(b, now);
+    bm.release_block(b);
+  }
+}
+
+/// Repeat cycles on a fresh device until both loops have accrued enough
+/// measured time.
+template <bool kFused>
+std::pair<Timing, Timing> run_variant(std::uint32_t blocks, CellMode mode) {
+  SsdConfig cfg = SsdConfig::scaled(blocks);
+  // Single plane: the whole block budget forms one region, so the cycle
+  // length scales with device size.
+  cfg.geometry.channels = 1;
+  cfg.geometry.chips_per_channel = 1;
+  cfg.geometry.dies_per_chip = 1;
+  cfg.geometry.planes_per_die = 1;
+  nand::FlashArray arr(cfg);
+  ftl::BlockManager bm(arr);
+
+  Timing program;
+  Timing invalidate;
+  SimTime now = 0;
+  while (program.seconds < kMinMeasureSeconds ||
+         invalidate.seconds < kMinMeasureSeconds) {
+    run_cycle<kFused>(arr, bm, mode, now, program, invalidate);
+  }
+  return {program, invalidate};
+}
+
+const char* mode_name(CellMode mode) {
+  return mode == CellMode::kSlc ? "slc" : "mlc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+
+  perf::BenchReport report;
+  if (auto existing = perf::BenchReport::load(out_path)) {
+    report = *existing;
+    std::erase_if(report.cells, [](const perf::BenchCell& c) {
+      return c.key.rfind("write/", 0) == 0;
+    });
+  }
+
+  Table table({"cell", "ns/op", "ops/s"});
+  for (const std::uint32_t blocks : kSizes) {
+    for (const CellMode mode : {CellMode::kSlc, CellMode::kMlc}) {
+      const auto [fused_prog, fused_inv] = run_variant<true>(blocks, mode);
+      const auto [ref_prog, ref_inv] = run_variant<false>(blocks, mode);
+      struct Cell {
+        const char* family;
+        const char* variant;
+        const Timing& timing;
+      } cells[] = {
+          {"program", "fused", fused_prog},
+          {"program", "reference", ref_prog},
+          {"invalidate", "fused", fused_inv},
+          {"invalidate", "reference", ref_inv},
+      };
+      for (const Cell& c : cells) {
+        perf::BenchCell cell;
+        cell.key = std::string("write/") + c.family + "/" + c.variant + "/" +
+                   mode_name(mode) + "/" + std::to_string(blocks);
+        cell.scheme = "WritePath";
+        cell.trace = std::string(c.family) + "-" + c.variant + "@" +
+                     mode_name(mode) + std::to_string(blocks);
+        cell.requests = c.timing.calls;
+        cell.wall_seconds = c.timing.seconds;
+        cell.reqs_per_sec = c.timing.calls_per_sec();
+        cell.phases.measure_seconds = c.timing.seconds;
+        report.cells.push_back(cell);
+        table.add_row({cell.key, Table::fmt(c.timing.ns_per_call(), 1),
+                       Table::fmt(c.timing.calls_per_sec(), 0)});
+      }
+    }
+  }
+
+  std::printf("%s\n", table.render("Write-path program/invalidate").c_str());
+  if (!report.save(out_path)) {
+    std::fprintf(stderr, "write_bench: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("merged write/ cells into %s (%zu cells total)\n",
+              out_path.c_str(), report.cells.size());
+  return 0;
+}

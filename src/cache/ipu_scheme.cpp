@@ -196,7 +196,8 @@ std::uint32_t IpuScheme::update_cached_run(Lsn lsn, std::uint32_t count,
 
 std::uint32_t IpuScheme::cached_batch_len(Lsn lsn, std::uint32_t max) const {
   const PhysicalAddress first = map_.lookup(lsn);
-  if (!first.valid() || !array_.geometry().is_slc_block(first.block)) {
+  if (!first.valid() ||
+      array_.block_static(first.block).mode != CellMode::kSlc) {
     return 0;
   }
   std::uint32_t n = 1;
@@ -304,7 +305,7 @@ void IpuScheme::relocate_slc_page(BlockId victim, PageId page, SimTime now,
     return;
   }
   const auto alloc =
-      program_new_slc_page(array_.geometry().plane_of(victim), dest, live,
+      program_new_slc_page(array_.block_static(victim).plane, dest, live,
                            vers, now, /*host=*/false, ops);
   if (!alloc) {
     // No SLC destination: fall back to ejecting the page's data.

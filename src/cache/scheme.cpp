@@ -102,12 +102,12 @@ double Scheme::ber_of(const PhysicalAddress& addr) const {
 
 void Scheme::emit_program(BlockId block, std::uint32_t subpages,
                           bool background, std::vector<PhysOp>& ops) {
-  const auto& geom = array_.geometry();
+  const nand::BlockStatic& bs = array_.block_static(block);
   PhysOp op;
-  op.chip = geom.chip_of(block);
-  op.channel = geom.channel_of(block);
+  op.chip = bs.chip;
+  op.channel = bs.channel;
   op.kind = PhysOp::Kind::kProgram;
-  op.mode = array_.block(block).mode();
+  op.mode = bs.mode;
   op.subpages = subpages;
   op.background = background;
   // Relocation programs consume data produced by a GC page read earlier in
@@ -119,12 +119,12 @@ void Scheme::emit_program(BlockId block, std::uint32_t subpages,
 void Scheme::emit_page_read(BlockId block, PageId /*page*/,
                             std::uint32_t subpages, double max_ber,
                             bool background, std::vector<PhysOp>& ops) {
-  const auto& geom = array_.geometry();
+  const nand::BlockStatic& bs = array_.block_static(block);
   PhysOp op;
-  op.chip = geom.chip_of(block);
-  op.channel = geom.channel_of(block);
+  op.chip = bs.chip;
+  op.channel = bs.channel;
   op.kind = PhysOp::Kind::kRead;
-  op.mode = array_.block(block).mode();
+  op.mode = bs.mode;
   op.subpages = subpages;
   op.ber = max_ber;
   op.background = background;
@@ -133,12 +133,12 @@ void Scheme::emit_page_read(BlockId block, PageId /*page*/,
 }
 
 void Scheme::emit_erase(BlockId block, std::vector<PhysOp>& ops) {
-  const auto& geom = array_.geometry();
+  const nand::BlockStatic& bs = array_.block_static(block);
   PhysOp op;
-  op.chip = geom.chip_of(block);
-  op.channel = geom.channel_of(block);
+  op.chip = bs.chip;
+  op.channel = bs.channel;
   op.kind = PhysOp::Kind::kErase;
-  op.mode = array_.block(block).mode();
+  op.mode = bs.mode;
   op.subpages = 0;
   op.background = true;
   ops.push_back(op);
@@ -149,15 +149,21 @@ void Scheme::emit_erase(BlockId block, std::vector<PhysOp>& ops) {
 void Scheme::retire_slot(Lsn lsn, const PhysicalAddress& addr) {
   array_.invalidate(addr.block, addr.page, addr.subpage);
   map_.clear(lsn);
-  if (array_.geometry().is_slc_block(addr.block)) {
+  if (array_.block_static(addr.block).mode == CellMode::kSlc) {
     on_slc_slot_invalidated(addr);
   }
 }
 
 void Scheme::invalidate_previous(Lsn lsn) {
-  const PhysicalAddress addr = map_.lookup(lsn);
+  // Fused supersede: one mapping-table access resolves and unbinds the
+  // old slot, then the fused array invalidate does the single page
+  // lookup + bucket move (no per-layer re-resolution).
+  const PhysicalAddress addr = map_.take(lsn);
   if (addr.valid()) {
-    retire_slot(lsn, addr);
+    array_.invalidate(addr.block, addr.page, addr.subpage);
+    if (array_.block_static(addr.block).mode == CellMode::kSlc) {
+      on_slc_slot_invalidated(addr);
+    }
   }
 }
 
@@ -253,7 +259,7 @@ void Scheme::evict_page_to_mlc(BlockId victim, PageId page, SimTime now,
                 PhysicalAddress{victim, page, static_cast<SubpageId>(s)});
   }
   if (staged_evictions_.size() >= 4 * spp_) {
-    flush_evictions(array_.geometry().plane_of(victim), now, ops);
+    flush_evictions(array_.block_static(victim).plane, now, ops);
   }
 }
 
@@ -331,9 +337,10 @@ std::uint64_t Scheme::prefill_mlc(std::uint64_t max_subpages,
       writes[n] = {static_cast<SubpageId>(n), lsn, bump_version(lsn)};
       ++n;
     }
-    array_.program(alloc->block, alloc->page,
-                   std::span<const nand::SlotWrite>(writes.data(), n),
-                   /*now=*/0);
+    // Bulk setup entry point: frontier fill at sim time 0, skipping the
+    // partial-program and forward-neighbour work of the general path.
+    array_.prefill_page(alloc->block, alloc->page,
+                        std::span<const nand::SlotWrite>(writes.data(), n));
     for (std::size_t i = 0; i < n; ++i) {
       map_.set(writes[i].lsn, PhysicalAddress{alloc->block, alloc->page,
                                               static_cast<SubpageId>(i)});
@@ -439,11 +446,11 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
     emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
     gc_read_dep_ = static_cast<std::uint32_t>(ops.size() - 1);
     relocate_slc_page(victim, page_id, now, ops);
-    PPSSD_CHECK_MSG(
+    PPSSD_DCHECK_MSG(
         blk.page(page_id).count(nand::SubpageState::kValid, spp_) == 0,
         "relocate_slc_page left valid data behind");
   }
-  flush_evictions(array_.geometry().plane_of(victim), now, ops);
+  flush_evictions(array_.block_static(victim).plane, now, ops);
   gc_read_dep_ = PhysOp::kNoDependency;
 
   emit_erase(victim, ops);
@@ -564,8 +571,13 @@ void Scheme::host_write(Lsn lsn, std::uint32_t count, SimTime now,
     tl_writes_miss_->inc(count - hits);
   }
   place_write(lsn, count, now, ops);
-  // Algorithm 1: insert, then collect where thresholds are crossed.
-  for (std::uint32_t p = 0; p < array_.geometry().planes(); ++p) {
+  // Algorithm 1: insert, then collect where thresholds are crossed. The
+  // pressure bitmask makes this iterate-set-bits instead of an all-planes
+  // scan; re-reading the mask after each plane's GC keeps the semantics of
+  // the original ascending scan (a pass can flip later planes' bits, and
+  // needs_gc is re-checked per region at visit time exactly as before).
+  for (std::uint32_t p = bm_.next_pressured_plane(0);
+       p != ftl::BlockManager::kNoPlane; p = bm_.next_pressured_plane(p + 1)) {
     if (bm_.needs_gc(p, CellMode::kSlc)) maybe_slc_gc(p, now, ops);
     if (bm_.needs_gc(p, CellMode::kMlc)) maybe_mlc_gc(p, now, ops);
   }
@@ -585,7 +597,6 @@ void Scheme::host_read(Lsn lsn, std::uint32_t count, SimTime now,
   };
   std::vector<Resolved> resolved;
   resolved.reserve(count);
-  const auto& geom = array_.geometry();
   for (std::uint32_t i = 0; i < count; ++i) {
     const Lsn cur = lsn + i;
     const PhysicalAddress addr = map_.lookup(cur);
@@ -601,7 +612,7 @@ void Scheme::host_read(Lsn lsn, std::uint32_t count, SimTime now,
     resolved.push_back({addr, ber});
     metrics_.read_ber.add(ber);
     if (tl_read_ber_) tl_read_ber_->observe(ber);
-    if (geom.is_slc_block(addr.block)) {
+    if (array_.block_static(addr.block).mode == CellMode::kSlc) {
       ++metrics_.host_reads_slc;
       if (tl_reads_slc_) tl_reads_slc_->inc();
     } else {

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -120,9 +121,23 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) {
     c /= sum;
   }
   cdf_.back() = 1.0;  // close the CDF exactly despite rounding
+
+  // Bucket index: enough buckets that a typical bracket is a handful of
+  // ranks (Zipf mass concentrates, so low buckets stay wider — the binary
+  // search handles those), capped so construction stays trivial.
+  buckets_ = std::min<std::uint64_t>(4096, std::bit_ceil(n));
+  index_.resize(buckets_ + 1);
+  for (std::uint64_t j = 0; j <= buckets_; ++j) {
+    const double b =
+        static_cast<double>(j) / static_cast<double>(buckets_);
+    index_[j] = static_cast<std::uint64_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), b) - cdf_.begin());
+  }
+  // u < 1.0 strictly, but keep the top bracket closed on a valid rank.
+  if (index_[buckets_] >= n) index_[buckets_] = n - 1;
 }
 
-std::uint64_t ZipfSampler::sample(Rng& rng) const {
+std::uint64_t ZipfSampler::sample_reference(Rng& rng) const {
   const double u = rng.next_double();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::uint64_t>(it - cdf_.begin());

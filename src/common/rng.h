@@ -44,12 +44,45 @@ class Rng {
 };
 
 /// Zipf(α) sampler over ranks [0, n): precomputes the CDF once and samples
-/// by binary search — O(log n) per draw, deterministic.
+/// by inverse transform, deterministic.
+///
+/// sample() brackets the draw with a precomputed bucket index (bucket j
+/// stores lower_bound(cdf, j/K)) and finishes with a branchless binary
+/// search over the bracket, so a draw costs O(log(n/K)) well-predicted
+/// steps instead of a full O(log n) lower_bound. The result is defined to
+/// be *identical* to sample_reference() — the plain lower_bound over the
+/// whole CDF — for every u, so workload streams are unchanged
+/// (tests/common/rng_test.cpp locks the two together).
 class ZipfSampler {
  public:
   ZipfSampler(std::uint64_t n, double alpha);
 
-  std::uint64_t sample(Rng& rng) const;
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    // Bucket of u, corrected for the float rounding of u * K (the cast
+    // can land one bucket off either way near a boundary).
+    std::uint64_t j = static_cast<std::uint64_t>(u * buckets_);
+    if (j >= buckets_) j = buckets_ - 1;
+    if (u < boundary(j)) {
+      --j;
+    } else if (u >= boundary(j + 1)) {
+      ++j;
+    }
+    // The answer lies in [index_[j], index_[j + 1]] by CDF monotonicity.
+    std::uint64_t lo = index_[j];
+    std::uint64_t len = index_[j + 1] - lo + 1;
+    while (len > 1) {
+      const std::uint64_t half = len / 2;
+      const bool right = cdf_[lo + half - 1] < u;
+      lo += right ? half : 0;
+      len = right ? len - half : half;
+    }
+    return lo;
+  }
+
+  /// Plain lower_bound over the full CDF: the reference oracle sample()
+  /// must match draw for draw.
+  std::uint64_t sample_reference(Rng& rng) const;
 
   [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
 
@@ -57,7 +90,15 @@ class ZipfSampler {
   [[nodiscard]] double pmf(std::uint64_t k) const;
 
  private:
+  [[nodiscard]] double boundary(std::uint64_t j) const {
+    return static_cast<double>(j) / static_cast<double>(buckets_);
+  }
+
   std::vector<double> cdf_;
+  /// index_[j] = lower_bound(cdf_, j / buckets_); index_[buckets_] covers
+  /// u -> 1.0 exactly. Size buckets_ + 1.
+  std::vector<std::uint64_t> index_;
+  std::uint64_t buckets_ = 1;
 };
 
 }  // namespace ppssd

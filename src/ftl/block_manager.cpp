@@ -41,6 +41,7 @@ BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
       geom.pages_per_block(CellMode::kMlc) * geom.subpages_per_page();
 
   const std::uint32_t slc_per_plane_blocks = geom.slc_blocks_per_plane();
+  index_by_block_.resize(geom.total_blocks());
   for (std::uint32_t p = 0; p < geom.planes(); ++p) {
     const BlockId first = geom.plane_first_block(p);
     planes_[p].slc_victims.init(first, slc_per_plane_blocks,
@@ -54,8 +55,10 @@ BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
       FreeEntry entry{blk.erase_count(), b};
       if (blk.mode() == CellMode::kSlc) {
         planes_[p].slc_free.push(entry);
+        index_by_block_[b] = &planes_[p].slc_victims;
       } else {
         planes_[p].mlc_free.push(entry);
+        index_by_block_[b] = &planes_[p].mlc_victims;
       }
     }
   }
@@ -73,6 +76,14 @@ BlockManager::BlockManager(nand::FlashArray& array) : array_(&array) {
   hot_cap_ = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(slc_per_plane * cache.hot_ratio));
 
+  const std::uint32_t pressure_words = (geom.planes() + 63) / 64;
+  pressure_[0].assign(pressure_words, 0);
+  pressure_[1].assign(pressure_words, 0);
+  for (std::uint32_t p = 0; p < geom.planes(); ++p) {
+    update_pressure(p, CellMode::kSlc);
+    update_pressure(p, CellMode::kMlc);
+  }
+
   array_->set_block_observer(this);
 }
 
@@ -87,12 +98,6 @@ std::uint32_t BlockManager::level_cap(BlockLevel level) const {
     default:
       return UINT32_MAX;  // Work and MLC are bounded only by the free list
   }
-}
-
-BlockManager::VictimIndex& BlockManager::victim_index(BlockId b) {
-  PlaneState& ps = planes_[array_->geometry().plane_of(b)];
-  return array_->block(b).mode() == CellMode::kSlc ? ps.slc_victims
-                                                   : ps.mlc_victims;
 }
 
 const BlockManager::VictimIndex& BlockManager::victim_index(
@@ -143,10 +148,10 @@ void BlockManager::on_subpage_invalidated(BlockId b, std::uint32_t invalid) {
   const std::uint32_t key = indexed_invalid_[b];
   PPSSD_CHECK_MSG(invalid == key + 1,
                   "victim index out of sync with block invalid count");
-  PPSSD_CHECK(invalid < idx.counts.size());
+  PPSSD_DCHECK(invalid < idx.counts.size());
   const std::uint32_t slot = b - idx.first;
   const std::uint64_t mask = 1ull << (slot % 64);
-  PPSSD_CHECK((idx.row(key)[slot / 64] & mask) != 0);
+  PPSSD_DCHECK((idx.row(key)[slot / 64] & mask) != 0);
   idx.row(key)[slot / 64] &= ~mask;
   idx.row(invalid)[slot / 64] |= mask;
   --idx.counts[key];
@@ -163,6 +168,8 @@ bool BlockManager::open_block(std::uint32_t plane, BlockLevel level) {
   if (ps.level_counts[level_index(level)] >= level_cap(level)) return false;
   const BlockId b = heap.top().block;
   heap.pop();
+  update_pressure(plane, level == BlockLevel::kHighDensity ? CellMode::kMlc
+                                                           : CellMode::kSlc);
   PPSSD_CHECK(state_[b] == State::kFree);
   state_[b] = State::kOpen;
   array_->block(b).set_level(level);
@@ -214,18 +221,6 @@ std::optional<PageAlloc> BlockManager::allocate_page(std::uint32_t plane,
   }
 }
 
-std::uint32_t BlockManager::free_blocks(std::uint32_t plane,
-                                        CellMode mode) const {
-  const PlaneState& ps = planes_[plane];
-  return static_cast<std::uint32_t>(mode == CellMode::kSlc
-                                        ? ps.slc_free.size()
-                                        : ps.mlc_free.size());
-}
-
-std::uint32_t BlockManager::gc_threshold_blocks(CellMode mode) const {
-  return mode == CellMode::kSlc ? slc_threshold_ : mlc_threshold_;
-}
-
 void BlockManager::for_each_candidate(
     std::uint32_t plane, CellMode mode,
     const std::function<void(BlockId)>& fn) const {
@@ -258,12 +253,12 @@ BlockId BlockManager::max_invalid_candidate(std::uint32_t plane,
 void BlockManager::release_block(BlockId b) {
   PPSSD_CHECK_MSG(state_[b] == State::kUsed,
                   "released block must be a closed, in-use block");
-  const auto& geom = array_->geometry();
   nand::Block& blk = array_->block(b);
   PPSSD_CHECK_MSG(blk.programmed_subpages() == 0,
                   "released block was not erased");
   index_erase(b);
-  PlaneState& ps = planes_[geom.plane_of(b)];
+  const std::uint32_t plane = array_->block_static(b).plane;
+  PlaneState& ps = planes_[plane];
   // Retire the level label.
   const auto li = level_index(blk.level());
   PPSSD_CHECK(ps.level_counts[li] > 0);
@@ -272,8 +267,10 @@ void BlockManager::release_block(BlockId b) {
   FreeEntry entry{blk.erase_count(), b};
   if (blk.mode() == CellMode::kSlc) {
     ps.slc_free.push(entry);
+    update_pressure(plane, CellMode::kSlc);
   } else {
     ps.mlc_free.push(entry);
+    update_pressure(plane, CellMode::kMlc);
   }
 }
 
@@ -341,10 +338,22 @@ void BlockManager::check_victim_index() const {
   for (BlockId b = 0; b < geom.total_blocks(); ++b) {
     const auto& idx =
         victim_index(geom.plane_of(b), array_->block(b).mode());
+    PPSSD_CHECK_MSG(index_by_block_[b] == &idx,
+                    "per-block victim-index pointer is stale");
     const std::uint32_t slot = b - idx.first;
     const bool member = (idx.members[slot / 64] >> (slot % 64)) & 1;
     PPSSD_CHECK_MSG(member == (state_[b] == State::kUsed),
                     "candidacy disagrees with block state");
+  }
+  // The pressure bitmask must agree with a fresh free-list recount for
+  // every plane and region.
+  for (std::uint32_t p = 0; p < geom.planes(); ++p) {
+    for (const CellMode mode : {CellMode::kSlc, CellMode::kMlc}) {
+      const bool expected =
+          free_blocks(p, mode) <= gc_threshold_blocks(mode);
+      PPSSD_CHECK_MSG(needs_gc(p, mode) == expected,
+                      "GC-pressure bit disagrees with free-list size");
+    }
   }
 }
 

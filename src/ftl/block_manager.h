@@ -62,13 +62,44 @@ class BlockManager : private nand::BlockObserver {
 
   /// Free blocks currently available in the plane's region.
   [[nodiscard]] std::uint32_t free_blocks(std::uint32_t plane,
-                                          CellMode mode) const;
+                                          CellMode mode) const {
+    const PlaneState& ps = planes_[plane];
+    return static_cast<std::uint32_t>(mode == CellMode::kSlc
+                                          ? ps.slc_free.size()
+                                          : ps.mlc_free.size());
+  }
 
   /// GC trigger threshold in blocks for one plane's region.
-  [[nodiscard]] std::uint32_t gc_threshold_blocks(CellMode mode) const;
+  [[nodiscard]] std::uint32_t gc_threshold_blocks(CellMode mode) const {
+    return mode == CellMode::kSlc ? slc_threshold_ : mlc_threshold_;
+  }
 
+  /// True when the plane's region is at or below its GC threshold. Backed
+  /// by the incrementally maintained pressure bitmask (DESIGN.md §10):
+  /// free-list sizes change only at open_block/release_block, so the mask
+  /// is updated there instead of recomputed per poll.
   [[nodiscard]] bool needs_gc(std::uint32_t plane, CellMode mode) const {
-    return free_blocks(plane, mode) <= gc_threshold_blocks(mode);
+    return (pressure_[pressure_row(mode)][plane / 64] >> (plane % 64)) & 1;
+  }
+
+  /// Smallest plane id >= `from` whose SLC *or* MLC region is under GC
+  /// pressure, or kNoPlane when none is. Lets the per-request GC driver
+  /// iterate set bits instead of scanning every plane.
+  static constexpr std::uint32_t kNoPlane = UINT32_MAX;
+  [[nodiscard]] std::uint32_t next_pressured_plane(std::uint32_t from) const {
+    const auto& slc = pressure_[0];
+    const auto& mlc = pressure_[1];
+    const auto nwords = static_cast<std::uint32_t>(slc.size());
+    for (std::uint32_t w = from / 64; w < nwords; ++w) {
+      std::uint64_t bits = slc[w] | mlc[w];
+      if (w == from / 64 && (from % 64) != 0) {
+        bits &= ~0ull << (from % 64);
+      }
+      if (bits != 0) {
+        return w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits));
+      }
+    }
+    return kNoPlane;
   }
 
   /// True if the block is fully erased and waiting in a free list.
@@ -187,9 +218,27 @@ class BlockManager : private nand::BlockObserver {
 
   [[nodiscard]] std::uint32_t level_cap(BlockLevel level) const;
 
-  [[nodiscard]] VictimIndex& victim_index(BlockId b);
+  [[nodiscard]] VictimIndex& victim_index(BlockId b) {
+    return *index_by_block_[b];
+  }
   [[nodiscard]] const VictimIndex& victim_index(std::uint32_t plane,
                                                 CellMode mode) const;
+
+  static constexpr std::size_t pressure_row(CellMode mode) {
+    return mode == CellMode::kSlc ? 0 : 1;
+  }
+
+  /// Recompute one plane/region pressure bit. Called at every free-list
+  /// size transition (open_block pop, release_block push, construction).
+  void update_pressure(std::uint32_t plane, CellMode mode) {
+    auto& words = pressure_[pressure_row(mode)];
+    const std::uint64_t mask = 1ull << (plane % 64);
+    if (free_blocks(plane, mode) <= gc_threshold_blocks(mode)) {
+      words[plane / 64] |= mask;
+    } else {
+      words[plane / 64] &= ~mask;
+    }
+  }
 
   /// File a newly closed block under its current invalid count.
   void index_insert(BlockId b);
@@ -207,6 +256,14 @@ class BlockManager : private nand::BlockObserver {
   /// Invalid count each kUsed block is currently filed under (stable even
   /// while the underlying block is concurrently erased, until release).
   std::vector<std::uint32_t> indexed_invalid_;
+  /// Per-block victim-index pointer (plane_of division + mode branch
+  /// precomputed once; PlaneState storage is stable after construction).
+  std::vector<VictimIndex*> index_by_block_;
+  /// GC-pressure bitmasks, one bit per plane, per region
+  /// (pressure_row(mode)). Invariant: bit (plane) is set iff
+  /// free_blocks(plane, mode) <= gc_threshold_blocks(mode); audited by
+  /// check_victim_index().
+  std::array<std::vector<std::uint64_t>, 2> pressure_;
   std::uint32_t slc_threshold_;
   std::uint32_t mlc_threshold_;
   std::uint32_t monitor_cap_;

@@ -32,7 +32,7 @@ class DeviceMap {
 
   /// Physical location of a logical subpage (invalid when unmapped).
   [[nodiscard]] PhysicalAddress lookup(Lsn lsn) const {
-    PPSSD_CHECK(lsn < table_.size());
+    PPSSD_DCHECK(lsn < table_.size());
     return table_[lsn].unpack();
   }
 
@@ -50,6 +50,22 @@ class DeviceMap {
                     "mapping an LSN that is already mapped");
     e = Packed::pack(addr);
     ++mapped_count_;
+  }
+
+  /// Fused lookup-and-clear: unbind `lsn` and return its previous slot in
+  /// one table access, or an invalid address when the LSN was unmapped
+  /// (never-written LSNs are a legal fast-path case for the write path's
+  /// supersede step, so this does not abort like clear()).
+  [[nodiscard]] PhysicalAddress take(Lsn lsn) {
+    PPSSD_DCHECK(lsn < table_.size());
+    Packed& e = table_[lsn];
+    const PhysicalAddress addr = e.unpack();
+    if (e.block != kInvalidBlock) {
+      e = Packed{};
+      PPSSD_DCHECK(mapped_count_ > 0);
+      --mapped_count_;
+    }
+    return addr;
   }
 
   /// Unbind a mapped logical subpage.

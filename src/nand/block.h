@@ -177,9 +177,14 @@ class Block {
   /// Apply one program operation to page `p` filling the given slots.
   /// Advances the frontier on a first program; updates valid counters.
   /// Returns true if this was a partial program.
+  ///
+  /// Reference implementation (layer-by-layer dispatch into Page). The
+  /// production hot path is the fused FlashArray::program; the randomized
+  /// equivalence test keeps the two state-identical.
   bool program(PageId p, std::span<const SlotWrite> writes, SimTime now);
 
-  /// Invalidate one valid subpage.
+  /// Invalidate one valid subpage. Reference counterpart of the fused
+  /// FlashArray::invalidate.
   void invalidate(PageId p, SubpageId s);
 
   /// Record a program on the page adjacent to `p` (disturb propagation is
@@ -192,6 +197,10 @@ class Block {
   void erase(SimTime now);
 
  private:
+  /// The fused array-level paths update frontier, counters and the age
+  /// histogram directly in one pass over the touched slots.
+  friend class FlashArray;
+
   std::vector<Page> pages_;
   AgeHistogram age_histogram_;
   CellMode mode_;

@@ -27,9 +27,18 @@ struct DisturbSnapshot {
 /// Build the snapshot for `block.page(p).subpage(s)` given the device's
 /// baseline P/E count. `base_pe` models pre-existing wear (the paper ages
 /// the device to a fixed P/E before replay); per-block erases accumulate on
-/// top of it.
-[[nodiscard]] DisturbSnapshot snapshot_disturb(const Block& block, PageId p,
-                                               SubpageId s,
-                                               std::uint32_t base_pe);
+/// top of it. Header-inline: this runs once per resolved subpage on the
+/// host-read path (DESIGN.md §10).
+[[nodiscard]] inline DisturbSnapshot snapshot_disturb(const Block& block,
+                                                      PageId p, SubpageId s,
+                                                      std::uint32_t base_pe) {
+  DisturbSnapshot snap;
+  snap.mode = block.mode();
+  snap.pe_cycles = base_pe + block.erase_count();
+  const Page& pg = block.page(p);
+  snap.in_page_disturbs = pg.in_page_disturbs(s);
+  snap.neighbor_disturbs = pg.neighbor_disturbs(s);
+  return snap;
+}
 
 }  // namespace ppssd::nand

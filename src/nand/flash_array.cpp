@@ -10,11 +10,15 @@ FlashArray::FlashArray(const SsdConfig& cfg)
   PPSSD_CHECK_MSG(err.empty(), err.c_str());
 
   blocks_.reserve(geom_.total_blocks());
+  statics_.reserve(geom_.total_blocks());
   for (BlockId b = 0; b < geom_.total_blocks(); ++b) {
     const CellMode mode =
         geom_.is_slc_block(b) ? CellMode::kSlc : CellMode::kMlc;
     blocks_.emplace_back(mode, geom_.pages_per_block(mode),
                          geom_.subpages_per_page());
+    statics_.push_back(BlockStatic{
+        geom_.plane_of(b), static_cast<std::uint16_t>(geom_.chip_of(b)),
+        static_cast<std::uint16_t>(geom_.channel_of(b)), mode});
   }
   planes_.reserve(geom_.planes());
   for (std::uint32_t p = 0; p < geom_.planes(); ++p) {
@@ -25,8 +29,9 @@ FlashArray::FlashArray(const SsdConfig& cfg)
   chips_.resize(geom_.chips());
 }
 
-bool FlashArray::program(BlockId b, PageId p,
-                         std::span<const SlotWrite> writes, SimTime now) {
+bool FlashArray::program_reference(BlockId b, PageId p,
+                                   std::span<const SlotWrite> writes,
+                                   SimTime now) {
   PPSSD_CHECK(b < blocks_.size());
   PPSSD_CHECK(!writes.empty());
   Block& blk = blocks_[b];
@@ -59,6 +64,48 @@ bool FlashArray::program(BlockId b, PageId p,
   return partial;
 }
 
+void FlashArray::prefill_page(BlockId b, PageId p,
+                              std::span<const SlotWrite> writes) {
+  PPSSD_DCHECK(b < blocks_.size());
+  PPSSD_DCHECK(!writes.empty());
+  Block& blk = blocks_[b];
+  PPSSD_CHECK_MSG(p == blk.frontier_, "out-of-order first program of a page");
+  ++blk.frontier_;
+  Page& pg = blk.pages_[p];
+  for (const SlotWrite& w : writes) {
+    PPSSD_DCHECK(w.slot < blk.subpages_per_page_);
+    Subpage& sp = pg.subpages_[w.slot];
+    PPSSD_CHECK_MSG(sp.state == SubpageState::kFree,
+                    "programming a non-free subpage (NAND write-once rule)");
+    sp.state = SubpageState::kValid;
+    sp.owner_lsn = static_cast<std::uint32_t>(w.lsn);
+    sp.version = w.version;
+    // write_time_ms, programs_before, neighbors_before stay 0: a frontier
+    // fill at sim time 0 has seen no prior programs or neighbour disturbs.
+  }
+  pg.program_ops_ = 1;
+
+  const auto n = static_cast<std::uint32_t>(writes.size());
+  blk.valid_ += n;
+  blk.age_histogram_.add(0, n);
+
+  // Only the page behind the frontier can absorb this program; the page
+  // ahead has never been programmed.
+  if (p > 0 && blk.pages_[p - 1].program_ops_ > 0) {
+    blk.pages_[p - 1].absorb_neighbor_program();
+  }
+
+  const BlockStatic& bs = statics_[b];
+  if (bs.mode == CellMode::kSlc) {
+    ++counters_.slc_program_ops;
+    counters_.slc_subpages_written += n;
+  } else {
+    ++counters_.mlc_program_ops;
+    counters_.mlc_subpages_written += n;
+  }
+  planes_[bs.plane].count_program();
+}
+
 bool FlashArray::can_partial_program(BlockId b, PageId p) const {
   const Block& blk = blocks_[b];
   const Page& pg = blk.page(p);
@@ -66,7 +113,7 @@ bool FlashArray::can_partial_program(BlockId b, PageId p) const {
   return pg.first_free(blk.subpages_per_page()) != kInvalidSubpage;
 }
 
-void FlashArray::invalidate(BlockId b, PageId p, SubpageId s) {
+void FlashArray::invalidate_reference(BlockId b, PageId p, SubpageId s) {
   PPSSD_CHECK(b < blocks_.size());
   blocks_[b].invalidate(p, s);
   if (observer_ != nullptr) {
@@ -80,17 +127,18 @@ void FlashArray::erase(BlockId b, SimTime now) {
   PPSSD_CHECK_MSG(blk.valid_subpages() == 0,
                   "erasing a block that still holds valid data");
   blk.erase(now);
-  if (blk.mode() == CellMode::kSlc) {
+  const BlockStatic& bs = statics_[b];
+  if (bs.mode == CellMode::kSlc) {
     ++counters_.slc_erases;
   } else {
     ++counters_.mlc_erases;
   }
-  planes_[geom_.plane_of(b)].count_erase();
+  planes_[bs.plane].count_erase();
 }
 
 void FlashArray::count_read(BlockId b) {
   ++counters_.read_ops;
-  planes_[geom_.plane_of(b)].count_read();
+  planes_[statics_[b].plane].count_read();
 }
 
 std::uint64_t FlashArray::total_erases(CellMode mode) const {

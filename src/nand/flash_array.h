@@ -6,12 +6,25 @@
 // write-once subpages, page-sequential first programs, the per-page
 // partial-program limit, disturb propagation to wordline neighbours, and
 // erase/wear accounting.
+//
+// Hot-path layout (DESIGN.md §10): program() and invalidate() are *fused*
+// single-pass implementations — they update subpage state, block running
+// aggregates, the age histogram, array counters and the block observer in
+// one walk over the touched slots, instead of dispatching through
+// Block::program → Page::program per layer. The layer-by-layer chains
+// survive as program_reference()/invalidate_reference() oracles, held
+// state-identical by tests/nand/fused_path_test.cpp. Contract invariants
+// (write-once, frontier order, partial-program limit, valid-state) stay
+// PPSSD_CHECK in every build; bounds and secondary state checks are
+// PPSSD_DCHECK and compile out of Release.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/config.h"
 #include "common/types.h"
 #include "nand/block.h"
@@ -45,6 +58,16 @@ class BlockObserver {
   virtual void on_subpage_invalidated(BlockId b, std::uint32_t invalid) = 0;
 };
 
+/// Immutable physical coordinates of a block, precomputed once at
+/// construction so the per-operation paths (and the schemes' op-emission
+/// helpers) never pay the plane_of/chip_of/channel_of divisions.
+struct BlockStatic {
+  std::uint32_t plane = 0;
+  std::uint16_t chip = 0;
+  std::uint16_t channel = 0;
+  CellMode mode = CellMode::kSlc;
+};
+
 class FlashArray {
  public:
   explicit FlashArray(const SsdConfig& cfg);
@@ -55,6 +78,12 @@ class FlashArray {
   [[nodiscard]] const Block& block(BlockId b) const { return blocks_[b]; }
   [[nodiscard]] Block& block(BlockId b) { return blocks_[b]; }
 
+  /// Precomputed plane/chip/channel/mode of a block (no divisions).
+  [[nodiscard]] const BlockStatic& block_static(BlockId b) const {
+    PPSSD_DCHECK(b < statics_.size());
+    return statics_[b];
+  }
+
   [[nodiscard]] const Plane& plane(std::uint32_t p) const { return planes_[p]; }
   [[nodiscard]] Chip& chip(std::uint32_t c) { return chips_[c]; }
   [[nodiscard]] std::uint32_t chip_count() const {
@@ -64,14 +93,129 @@ class FlashArray {
   /// Apply one program operation to block `b`, page `p`, filling the given
   /// slots. Enforces the per-page partial-program limit and propagates
   /// neighbour disturb. Returns true if it was a partial program.
+  ///
+  /// Fused single-pass implementation: page state, block aggregates, the
+  /// age histogram and array counters update in one walk over `writes`.
   bool program(BlockId b, PageId p, std::span<const SlotWrite> writes,
-               SimTime now);
+               SimTime now) {
+    PPSSD_DCHECK(b < blocks_.size());
+    PPSSD_DCHECK(!writes.empty());
+    Block& blk = blocks_[b];
+    PPSSD_DCHECK(p < blk.page_count());
+    Page& pg = blk.pages_[p];
+    const std::uint8_t pre_ops = pg.program_ops_;
+    if (pre_ops == 0) {
+      // First program of a page must land on the write frontier: NAND
+      // blocks are programmed page-sequentially after an erase.
+      PPSSD_CHECK_MSG(p == blk.frontier_,
+                      "out-of-order first program of a page");
+      ++blk.frontier_;
+    } else {
+      PPSSD_CHECK_MSG(pre_ops < cfg_.cache.max_partial_programs,
+                      "partial-program limit exceeded or no free slot");
+      if (pre_ops == 1) {
+        // The page transitions to "updated": its valid subpages leave the
+        // cold (never-updated) population tracked by the age histogram.
+        for (std::uint32_t s = 0; s < blk.subpages_per_page_; ++s) {
+          const Subpage& sp = pg.subpages_[s];
+          if (sp.state == SubpageState::kValid) {
+            blk.age_histogram_.remove(sp.write_time_ms);
+          }
+        }
+      }
+    }
+    PPSSD_DCHECK_MSG(pg.program_ops_ <
+                         std::numeric_limits<std::uint8_t>::max(),
+                     "page program-op counter overflow");
+    const auto wt = static_cast<std::uint32_t>(now / 1'000'000);
+    for (const SlotWrite& w : writes) {
+      PPSSD_DCHECK(w.slot < blk.subpages_per_page_);
+      Subpage& sp = pg.subpages_[w.slot];
+      PPSSD_CHECK_MSG(sp.state == SubpageState::kFree,
+                      "programming a non-free subpage (NAND write-once rule)");
+      sp.state = SubpageState::kValid;
+      sp.owner_lsn = static_cast<std::uint32_t>(w.lsn);
+      sp.version = w.version;
+      sp.write_time_ms = wt;
+      sp.programs_before = pre_ops;
+      sp.neighbors_before = pg.neighbor_programs_;
+    }
+    pg.program_ops_ = static_cast<std::uint8_t>(pre_ops + 1);
+
+    const auto n = static_cast<std::uint32_t>(writes.size());
+    blk.valid_ += n;
+    blk.sum_write_time_ms_ += static_cast<std::uint64_t>(wt) * n;
+    if (pre_ops == 0) {
+      blk.age_histogram_.add(wt, n);
+    }
+
+    // Wordline adjacency: programming page p disturbs pages p-1 and p+1
+    // of the same block if they already hold data (Figure 1).
+    if (p > 0 && blk.pages_[p - 1].program_ops_ > 0) {
+      blk.pages_[p - 1].absorb_neighbor_program();
+    }
+    const auto next = static_cast<PageId>(p + 1);
+    if (next < blk.page_count() && blk.pages_[next].program_ops_ > 0) {
+      blk.pages_[next].absorb_neighbor_program();
+    }
+
+    const BlockStatic& bs = statics_[b];
+    if (bs.mode == CellMode::kSlc) {
+      ++counters_.slc_program_ops;
+      counters_.slc_subpages_written += n;
+    } else {
+      ++counters_.mlc_program_ops;
+      counters_.mlc_subpages_written += n;
+    }
+    if (pre_ops > 0) ++counters_.partial_program_ops;
+    planes_[bs.plane].count_program();
+    return pre_ops > 0;
+  }
+
+  /// Layer-by-layer program chain (FlashArray → Block → Page), kept as
+  /// the equivalence oracle for the fused program().
+  bool program_reference(BlockId b, PageId p,
+                         std::span<const SlotWrite> writes, SimTime now);
+
+  /// Bulk first-program entry point for setup (Scheme prefill): programs
+  /// the write frontier of `b` at sim time 0. Skips the partial-program
+  /// branches and the forward-neighbour probe — a frontier fill can only
+  /// disturb the page behind it. State produced is identical to
+  /// program(b, p, writes, 0) on a free frontier page.
+  void prefill_page(BlockId b, PageId p, std::span<const SlotWrite> writes);
 
   /// True if page (b, p) may accept another program operation (partial-
   /// program limit not yet reached and free subpage slots remain).
   [[nodiscard]] bool can_partial_program(BlockId b, PageId p) const;
 
-  void invalidate(BlockId b, PageId p, SubpageId s);
+  /// Fused invalidate: one page lookup updates subpage state, block
+  /// aggregates, the age histogram and the observer in a single pass.
+  void invalidate(BlockId b, PageId p, SubpageId s) {
+    PPSSD_DCHECK(b < blocks_.size());
+    Block& blk = blocks_[b];
+    PPSSD_DCHECK(p < blk.page_count());
+    Page& pg = blk.pages_[p];
+    PPSSD_DCHECK(s < blk.subpages_per_page_);
+    Subpage& sp = pg.subpages_[s];
+    PPSSD_CHECK_MSG(sp.state == SubpageState::kValid,
+                    "invalidating a subpage that is not valid");
+    sp.state = SubpageState::kInvalid;
+    const std::uint32_t wt = sp.write_time_ms;
+    PPSSD_DCHECK(blk.valid_ > 0);
+    --blk.valid_;
+    ++blk.invalid_;
+    blk.sum_write_time_ms_ -= wt;
+    if (pg.program_ops_ == 1) {
+      blk.age_histogram_.remove(wt);
+    }
+    if (observer_ != nullptr) {
+      observer_->on_subpage_invalidated(b, blk.invalid_);
+    }
+  }
+
+  /// Layer-by-layer invalidate chain, kept as the equivalence oracle for
+  /// the fused invalidate().
+  void invalidate_reference(BlockId b, PageId p, SubpageId s);
 
   /// Erase a block. All subpages must already be invalid or free — the
   /// caller (GC) is responsible for relocating valid data first.
@@ -103,6 +247,7 @@ class FlashArray {
   SsdConfig cfg_;
   Geometry geom_;
   std::vector<Block> blocks_;
+  std::vector<BlockStatic> statics_;
   std::vector<Plane> planes_;
   std::vector<Chip> chips_;
   ArrayCounters counters_;

@@ -4,25 +4,6 @@
 
 namespace ppssd::nand {
 
-std::uint32_t Page::count(SubpageState s, std::uint32_t n) const {
-  PPSSD_CHECK(n <= kMaxSubpagesPerPage);
-  std::uint32_t c = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (subpages_[i].state == s) ++c;
-  }
-  return c;
-}
-
-SubpageId Page::first_free(std::uint32_t n) const {
-  PPSSD_CHECK(n <= kMaxSubpagesPerPage);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (subpages_[i].state == SubpageState::kFree) {
-      return static_cast<SubpageId>(i);
-    }
-  }
-  return kInvalidSubpage;
-}
-
 bool Page::program(std::span<const SlotWrite> writes, SimTime now) {
   PPSSD_CHECK(!writes.empty());
   const bool partial = programmed();

@@ -61,24 +61,45 @@ class Page {
   }
 
   [[nodiscard]] const Subpage& subpage(SubpageId i) const {
-    PPSSD_CHECK(i < kMaxSubpagesPerPage);
+    PPSSD_DCHECK(i < kMaxSubpagesPerPage);
     return subpages_[i];
   }
 
   /// Count of subpages in a given state over the first `n` slots.
-  [[nodiscard]] std::uint32_t count(SubpageState s, std::uint32_t n) const;
+  [[nodiscard]] std::uint32_t count(SubpageState s, std::uint32_t n) const {
+    PPSSD_DCHECK(n <= kMaxSubpagesPerPage);
+    std::uint32_t c = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (subpages_[i].state == s) ++c;
+    }
+    return c;
+  }
 
   /// Index of the first free slot in the first `n`, or kInvalidSubpage.
-  [[nodiscard]] SubpageId first_free(std::uint32_t n) const;
+  [[nodiscard]] SubpageId first_free(std::uint32_t n) const {
+    PPSSD_DCHECK(n <= kMaxSubpagesPerPage);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (subpages_[i].state == SubpageState::kFree) {
+        return static_cast<SubpageId>(i);
+      }
+    }
+    return kInvalidSubpage;
+  }
 
   /// Apply one program operation filling the given slots. Returns true if
   /// the operation was a partial program (page already had data).
   ///
   /// Every targeted slot must be free (NAND write-once rule). The caller is
   /// responsible for enforcing the per-page partial-program limit.
+  ///
+  /// This is the per-layer *reference* implementation: the production hot
+  /// path is the fused FlashArray::program, which updates page, block
+  /// aggregates and array counters in one pass (DESIGN.md §10). The two
+  /// are held state-identical by tests/nand/fused_path_test.cpp.
   bool program(std::span<const SlotWrite> writes, SimTime now);
 
-  /// Mark a valid subpage invalid (data superseded elsewhere).
+  /// Mark a valid subpage invalid (data superseded elsewhere). Reference
+  /// counterpart of the fused FlashArray::invalidate.
   void invalidate(SubpageId i);
 
   /// Called when a wordline-adjacent page is programmed.
@@ -88,14 +109,14 @@ class Page {
   /// the number of partial programs applied to this page afterwards.
   [[nodiscard]] std::uint32_t in_page_disturbs(SubpageId i) const {
     const auto& sp = subpages_[i];
-    PPSSD_CHECK(sp.state != SubpageState::kFree);
+    PPSSD_DCHECK(sp.state != SubpageState::kFree);
     return program_ops_ - sp.programs_before - 1;
   }
 
   /// Neighbour disturb events absorbed by subpage `i` since it was written.
   [[nodiscard]] std::uint32_t neighbor_disturbs(SubpageId i) const {
     const auto& sp = subpages_[i];
-    PPSSD_CHECK(sp.state != SubpageState::kFree);
+    PPSSD_DCHECK(sp.state != SubpageState::kFree);
     return neighbor_programs_ - sp.neighbors_before;
   }
 
@@ -103,6 +124,10 @@ class Page {
   void reset();
 
  private:
+  /// The fused array-level program/invalidate paths stamp subpage state
+  /// directly (one pass over the slots instead of one per layer).
+  friend class FlashArray;
+
   std::array<Subpage, kMaxSubpagesPerPage> subpages_{};
   std::uint8_t program_ops_ = 0;
   std::uint16_t neighbor_programs_ = 0;

@@ -29,14 +29,6 @@ SimTime Controller::ecc_cost(const cache::PhysOp& op) const {
   return ecc_.decode_time(op.ber, op.subpages);
 }
 
-void Controller::advance_to(SimTime now) {
-  SimTime last = clock_;
-  inflight_.drain_until(now, [&](const auto& ev) { last = ev.time; });
-  // kNoTime means "retire everything"; the clock lands on the last
-  // retirement instead of the sentinel.
-  clock_ = std::max(clock_, now == kNoTime ? last : now);
-}
-
 void Controller::attach_telemetry(telemetry::Telemetry* telemetry) {
   if (telemetry == nullptr) {
     trace_ = nullptr;

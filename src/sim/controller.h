@@ -26,6 +26,7 @@
 // harvest host-request completions out of submission order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -51,7 +52,16 @@ class Controller {
 
   /// Advance the controller clock, retiring every in-flight command that
   /// completes at or before `now` (kNoTime retires everything).
-  void advance_to(SimTime now);
+  /// Header-inline: called once per scheduled op and once per host
+  /// request, and the common case — nothing to retire yet — is a single
+  /// front-of-queue compare (DESIGN.md §10).
+  void advance_to(SimTime now) {
+    SimTime last = clock_;
+    inflight_.drain_until(now, [&](const auto& ev) { last = ev.time; });
+    // kNoTime means "retire everything"; the clock lands on the last
+    // retirement instead of the sentinel.
+    clock_ = std::max(clock_, now == kNoTime ? last : now);
+  }
 
   [[nodiscard]] SimTime clock() const { return clock_; }
   /// Commands scheduled but not yet retired by advance_to().

@@ -175,5 +175,29 @@ TEST(ZipfSampler, SingleElement) {
   }
 }
 
+// The bucket-indexed fast path must reproduce the plain lower_bound
+// inverse-CDF draw for draw: workload streams are part of the simulator's
+// determinism contract.
+TEST(ZipfSampler, FastPathMatchesReferenceStream) {
+  for (const auto& [n, alpha] : std::initializer_list<
+           std::pair<std::uint64_t, double>>{{1, 1.0},
+                                             {2, 0.5},
+                                             {7, 1.3},
+                                             {1000, 0.9},
+                                             {4096, 1.0},
+                                             {100000, 1.2}}) {
+    ZipfSampler zipf(n, alpha);
+    for (const std::uint64_t seed : {12345ull, 7ull, 0ull, 999999937ull}) {
+      Rng fast_rng(seed);
+      Rng ref_rng(seed);
+      for (int i = 0; i < 20000; ++i) {
+        ASSERT_EQ(zipf.sample(fast_rng), zipf.sample_reference(ref_rng))
+            << "n=" << n << " alpha=" << alpha << " seed=" << seed
+            << " draw=" << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ppssd
