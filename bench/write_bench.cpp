@@ -11,6 +11,12 @@
 //   write/invalidate/fused     FlashArray::invalidate (single-pass)
 //   write/invalidate/reference FlashArray::invalidate_reference
 //
+// plus the attribution-overhead pair — the full Ssd submit path with the
+// per-request blame ledger detached (null-handle hot path) and attached:
+//
+//   write/attrib/off           Ssd::submit, ledger detached
+//   write/attrib/on            Ssd::submit, ledger attached
+//
 // A cycle fills plane 0's region page by page through the real allocator
 // (conventional program of all-but-one slot, partial program of the last
 // slot on every other page), then drains it: every valid subpage is
@@ -36,6 +42,8 @@
 #include "ftl/block_manager.h"
 #include "nand/flash_array.h"
 #include "perf/bench_report.h"
+#include "sim/ssd.h"
+#include "telemetry/telemetry.h"
 
 using namespace ppssd;
 using core::Table;
@@ -165,6 +173,41 @@ const char* mode_name(CellMode mode) {
   return mode == CellMode::kSlc ? "slc" : "mlc";
 }
 
+/// Attribution-overhead cell: the full host submit path (IPU scheme,
+/// GC, the works) with the blame ledger detached vs attached. The
+/// detached figure is the null-handle guarantee the perf gate enforces;
+/// the attached figure prices the ledger for users who turn it on.
+Timing run_attrib_variant(bool attached) {
+  SsdConfig cfg = SsdConfig::scaled(2048);
+  sim::Ssd ssd(cfg, cache::SchemeKind::kIpu);
+  telemetry::Telemetry tel([] {
+    telemetry::TelemetryOptions opts;
+    opts.attribution = true;
+    return opts;
+  }());
+  if (attached) ssd.attach_telemetry(&tel);
+
+  using clock = std::chrono::steady_clock;
+  Timing t;
+  std::uint64_t lsn = 0;
+  SimTime now = 0;
+  while (t.seconds < kMinMeasureSeconds) {
+    const auto start = clock::now();
+    for (int i = 0; i < 2048; ++i) {
+      // 3:1 write:read mix over a wrapping strided address pattern —
+      // enough churn to keep GC (and thus interference blame) active.
+      const OpType op = (i & 3) == 3 ? OpType::kRead : OpType::kWrite;
+      ssd.submit(op, (lsn * 17) * kSubpageBytes, kSubpageBytes, now);
+      now += us_to_ns(20.0);
+      ++lsn;
+      ++t.calls;
+    }
+    t.seconds +=
+        std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return t;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +252,21 @@ int main(int argc, char** argv) {
                        Table::fmt(c.timing.calls_per_sec(), 0)});
       }
     }
+  }
+
+  for (const bool attached : {false, true}) {
+    const Timing t = run_attrib_variant(attached);
+    perf::BenchCell cell;
+    cell.key = std::string("write/attrib/") + (attached ? "on" : "off");
+    cell.scheme = "IPU";
+    cell.trace = std::string("attrib-") + (attached ? "on" : "off");
+    cell.requests = t.calls;
+    cell.wall_seconds = t.seconds;
+    cell.reqs_per_sec = t.calls_per_sec();
+    cell.phases.measure_seconds = t.seconds;
+    report.cells.push_back(cell);
+    table.add_row({cell.key, Table::fmt(t.ns_per_call(), 1),
+                   Table::fmt(t.calls_per_sec(), 0)});
   }
 
   std::printf("%s\n", table.render("Write-path program/invalidate").c_str());

@@ -110,6 +110,7 @@ void Scheme::emit_program(BlockId block, std::uint32_t subpages,
   op.mode = bs.mode;
   op.subpages = subpages;
   op.background = background;
+  op.origin = background ? OpOrigin::kGc : fg_origin_;
   // Relocation programs consume data produced by a GC page read earlier in
   // this request; host programs have no intra-request data dependency.
   if (background) op.depends_on = gc_read_dep_;
@@ -128,6 +129,7 @@ void Scheme::emit_page_read(BlockId block, PageId /*page*/,
   op.subpages = subpages;
   op.ber = max_ber;
   op.background = background;
+  op.origin = background ? OpOrigin::kGc : fg_origin_;
   ops.push_back(op);
   array_.count_read(block);
 }
@@ -141,6 +143,7 @@ void Scheme::emit_erase(BlockId block, std::vector<PhysOp>& ops) {
   op.mode = bs.mode;
   op.subpages = 0;
   op.background = true;
+  op.origin = OpOrigin::kGc;
   ops.push_back(op);
 }
 

@@ -50,6 +50,12 @@ namespace ppssd::cache {
 /// sourced its data, a victim erase depends on the last relocation op of
 /// that victim. The controller dispatches an op only once its dependency
 /// has completed; independent ops overlap freely across chips/channels.
+/// Why an op exists — the causal tag the latency-attribution ledger
+/// charges wait intervals to (host command, GC/migration machinery, or
+/// warm-up traffic). Distinct from `background`, which is the *priority*
+/// the controller schedules at.
+enum class OpOrigin : std::uint8_t { kHost = 0, kGc = 1, kPrefill = 2 };
+
 struct PhysOp {
   enum class Kind : std::uint8_t { kRead = 0, kProgram = 1, kErase = 2 };
 
@@ -63,6 +69,7 @@ struct PhysOp {
   std::uint32_t subpages = 1;  // transferred / ECC-decoded payload
   double ber = 0.0;            // raw BER priced by ECC (reads only)
   bool background = false;     // GC / migration work
+  OpOrigin origin = OpOrigin::kHost;
   std::uint32_t depends_on = kNoDependency;  // earlier op index, or none
 };
 
@@ -160,6 +167,12 @@ class Scheme {
   void set_gc_decision_hook(GcDecisionHook hook) {
     gc_decision_hook_ = std::move(hook);
   }
+
+  /// Tag the origin of subsequently emitted *foreground* ops (background
+  /// ops are always kGc). The experiment driver marks warm-up traffic
+  /// kPrefill so the attribution ledger separates it from measured host
+  /// work; restore kHost before the measured replay.
+  void set_origin_phase(OpOrigin origin) { fg_origin_ = origin; }
 
   /// Register the scheme's counters/histograms (cache hit/miss, partial
   /// programs, evictions, GC episodes, read BER…) labelled
@@ -321,6 +334,7 @@ class Scheme {
 
   std::uint32_t spp_;
   std::uint32_t rr_plane_ = 0;
+  OpOrigin fg_origin_ = OpOrigin::kHost;
 
   // Telemetry handles (null until attached).
   telemetry::Counter* tl_writes_hit_ = nullptr;    // update of SLC-cached data

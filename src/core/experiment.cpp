@@ -111,7 +111,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
         1.2 * static_cast<double>(cache_bytes) /
         (profile.mean_write_kb * 1024.0));
     trace::SyntheticWorkload warmup(warm, ssd.logical_bytes());
+    // Warm-up ops carry the kPrefill origin so a blame ledger attached
+    // around this phase (telemetry tour, bench harnesses) separates
+    // pre-conditioning traffic from measured host work.
+    ssd.scheme().set_origin_phase(cache::OpOrigin::kPrefill);
     replayer.replay(warmup);
+    ssd.scheme().set_origin_phase(cache::OpOrigin::kHost);
     ssd.scheme().reset_metrics();
     ssd.reset_timing();
   }

@@ -6,6 +6,29 @@
 
 namespace ppssd::sim {
 
+namespace {
+
+/// PhysOp -> attribution class: erases have their own suspendable
+/// horizon; otherwise the scheme's origin tag decides, with background
+/// ops defaulting to GC when a host-origin tag leaks onto one.
+telemetry::attribution::OpClass classify(const cache::PhysOp& op) {
+  using telemetry::attribution::OpClass;
+  if (op.kind == cache::PhysOp::Kind::kErase) return OpClass::kErase;
+  const bool read = op.kind == cache::PhysOp::Kind::kRead;
+  switch (op.origin) {
+    case cache::OpOrigin::kPrefill:
+      return OpClass::kPrefill;
+    case cache::OpOrigin::kGc:
+      return read ? OpClass::kGcRead : OpClass::kGcProgram;
+    case cache::OpOrigin::kHost:
+      break;
+  }
+  if (op.background) return read ? OpClass::kGcRead : OpClass::kGcProgram;
+  return OpClass::kHost;
+}
+
+}  // namespace
+
 Controller::Controller(const SsdConfig& cfg, std::uint32_t chips,
                        std::uint32_t channels)
     : timing_(cfg.timing), ecc_(cfg.ecc) {
@@ -23,6 +46,8 @@ void Controller::reset() {
   scheduled_ops_ = 0;
   clock_ = 0;
   while (!inflight_.empty()) inflight_.pop();
+  // Horizons are zero again: stale claims would break interval coverage.
+  if (attrib_) attrib_->reset_resources();
 }
 
 SimTime Controller::ecc_cost(const cache::PhysOp& op) const {
@@ -30,6 +55,20 @@ SimTime Controller::ecc_cost(const cache::PhysOp& op) const {
 }
 
 void Controller::attach_telemetry(telemetry::Telemetry* telemetry) {
+  attrib_ = telemetry ? telemetry->attribution() : nullptr;
+  if (attrib_) {
+    attrib_->bind_resources(static_cast<std::uint32_t>(lanes_.size()),
+                            static_cast<std::uint32_t>(channel_busy_.size()));
+    // Mid-run attach: outstanding horizon state predates the ledger, so
+    // seed it as prefill claims to keep wait intervals fully covered.
+    for (std::uint32_t c = 0; c < lanes_.size(); ++c) {
+      attrib_->seed_lane(c, lanes_[c].busy_until);
+      attrib_->seed_erase(c, lanes_[c].erase_until);
+    }
+    for (std::uint32_t ch = 0; ch < channel_busy_.size(); ++ch) {
+      attrib_->seed_channel(ch, channel_busy_[ch]);
+    }
+  }
   if (telemetry == nullptr) {
     trace_ = nullptr;
     tl_ops_[0][0] = tl_ops_[0][1] = tl_ops_[1][0] = tl_ops_[1][1] = nullptr;
@@ -64,6 +103,10 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
   ChipLane& lane = lanes_[op.chip];
   SimTime& channel = channel_busy_[op.channel];
   SimTime end = ready;
+  // Horizons before this op claims them — the attribution ledger charges
+  // wait intervals against the *previous* occupancy.
+  const SimTime lane_was = lane.busy_until;
+  const SimTime erase_was = lane.erase_until;
 
   switch (op.kind) {
     case Kind::kRead: {
@@ -83,6 +126,24 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       channel = xfer_end;
       const SimTime ecc_ns = ecc_cost(op);
       end = xfer_end + ecc_ns;
+      if (attrib_) {
+        attrib_->op_begin(scheduled_ops_, classify(op), op.mode,
+                          op.background, op.chip, op.channel, ready);
+        const SimTime base = std::max(ready, lane_was);
+        attrib_->wait_lane(op.chip, ready, base);
+        if (op.background) {
+          attrib_->wait_erase(op.chip, base, sense_start);
+        } else if (erase_was > sense_start) {
+          attrib_->note_suspend_saved(erase_was - sense_start);
+        }
+        attrib_->add_service(sense_end - sense_start);
+        attrib_->claim_lane(op.chip, sense_end);
+        attrib_->wait_channel(op.channel, sense_end, xfer_start);
+        attrib_->add_service(xfer_end - xfer_start);
+        attrib_->claim_channel(op.channel, xfer_end);
+        attrib_->add_ecc(ecc_ns);
+        attrib_->op_end(end);
+      }
       if (tl_ecc_decodes_) {
         tl_ecc_decodes_->inc(op.subpages);
         if (ecc_.saturated(op.ber)) tl_ecc_saturated_->inc(op.subpages);
@@ -114,6 +175,23 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
           timing_.program_latency(op.mode);
       chip_occupancy_[op.chip] += timing_.program_latency(op.mode);
       lane.busy_until = end;
+      if (attrib_) {
+        attrib_->op_begin(scheduled_ops_, classify(op), op.mode,
+                          op.background, op.chip, op.channel, ready);
+        attrib_->wait_channel(op.channel, ready, xfer_start);
+        attrib_->add_service(xfer_end - xfer_start);
+        attrib_->claim_channel(op.channel, xfer_end);
+        const SimTime base = std::max(xfer_end, lane_was);
+        attrib_->wait_lane(op.chip, xfer_end, base);
+        if (op.background) {
+          attrib_->wait_erase(op.chip, base, prog_start);
+        } else if (erase_was > prog_start) {
+          attrib_->note_suspend_saved(erase_was - prog_start);
+        }
+        attrib_->add_service(end - prog_start);
+        attrib_->claim_lane(op.chip, end);
+        attrib_->op_end(end);
+      }
       if (tl_ops_[1][static_cast<int>(op.mode)]) {
         tl_ops_[1][static_cast<int>(op.mode)]->inc();
         tl_chip_wait_->observe(static_cast<double>(prog_start - ready));
@@ -139,6 +217,16 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       usage_.erase_bg += timing_.erase_latency();
       chip_occupancy_[op.chip] += timing_.erase_latency();
       lane.erase_until = end;
+      if (attrib_) {
+        attrib_->op_begin(scheduled_ops_, classify(op), op.mode,
+                          op.background, op.chip, op.channel, ready);
+        const SimTime after_erase = std::max(ready, erase_was);
+        attrib_->wait_erase(op.chip, ready, after_erase);
+        attrib_->wait_lane(op.chip, after_erase, start);
+        attrib_->add_service(end - start);
+        attrib_->claim_erase(op.chip, end);
+        attrib_->op_end(end);
+      }
       if (tl_erases_) tl_erases_->inc();
       if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
         trace_->span(telemetry::TraceCategory::kFlash, "erase", start, end,

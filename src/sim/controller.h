@@ -124,6 +124,10 @@ class Controller {
   // Telemetry handles (null until attached). Counter index is
   // [kind][mode] for read/program, erase is mode-independent.
   telemetry::TraceLog* trace_ = nullptr;
+  // Blame ledger (null when detached — the attribution hot path is one
+  // pointer test per scheduled op). attach_telemetry() binds the
+  // resource topology and seeds current horizons as prefill claims.
+  telemetry::attribution::AttributionLedger* attrib_ = nullptr;
   telemetry::Counter* tl_ops_[2][2] = {{nullptr, nullptr},
                                        {nullptr, nullptr}};
   telemetry::Counter* tl_erases_ = nullptr;

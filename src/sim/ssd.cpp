@@ -24,6 +24,10 @@ std::uint64_t Ssd::logical_bytes() const {
 
 void Ssd::attach_telemetry(telemetry::Telemetry* telemetry) {
   telemetry_ = telemetry;
+  attrib_ = telemetry ? telemetry->attribution() : nullptr;
+  if (attrib_) {
+    attrib_->attach_registry(&telemetry->registry(), scheme_->name());
+  }
   scheme_->attach_telemetry(telemetry);
   service_.attach_telemetry(telemetry);
 }
@@ -82,6 +86,11 @@ Ssd::Completion Ssd::do_submit(OpType op, std::uint64_t offset,
   done.id = next_request_id_++;
   done.start = arrival;
 
+  // Bracket the request for the blame ledger: every foreground op
+  // scheduled until finish_request folds into this request's component
+  // vector (background ops accrue to the interference matrix only).
+  if (attrib_) attrib_->begin_request(done.id, op, arrival);
+
   // GC interleaving: the controller gives host commands priority and
   // spreads background flash work across subsequent requests rather than
   // monopolising chips in one burst. Logical state already advanced in
@@ -91,6 +100,7 @@ Ssd::Completion Ssd::do_submit(OpType op, std::uint64_t offset,
     const auto outcome = service_.service(ops_, arrival);
     done.finish = outcome.foreground_end;
     done.drained = outcome.background_end;
+    if (attrib_) attrib_->finish_request(done.finish);
     return done;
   }
 
@@ -144,6 +154,7 @@ Ssd::Completion Ssd::do_submit(OpType op, std::uint64_t offset,
 
   done.finish = fg_end;
   done.drained = std::max(fg_end, bg_end);
+  if (attrib_) attrib_->finish_request(done.finish);
   return done;
 }
 

@@ -125,6 +125,10 @@ class Ssd {
   std::unique_ptr<cache::Scheme> scheme_;
   ServiceModel service_;
   telemetry::Telemetry* telemetry_ = nullptr;
+  // Blame ledger from the attached bundle (null when detached). do_submit
+  // brackets every host request so the ledger can fold the request's
+  // foreground ops into one conserved component vector.
+  telemetry::attribution::AttributionLedger* attrib_ = nullptr;
   std::vector<cache::PhysOp> ops_;        // reused per request
   std::vector<SimTime> op_finish_;        // reused per request
   std::vector<std::size_t> op_deferred_;  // reused per request

@@ -1,0 +1,562 @@
+#include "telemetry/attribution/attribution.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ppssd::telemetry::attribution {
+
+namespace {
+
+// Coarse who-blocked-whom group for the registry matrix.
+int class_group(OpClass cls) {
+  switch (cls) {
+    case OpClass::kHost:
+      return 0;
+    case OpClass::kGcRead:
+    case OpClass::kGcProgram:
+      return 1;
+    case OpClass::kErase:
+      return 2;
+    case OpClass::kPrefill:
+      return 3;
+  }
+  return 3;
+}
+
+const char* kGroupNames[4] = {"host", "gc", "erase", "prefill"};
+
+// Fixed-size record layout, little-endian, written field by field (see
+// write_record / read_record). Keep in sync with kLedgerVersion.
+constexpr std::uint32_t kRecordBytes = 140;
+constexpr std::size_t kDumpFlushBytes = 1u << 20;
+
+void put_u8(std::vector<unsigned char>& b, std::uint8_t v) {
+  b.push_back(v);
+}
+void put_u32(std::vector<unsigned char>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+void put_u64(std::vector<unsigned char>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+void put_str(std::vector<unsigned char>& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.insert(b.end(), s.begin(), s.end());
+}
+
+// Bounds-checked reader over a loaded ledger file.
+struct ByteReader {
+  const unsigned char* p;
+  std::size_t left;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (left < 1) return fail<std::uint8_t>();
+    std::uint8_t v = *p;
+    ++p;
+    --left;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (left < 4) return fail<std::uint32_t>();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (left < 8) return fail<std::uint64_t>();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || left < n) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return s;
+  }
+
+  template <typename T>
+  T fail() {
+    ok = false;
+    return T{};
+  }
+};
+
+}  // namespace
+
+const char* class_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::kHost:
+      return "host";
+    case OpClass::kGcRead:
+      return "gc_read";
+    case OpClass::kGcProgram:
+      return "gc_program";
+    case OpClass::kErase:
+      return "erase";
+    case OpClass::kPrefill:
+      return "prefill";
+  }
+  return "?";
+}
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kService:
+      return "service";
+    case Component::kEcc:
+      return "ecc";
+    case Component::kLaneHost:
+      return "lane_host";
+    case Component::kLaneGcRead:
+      return "lane_gc_read";
+    case Component::kLaneGcProgram:
+      return "lane_gc_program";
+    case Component::kLanePrefill:
+      return "lane_prefill";
+    case Component::kChanHost:
+      return "chan_host";
+    case Component::kChanGcRead:
+      return "chan_gc_read";
+    case Component::kChanGcProgram:
+      return "chan_gc_program";
+    case Component::kChanPrefill:
+      return "chan_prefill";
+    case Component::kEraseRemainder:
+      return "erase_remainder";
+  }
+  return "?";
+}
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kLane:
+      return "lane";
+    case Resource::kChannel:
+      return "channel";
+    case Resource::kErase:
+      return "erase";
+  }
+  return "?";
+}
+
+Component wait_component(Resource r, OpClass blocker) {
+  // The suspendable-erase horizon is advanced only by erases (and attach
+  // seeds); every tick waited there is erase remainder.
+  if (r == Resource::kErase) return Component::kEraseRemainder;
+  const bool lane = r == Resource::kLane;
+  switch (blocker) {
+    case OpClass::kHost:
+      return lane ? Component::kLaneHost : Component::kChanHost;
+    case OpClass::kGcRead:
+      return lane ? Component::kLaneGcRead : Component::kChanGcRead;
+    case OpClass::kGcProgram:
+      return lane ? Component::kLaneGcProgram : Component::kChanGcProgram;
+    case OpClass::kErase:
+      // Erases never occupy a lane or channel claim; blame coarsening
+      // (dropped claims) can surface one only via the prefill bucket.
+      return lane ? Component::kLanePrefill : Component::kChanPrefill;
+    case OpClass::kPrefill:
+      return lane ? Component::kLanePrefill : Component::kChanPrefill;
+  }
+  return Component::kLanePrefill;
+}
+
+AttributionLedger::AttributionLedger() = default;
+
+AttributionLedger::~AttributionLedger() { close_dump(); }
+
+void AttributionLedger::bind_resources(std::uint32_t chips,
+                                       std::uint32_t channels) {
+  if (lane_claims_.size() != chips) {
+    lane_claims_.assign(chips, ClaimDeque{});
+    erase_claims_.assign(chips, ClaimDeque{});
+  }
+  if (channel_claims_.size() != channels) {
+    channel_claims_.assign(channels, ClaimDeque{});
+  }
+}
+
+void AttributionLedger::reset_resources() {
+  for (auto& d : lane_claims_) d.clear();
+  for (auto& d : channel_claims_) d.clear();
+  for (auto& d : erase_claims_) d.clear();
+  op_open_ = false;
+  request_open_ = false;
+}
+
+void AttributionLedger::seed(ClaimDeque& claims, SimTime horizon) {
+  if (horizon == 0) return;
+  if (!claims.empty() && claims.back().end >= horizon) return;
+  claims.push_back(Claim{horizon, 0, OpClass::kPrefill});
+}
+
+void AttributionLedger::seed_lane(std::uint32_t chip, SimTime horizon) {
+  PPSSD_CHECK(chip < lane_claims_.size());
+  seed(lane_claims_[chip], horizon);
+}
+
+void AttributionLedger::seed_channel(std::uint32_t channel, SimTime horizon) {
+  PPSSD_CHECK(channel < channel_claims_.size());
+  seed(channel_claims_[channel], horizon);
+}
+
+void AttributionLedger::seed_erase(std::uint32_t chip, SimTime horizon) {
+  PPSSD_CHECK(chip < erase_claims_.size());
+  seed(erase_claims_[chip], horizon);
+}
+
+void AttributionLedger::op_begin(std::uint64_t op_id, OpClass cls,
+                                 CellMode mode, bool background,
+                                 std::uint32_t chip, std::uint32_t channel,
+                                 SimTime ready) {
+  PPSSD_DCHECK_MSG(!op_open_, "attribution: op_begin while an op is open");
+  PPSSD_DCHECK(chip < lane_claims_.size());
+  PPSSD_DCHECK(channel < channel_claims_.size());
+  cur_ = OpBlame{};
+  cur_.op_id = op_id;
+  cur_.cls = cls;
+  cur_.mode = mode;
+  cur_.background = background;
+  cur_.chip = chip;
+  cur_.channel = channel;
+  cur_.ready = ready;
+  op_open_ = true;
+}
+
+void AttributionLedger::charge(ClaimDeque& claims, Resource r, SimTime from,
+                               SimTime to) {
+  if (to <= from) return;
+  PPSSD_DCHECK(op_open_);
+  while (!claims.empty() && claims.front().end <= from) claims.pop_front();
+  const int mode = cur_.mode == CellMode::kSlc ? 0 : 1;
+  SimTime t = from;
+  for (const Claim& c : claims) {
+    if (t >= to) break;
+    const SimTime upto = std::min(c.end, to);
+    if (upto <= t) continue;
+    const SimTime slice = upto - t;
+    cur_.comp[static_cast<std::size_t>(wait_component(r, c.cls))] += slice;
+    matrix_[static_cast<std::size_t>(cur_.cls)][static_cast<std::size_t>(
+        c.cls)][static_cast<std::size_t>(r)][mode] += slice;
+    if (slice > cur_.blocked_ns) {
+      cur_.blocked_ns = slice;
+      cur_.blocker_op = c.op;
+      cur_.blocker_cls = c.cls;
+      cur_.blocker_res = r;
+    }
+    t = upto;
+  }
+  // Conservation backbone: a horizon always equals the end of the last
+  // claim on its resource, so the wait interval must be fully tiled.
+  PPSSD_CHECK_MSG(t == to,
+                  "attribution: wait interval not covered by claims");
+}
+
+void AttributionLedger::wait_lane(std::uint32_t chip, SimTime from,
+                                  SimTime to) {
+  if (to <= from) return;
+  charge(lane_claims_[chip], Resource::kLane, from, to);
+}
+
+void AttributionLedger::wait_channel(std::uint32_t channel, SimTime from,
+                                     SimTime to) {
+  if (to <= from) return;
+  charge(channel_claims_[channel], Resource::kChannel, from, to);
+}
+
+void AttributionLedger::wait_erase(std::uint32_t chip, SimTime from,
+                                   SimTime to) {
+  if (to <= from) return;
+  charge(erase_claims_[chip], Resource::kErase, from, to);
+}
+
+void AttributionLedger::add_service(SimTime ns) {
+  cur_.comp[static_cast<std::size_t>(Component::kService)] += ns;
+}
+
+void AttributionLedger::add_ecc(SimTime ns) {
+  cur_.comp[static_cast<std::size_t>(Component::kEcc)] += ns;
+}
+
+void AttributionLedger::push_claim(ClaimDeque& claims, SimTime end) {
+  PPSSD_DCHECK(op_open_);
+  PPSSD_DCHECK_MSG(claims.empty() || end >= claims.back().end,
+                   "attribution: claim ends must be monotone");
+  claims.push_back(Claim{end, cur_.op_id, cur_.cls});
+  if (claims.size() > kMaxClaims) claims.pop_front();
+}
+
+void AttributionLedger::claim_lane(std::uint32_t chip, SimTime end) {
+  push_claim(lane_claims_[chip], end);
+}
+
+void AttributionLedger::claim_channel(std::uint32_t channel, SimTime end) {
+  push_claim(channel_claims_[channel], end);
+}
+
+void AttributionLedger::claim_erase(std::uint32_t chip, SimTime end) {
+  push_claim(erase_claims_[chip], end);
+}
+
+void AttributionLedger::note_suspend_saved(SimTime ns) {
+  suspend_saved_ns_ += ns;
+}
+
+void AttributionLedger::op_end(SimTime end) {
+  PPSSD_DCHECK_MSG(op_open_, "attribution: op_end without op_begin");
+  cur_.end = end;
+  PPSSD_CHECK_MSG(cur_.component_sum() == end - cur_.ready,
+                  "attribution: op components do not sum to op latency");
+  ++ops_;
+  last_op_ = cur_;
+  if (request_open_ && !cur_.background) req_ops_.push_back(cur_);
+  op_open_ = false;
+}
+
+void AttributionLedger::begin_request(std::uint64_t id, OpType op,
+                                      SimTime arrival) {
+  PPSSD_DCHECK_MSG(!request_open_,
+                   "attribution: begin_request while a request is open");
+  request_open_ = true;
+  req_ = RequestBlame{};
+  req_.id = id;
+  req_.op = op;
+  req_.arrival = arrival;
+  req_ops_.clear();
+}
+
+void AttributionLedger::finish_request(SimTime finish) {
+  PPSSD_DCHECK_MSG(request_open_,
+                   "attribution: finish_request without begin_request");
+  request_open_ = false;
+  req_.finish = finish;
+
+  // Fold the critical chain backwards from the completion time. Each link
+  // is an exact tick equality: an op whose ready exceeds the arrival was
+  // released by the op that finished at exactly that tick (the scheduler
+  // resolves dependencies to finish times). Foreground ops off the chain
+  // did not determine the latency and contribute nothing.
+  SimTime t = finish;
+  while (t > req_.arrival) {
+    const OpBlame* link = nullptr;
+    for (auto it = req_ops_.rbegin(); it != req_ops_.rend(); ++it) {
+      if (it->end == t) {
+        link = &*it;
+        break;
+      }
+    }
+    PPSSD_CHECK_MSG(link != nullptr,
+                    "attribution: request critical chain broken");
+    PPSSD_CHECK_MSG(link->ready >= req_.arrival,
+                    "attribution: foreground op ready before arrival");
+    for (std::size_t i = 0; i < kComponentCount; ++i) {
+      req_.comp[i] += link->comp[i];
+    }
+    ++req_.fg_ops;
+    if (link->blocked_ns > req_.blocked_ns) {
+      req_.blocked_ns = link->blocked_ns;
+      req_.blocker_op = link->blocker_op;
+      req_.blocker_cls = link->blocker_cls;
+      req_.blocker_res = link->blocker_res;
+      // Resource identity: chip id for lane/erase waits, channel id for
+      // channel contention (the blocker shares the blocked op's resource).
+      req_.blocker_chip = link->blocker_res == Resource::kChannel
+                              ? link->channel
+                              : link->chip;
+    }
+    t = link->ready;  // strictly decreases: every op has positive service
+  }
+
+  // The hard invariant: components tile [arrival, finish] exactly.
+  PPSSD_CHECK_MSG(req_.component_sum() == req_.finish - req_.arrival,
+                  "attribution: conservation invariant violated");
+
+  ++requests_;
+  if (tl_component_ms_[0] != nullptr) {
+    for (std::size_t i = 0; i < kComponentCount; ++i) {
+      tl_component_ms_[i]->observe(static_cast<double>(req_.comp[i]) / 1e6);
+    }
+  }
+  if (keep_records_) records_.push_back(req_);
+  if (dump_) write_record(req_);
+}
+
+void AttributionLedger::attach_registry(MetricsRegistry* registry,
+                                        const std::string& scheme) {
+  if (registry == nullptr) {
+    for (auto& h : tl_component_ms_) h = nullptr;
+    return;
+  }
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    tl_component_ms_[i] = registry->histogram(
+        "host_latency_component_ms",
+        {{"scheme", scheme},
+         {"component", component_name(static_cast<Component>(i))}},
+        1e-4, 1e5);
+  }
+  const char* modes[2] = {"slc", "mlc"};
+  for (int bg = 0; bg < 4; ++bg) {
+    for (int bk = 0; bk < 4; ++bk) {
+      for (int m = 0; m < 2; ++m) {
+        registry->gauge_fn(
+            "attrib_wait_ns",
+            {{"scheme", scheme},
+             {"blocked", kGroupNames[bg]},
+             {"blocker", kGroupNames[bk]},
+             {"mode", modes[m]}},
+            [this, bg, bk, m]() {
+              std::uint64_t sum = 0;
+              for (std::size_t i = 0; i < kClassCount; ++i) {
+                if (class_group(static_cast<OpClass>(i)) != bg) continue;
+                for (std::size_t j = 0; j < kClassCount; ++j) {
+                  if (class_group(static_cast<OpClass>(j)) != bk) continue;
+                  for (std::size_t r = 0; r < kResourceCount; ++r) {
+                    sum += matrix_[i][j][r][m];
+                  }
+                }
+              }
+              return static_cast<double>(sum);
+            });
+      }
+    }
+  }
+  registry->gauge_fn(
+      "attrib_suspend_saved_ns", {{"scheme", scheme}},
+      [this]() { return static_cast<double>(suspend_saved_ns_); });
+}
+
+std::uint64_t AttributionLedger::wait_ns(OpClass blocked, OpClass blocker,
+                                         Resource r, CellMode mode) const {
+  return matrix_[static_cast<std::size_t>(blocked)][static_cast<std::size_t>(
+      blocker)][static_cast<std::size_t>(r)][mode == CellMode::kSlc ? 0 : 1];
+}
+
+bool AttributionLedger::open_dump(const std::string& path) {
+  close_dump();
+  auto f = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*f) return false;
+  dump_ = std::move(f);
+  dump_buf_.clear();
+  for (char c : kLedgerMagic) {
+    dump_buf_.push_back(static_cast<unsigned char>(c));
+  }
+  put_u32(dump_buf_, kLedgerVersion);
+  put_u32(dump_buf_, static_cast<std::uint32_t>(kComponentCount));
+  put_u32(dump_buf_, static_cast<std::uint32_t>(kClassCount));
+  put_u32(dump_buf_, kRecordBytes);
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    put_str(dump_buf_, component_name(static_cast<Component>(i)));
+  }
+  for (std::size_t i = 0; i < kClassCount; ++i) {
+    put_str(dump_buf_, class_name(static_cast<OpClass>(i)));
+  }
+  flush_dump();
+  return true;
+}
+
+void AttributionLedger::write_record(const RequestBlame& r) {
+  const std::size_t at = dump_buf_.size();
+  put_u64(dump_buf_, r.id);
+  put_u64(dump_buf_, r.arrival);
+  put_u64(dump_buf_, r.finish);
+  for (SimTime c : r.comp) put_u64(dump_buf_, c);
+  put_u32(dump_buf_, r.fg_ops);
+  put_u32(dump_buf_, r.blocker_chip);
+  put_u64(dump_buf_, r.blocker_op);
+  put_u64(dump_buf_, r.blocked_ns);
+  put_u8(dump_buf_, static_cast<std::uint8_t>(r.op));
+  put_u8(dump_buf_, static_cast<std::uint8_t>(r.blocker_cls));
+  put_u8(dump_buf_, static_cast<std::uint8_t>(r.blocker_res));
+  put_u8(dump_buf_, 0);
+  PPSSD_DCHECK(dump_buf_.size() - at == kRecordBytes);
+  if (dump_buf_.size() >= kDumpFlushBytes) flush_dump();
+}
+
+void AttributionLedger::flush_dump() {
+  if (!dump_ || dump_buf_.empty()) return;
+  dump_->write(reinterpret_cast<const char*>(dump_buf_.data()),
+               static_cast<std::streamsize>(dump_buf_.size()));
+  dump_buf_.clear();
+}
+
+void AttributionLedger::close_dump() {
+  if (!dump_) return;
+  flush_dump();
+  dump_->flush();
+  dump_.reset();
+}
+
+bool load_ledger(const std::string& path, LedgerFile* out,
+                 std::string* error) {
+  PPSSD_CHECK(out != nullptr);
+  *out = LedgerFile{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ByteReader r{reinterpret_cast<const unsigned char*>(bytes.data()),
+               bytes.size()};
+  if (r.left < 8 || std::memcmp(r.p, kLedgerMagic, 8) != 0) {
+    if (error) *error = "not a ledger file (bad magic)";
+    return false;
+  }
+  r.p += 8;
+  r.left -= 8;
+  out->version = r.u32();
+  const std::uint32_t ncomp = r.u32();
+  const std::uint32_t nclass = r.u32();
+  const std::uint32_t record_bytes = r.u32();
+  if (!r.ok || out->version != kLedgerVersion ||
+      ncomp != kComponentCount || nclass != kClassCount ||
+      record_bytes != kRecordBytes) {
+    if (error) *error = "unsupported ledger header";
+    return false;
+  }
+  for (std::uint32_t i = 0; i < ncomp; ++i) {
+    out->component_names.push_back(r.str());
+  }
+  for (std::uint32_t i = 0; i < nclass; ++i) {
+    out->class_names.push_back(r.str());
+  }
+  if (!r.ok) {
+    if (error) *error = "truncated ledger header";
+    return false;
+  }
+  // Records to EOF; a truncated tail record (aborted run) is dropped.
+  while (r.left >= kRecordBytes) {
+    RequestBlame rec;
+    rec.id = r.u64();
+    rec.arrival = r.u64();
+    rec.finish = r.u64();
+    for (std::size_t i = 0; i < kComponentCount; ++i) rec.comp[i] = r.u64();
+    rec.fg_ops = r.u32();
+    rec.blocker_chip = r.u32();
+    rec.blocker_op = r.u64();
+    rec.blocked_ns = r.u64();
+    rec.op = static_cast<OpType>(r.u8());
+    rec.blocker_cls = static_cast<OpClass>(r.u8());
+    rec.blocker_res = static_cast<Resource>(r.u8());
+    (void)r.u8();
+    if (!r.ok) break;
+    out->records.push_back(rec);
+  }
+  return true;
+}
+
+}  // namespace ppssd::telemetry::attribution

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "common/check.h"
@@ -131,12 +132,45 @@ std::vector<Sample> MetricsRegistry::snapshot() const {
   return out;
 }
 
+namespace {
+std::vector<Sample> sorted_snapshot(const MetricsRegistry& reg) {
+  std::vector<Sample> samples = reg.snapshot();
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.series < b.series; });
+  return samples;
+}
+}  // namespace
+
 void MetricsRegistry::write_csv(std::ostream& out) const {
   out << "series,value\n";
   out.precision(17);
-  for (const Sample& s : snapshot()) {
+  for (const Sample& s : sorted_snapshot(*this)) {
     out << s.series << ',' << s.value << '\n';
   }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out.precision(17);
+  out << "{\n  \"schema\": 1,\n  \"series\": {";
+  bool first = true;
+  for (const Sample& s : sorted_snapshot(*this)) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    \"";
+    // Series ids are metric names + labels: escape the JSON specials
+    // that can plausibly appear (quotes, backslashes).
+    for (char c : s.series) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\": ";
+    if (std::isfinite(s.value)) {
+      out << s.value;
+    } else {
+      out << "null";
+    }
+  }
+  out << "\n  }\n}\n";
 }
 
 }  // namespace ppssd::telemetry

@@ -113,8 +113,15 @@ class MetricsRegistry {
   /// Number of registered instruments (histograms count once).
   [[nodiscard]] std::size_t instrument_count() const { return order_.size(); }
 
-  /// `series,value` CSV of a full snapshot (end-of-run artifact).
+  /// `series,value` CSV of a full snapshot (end-of-run artifact). Rows
+  /// are sorted by series id so exports diff cleanly across runs and
+  /// platforms regardless of registration order.
   void write_csv(std::ostream& out) const;
+
+  /// JSON snapshot: {"schema":1,"series":{"<id>":value,...}} with keys
+  /// in sorted order (deterministic diffs). Selected by a `.json`
+  /// PPSSD_METRICS path. Non-finite values serialize as null.
+  void write_json(std::ostream& out) const;
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kGaugeFn };

@@ -26,6 +26,7 @@ TelemetryOptions TelemetryOptions::from_env() {
   if (!every.empty()) opts.sample_every_requests = std::stoull(every);
   const std::string ms = env_or("PPSSD_SAMPLE_MS", "");
   if (!ms.empty()) opts.sample_every_ns = ms_to_ns(std::stod(ms));
+  opts.attribution_path = env_or("PPSSD_ATTRIB", "");
   return opts;
 }
 
@@ -48,6 +49,12 @@ Telemetry::Telemetry(const TelemetryOptions& opts) : opts_(opts) {
                                                      timeseries_file_, so);
     }
   }
+  if (opts_.attribution || !opts_.attribution_path.empty()) {
+    attribution_ = std::make_unique<attribution::AttributionLedger>();
+    if (!opts_.attribution_path.empty()) {
+      attribution_->open_dump(opts_.attribution_path);
+    }
+  }
 }
 
 Telemetry::~Telemetry() { finish(0); }
@@ -64,8 +71,17 @@ void Telemetry::finish(SimTime end) {
   if (sampler_) sampler_->finish(end);
   if (!opts_.metrics_path.empty()) {
     std::ofstream out(opts_.metrics_path);
-    if (out) registry_.write_csv(out);
+    if (out) {
+      const std::string& p = opts_.metrics_path;
+      const bool json = p.size() >= 5 && p.compare(p.size() - 5, 5, ".json") == 0;
+      if (json) {
+        registry_.write_json(out);
+      } else {
+        registry_.write_csv(out);
+      }
+    }
   }
+  if (attribution_) attribution_->close_dump();
   if (trace_) trace_->close();
 }
 

@@ -13,9 +13,12 @@
 //   PPSSD_TRACE_CATEGORIES=gc,cache   category filter (default: all)
 //   PPSSD_TRACE_LIMIT=n               hard cap on emitted events
 //   PPSSD_METRICS=out.metrics.csv     end-of-run registry dump
+//                                     (.json extension selects JSON)
 //   PPSSD_TIMESERIES=out.ts.csv       windowed registry deltas
 //   PPSSD_SAMPLE_REQUESTS=n           window = n host requests (default 1000)
 //   PPSSD_SAMPLE_MS=f                 window = f ms of sim time
+//   PPSSD_ATTRIB=out.ledger.bin       per-request blame ledger (binary;
+//                                     read with tools/latency_explain)
 #pragma once
 
 #include <cstdint>
@@ -24,6 +27,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "telemetry/attribution/attribution.h"
 #include "telemetry/metrics.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace_log.h"
@@ -38,11 +42,16 @@ struct TelemetryOptions {
   std::string timeseries_path;
   std::uint64_t sample_every_requests = 0;
   SimTime sample_every_ns = 0;
+  std::string attribution_path;
+  /// Build the blame ledger even without a dump path (in-memory
+  /// aggregates / test use; implied by attribution_path).
+  bool attribution = false;
 
   /// True when at least one output artifact is requested.
   [[nodiscard]] bool any() const {
     return !trace_path.empty() || !metrics_path.empty() ||
-           !timeseries_path.empty();
+           !timeseries_path.empty() || !attribution_path.empty() ||
+           attribution;
   }
 
   [[nodiscard]] static TelemetryOptions from_env();
@@ -67,6 +76,10 @@ class Telemetry {
   /// Null when no trace output is configured.
   [[nodiscard]] TraceLog* trace() { return trace_.get(); }
   [[nodiscard]] TimeSeriesSampler* sampler() { return sampler_.get(); }
+  /// Null unless attribution was requested (PPSSD_ATTRIB / options).
+  [[nodiscard]] attribution::AttributionLedger* attribution() {
+    return attribution_.get();
+  }
 
   /// Host-request tick (drives the sampler window clock).
   void on_request(SimTime now) {
@@ -83,6 +96,9 @@ class Telemetry {
   std::unique_ptr<TraceLog> trace_;
   std::ofstream timeseries_file_;
   std::unique_ptr<TimeSeriesSampler> sampler_;
+  // After registry_: attached gauges poll the ledger, so it must die
+  // first (no snapshots run during destruction either way).
+  std::unique_ptr<attribution::AttributionLedger> attribution_;
   bool finished_ = false;
 };
 

@@ -1,8 +1,48 @@
 #include "telemetry/trace_log.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <mutex>
 
 namespace ppssd::telemetry {
+
+namespace {
+
+// Live-log registry backing the atexit finalizer. Logs deregister in
+// their destructor, so only logs still alive at process exit (globals,
+// leaks, std::exit mid-run) are finalized here.
+std::mutex& live_logs_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<TraceLog*>& live_logs() {
+  static std::vector<TraceLog*> logs;
+  return logs;
+}
+
+void close_live_logs() {
+  std::lock_guard<std::mutex> lock(live_logs_mutex());
+  for (TraceLog* log : live_logs()) log->close();
+}
+
+void register_live(TraceLog* log) {
+  std::lock_guard<std::mutex> lock(live_logs_mutex());
+  static const bool registered = [] {
+    std::atexit(close_live_logs);
+    return true;
+  }();
+  (void)registered;
+  live_logs().push_back(log);
+}
+
+void deregister_live(TraceLog* log) {
+  std::lock_guard<std::mutex> lock(live_logs_mutex());
+  auto& logs = live_logs();
+  logs.erase(std::remove(logs.begin(), logs.end(), log), logs.end());
+}
+
+}  // namespace
 
 const char* category_name(TraceCategory cat) {
   switch (cat) {
@@ -48,6 +88,8 @@ TraceLog::TraceLog(std::ostream& out, Options opts)
     : out_(&out), opts_(opts) {
   buffer_.reserve(opts_.buffer_events);
   *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  seal();
+  register_live(this);
 }
 
 TraceLog::TraceLog(std::ostream& out) : TraceLog(out, Options{}) {}
@@ -65,7 +107,10 @@ std::unique_ptr<TraceLog> TraceLog::open_file(const std::string& path) {
   return open_file(path, Options{});
 }
 
-TraceLog::~TraceLog() { close(); }
+TraceLog::~TraceLog() {
+  deregister_live(this);
+  close();
+}
 
 void TraceLog::record(TraceCategory cat, const char* name, char phase,
                       SimTime ts, SimTime dur, std::uint32_t lane,
@@ -137,9 +182,23 @@ void TraceLog::write_event(const Event& e) {
   *out_ << '}';
 }
 
+void TraceLog::seal() {
+  // Append the document terminator, push it to the sink, then rewind so
+  // the next event overwrites it — an aborted run keeps a parseable
+  // file. Streams without a seek position (pipes) skip the seal; they
+  // get the terminator at close() only.
+  const std::ostream::pos_type pos = out_->tellp();
+  if (pos == std::ostream::pos_type(-1)) return;
+  *out_ << "]}";
+  out_->flush();
+  out_->seekp(pos);
+}
+
 void TraceLog::flush() {
+  if (closed_) return;  // the stream may be gone (owned file released)
   for (const Event& e : buffer_) write_event(e);
   buffer_.clear();
+  seal();
   out_->flush();
 }
 

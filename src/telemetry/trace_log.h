@@ -24,6 +24,14 @@
 //
 // Category filtering ("gc,cache") is a bitmask test before any
 // formatting work happens; a filtered-out emit is a few instructions.
+//
+// Crash safety: every flush() seals the document — it appends the
+// closing "]}" and rewinds the stream so the next event overwrites the
+// seal. A run killed or aborted mid-replay therefore leaves a valid
+// (truncated-but-parseable) JSON file covering everything up to the
+// last flush, instead of an unterminated array. Live logs are also
+// closed from an atexit hook, so std::exit() mid-run finalizes the
+// document (including the trace_closed metadata event).
 #pragma once
 
 #include <cstdint>
@@ -106,7 +114,8 @@ class TraceLog {
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
-  /// Write buffered events through to the stream.
+  /// Write buffered events through to the stream and re-seal the
+  /// document (see the crash-safety note above).
   void flush();
 
   /// Finalize the JSON document; further emits are dropped.
@@ -130,6 +139,9 @@ class TraceLog {
               SimTime dur, std::uint32_t lane,
               std::initializer_list<Arg> args);
   void write_event(const Event& e);
+  /// Append "]}" and rewind so the document parses as-is; no-op on
+  /// non-seekable sinks.
+  void seal();
 
   std::unique_ptr<std::ofstream> owned_file_;  // set by open_file()
   std::ostream* out_;

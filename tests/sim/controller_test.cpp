@@ -130,6 +130,115 @@ TEST(Controller, ShortReadOvertakesGcLadenWrite) {
   EXPECT_EQ(completions.pop().payload, 'W');
 }
 
+// ---- erase-suspend attribution edge cases --------------------------------
+//
+// Each test attaches an in-memory attribution ledger and asserts the
+// suspend-remainder / suspend-savings ticks the controller reports for
+// the paper's erase-suspend corner cases. Per-op conservation
+// (components tile [ready, end] exactly) is asserted alongside.
+
+namespace attr = telemetry::attribution;
+
+constexpr std::size_t kEraseRem =
+    static_cast<std::size_t>(attr::Component::kEraseRemainder);
+
+TEST(Controller, BackToBackSuspendsOfOneEraseEachRecordShrinkingSavings) {
+  const SsdConfig c = cfg();
+  const SimTime T = c.timing.transfer_per_subpage;
+  const SimTime W = c.timing.slc_write;
+  const SimTime E = c.timing.erase;
+  ASSERT_GT(E, 2 * T + W);  // the erase outlives both suspending writes
+
+  Controller ctrl(c, 1, 1);
+  telemetry::TelemetryOptions opts;
+  opts.attribution = true;
+  telemetry::Telemetry tel(opts);
+  ctrl.attach_telemetry(&tel);
+  attr::AttributionLedger* led = tel.attribution();
+  ASSERT_NE(led, nullptr);
+
+  ctrl.schedule(erase_op(0), 0);  // erase horizon [0, E)
+  // First host write suspends: it runs as if the chip were idle, and the
+  // ledger records how long it *would* have waited.
+  const SimTime end1 = ctrl.schedule(program_op(0), 0);
+  EXPECT_EQ(end1, T + W);
+  EXPECT_EQ(led->suspend_saved_ns(), E - T);
+  EXPECT_EQ(led->last_op().comp[kEraseRem], 0u);
+  EXPECT_EQ(led->last_op().component_sum(), end1);
+  // Second host write suspends the *same* still-pending erase; the saved
+  // remainder shrank by exactly the simulated time that passed.
+  const SimTime end2 = ctrl.schedule(program_op(0), end1);
+  EXPECT_EQ(end2, end1 + T + W);
+  EXPECT_EQ(led->suspend_saved_ns(), (E - T) + (E - (2 * T + W)));
+  EXPECT_EQ(led->last_op().comp[kEraseRem], 0u);
+  EXPECT_EQ(led->last_op().component_sum(), end2 - end1);
+}
+
+TEST(Controller, SuspendAtExactEraseCompletionTickSavesNothing) {
+  const SsdConfig c = cfg();
+  const SimTime T = c.timing.transfer_per_subpage;
+  const SimTime W = c.timing.slc_write;
+  const SimTime E = c.timing.erase;
+
+  Controller ctrl(c, 1, 1);
+  telemetry::TelemetryOptions opts;
+  opts.attribution = true;
+  telemetry::Telemetry tel(opts);
+  ctrl.attach_telemetry(&tel);
+  attr::AttributionLedger* led = tel.attribution();
+
+  ctrl.schedule(erase_op(0), 0);
+  // The program pulse starts exactly when the erase completes: there is
+  // nothing to suspend, so no savings and no remainder.
+  const SimTime end = ctrl.schedule(program_op(0), E - T);
+  EXPECT_EQ(end, E + W);
+  EXPECT_EQ(led->suspend_saved_ns(), 0u);
+  EXPECT_EQ(led->last_op().comp[kEraseRem], 0u);
+  EXPECT_EQ(led->last_op().component_sum(), T + W);
+
+  // One tick earlier and the suspend is real: exactly one saved tick.
+  Controller ctrl2(c, 1, 1);
+  telemetry::Telemetry tel2(opts);
+  ctrl2.attach_telemetry(&tel2);
+  ctrl2.schedule(erase_op(0), 0);
+  const SimTime end2 = ctrl2.schedule(program_op(0), E - T - 1);
+  EXPECT_EQ(end2, E - 1 + W);
+  EXPECT_EQ(tel2.attribution()->suspend_saved_ns(), 1u);
+}
+
+TEST(Controller, ResumeThenImmediateGcWaitsOutRemainderChargedToErase) {
+  const SsdConfig c = cfg();
+  const SimTime T = c.timing.transfer_per_subpage;
+  const SimTime W = c.timing.slc_write;
+  const SimTime E = c.timing.erase;
+  ASSERT_GT(E, 2 * T + W);
+
+  Controller ctrl(c, 1, 1);
+  telemetry::TelemetryOptions opts;
+  opts.attribution = true;
+  telemetry::Telemetry tel(opts);
+  ctrl.attach_telemetry(&tel);
+  attr::AttributionLedger* led = tel.attribution();
+
+  ctrl.schedule(erase_op(0), 0);
+  // Host write suspends the erase...
+  const SimTime end1 = ctrl.schedule(program_op(0), 0);
+  EXPECT_EQ(end1, T + W);
+  // ...the erase resumes, and a GC relocation program issued right after
+  // the host write must wait out the remainder — charged tick-for-tick
+  // to kEraseRemainder and blamed on the erase op.
+  const SimTime end2 = ctrl.schedule(program_op(0, 0, true), end1);
+  EXPECT_EQ(end2, E + W);
+  const attr::OpBlame& op = led->last_op();
+  EXPECT_EQ(op.comp[kEraseRem], E - (end1 + T));
+  EXPECT_EQ(op.component_sum(), end2 - end1);
+  EXPECT_EQ(op.blocker_cls, attr::OpClass::kErase);
+  EXPECT_EQ(op.blocker_res, attr::Resource::kErase);
+  EXPECT_EQ(led->wait_ns(attr::OpClass::kGcProgram, attr::OpClass::kErase,
+                         attr::Resource::kErase, CellMode::kSlc),
+            E - (end1 + T));
+}
+
 TEST(Controller, ResetClearsClockAndInflight) {
   Controller ctrl(cfg(), 2, 2);
   ctrl.schedule(program_op(0), 0);

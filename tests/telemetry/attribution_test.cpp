@@ -1,0 +1,257 @@
+#include "telemetry/attribution/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ppssd::telemetry::attribution {
+namespace {
+
+constexpr std::size_t kService = static_cast<std::size_t>(Component::kService);
+constexpr std::size_t kLaneHost =
+    static_cast<std::size_t>(Component::kLaneHost);
+constexpr std::size_t kLaneGcRead =
+    static_cast<std::size_t>(Component::kLaneGcRead);
+constexpr std::size_t kLanePrefill =
+    static_cast<std::size_t>(Component::kLanePrefill);
+
+TEST(AttributionLedger, WaitsChargeHeadOfQueueClaims) {
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+
+  // Op 1 (host) occupies the lane until t=100.
+  led.op_begin(1, OpClass::kHost, CellMode::kSlc, false, 0, 0, 0);
+  led.add_service(100);
+  led.claim_lane(0, 100);
+  led.op_end(100);
+
+  // Op 2 (GC read) waits out op 1, then occupies until t=150.
+  led.op_begin(2, OpClass::kGcRead, CellMode::kSlc, true, 0, 0, 0);
+  led.wait_lane(0, 0, 100);
+  led.add_service(50);
+  led.claim_lane(0, 150);
+  led.op_end(150);
+  EXPECT_EQ(led.last_op().comp[kLaneHost], 100u);
+
+  // Op 3 (host, MLC) waits out both: the wait partitions exactly at the
+  // claim boundary, blaming each slice on its occupant.
+  led.op_begin(3, OpClass::kHost, CellMode::kMlc, false, 0, 0, 0);
+  led.wait_lane(0, 0, 150);
+  led.add_service(10);
+  led.claim_lane(0, 160);
+  led.op_end(160);
+
+  const OpBlame& op = led.last_op();
+  EXPECT_EQ(op.comp[kLaneHost], 100u);
+  EXPECT_EQ(op.comp[kLaneGcRead], 50u);
+  EXPECT_EQ(op.component_sum(), 160u);
+  // Worst single slice: the 100-tick stall behind op 1.
+  EXPECT_EQ(op.blocker_op, 1u);
+  EXPECT_EQ(op.blocker_cls, OpClass::kHost);
+  EXPECT_EQ(op.blocker_res, Resource::kLane);
+  EXPECT_EQ(op.blocked_ns, 100u);
+
+  // Interference matrix, split by the blocked op's cell mode.
+  EXPECT_EQ(led.wait_ns(OpClass::kHost, OpClass::kHost, Resource::kLane,
+                        CellMode::kMlc),
+            100u);
+  EXPECT_EQ(led.wait_ns(OpClass::kHost, OpClass::kGcRead, Resource::kLane,
+                        CellMode::kMlc),
+            50u);
+  EXPECT_EQ(led.wait_ns(OpClass::kGcRead, OpClass::kHost, Resource::kLane,
+                        CellMode::kSlc),
+            100u);
+  EXPECT_EQ(led.ops(), 3u);
+}
+
+TEST(AttributionLedger, SeededHorizonChargesPrefill) {
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+  // Mid-run attach: the lane was already busy until t=70 when the ledger
+  // bound. That occupancy has no claim, so it is seeded as prefill.
+  led.seed_lane(0, 70);
+  led.op_begin(1, OpClass::kHost, CellMode::kSlc, false, 0, 0, 0);
+  led.wait_lane(0, 0, 70);
+  led.add_service(30);
+  led.claim_lane(0, 100);
+  led.op_end(100);
+  EXPECT_EQ(led.last_op().comp[kLanePrefill], 70u);
+  EXPECT_EQ(led.last_op().component_sum(), 100u);
+}
+
+TEST(AttributionLedger, RequestFoldTelescopesAlongCriticalChain) {
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+  led.set_keep_records(true);
+
+  led.begin_request(7, OpType::kWrite, 10);
+  // Op A: ready at arrival, 30 ticks of service, ends at 40.
+  led.op_begin(1, OpClass::kHost, CellMode::kSlc, false, 0, 0, 10);
+  led.add_service(30);
+  led.claim_lane(0, 40);
+  led.op_end(40);
+  // A parallel foreground op off the critical chain (ends at 35 — no
+  // link's ready equals that): folded out.
+  led.op_begin(2, OpClass::kHost, CellMode::kSlc, false, 0, 0, 10);
+  led.add_service(25);
+  led.op_end(35);
+  // Op B depends on A (ready == A's end), 50 ticks, ends at 90.
+  led.op_begin(3, OpClass::kHost, CellMode::kSlc, false, 0, 0, 40);
+  led.add_service(50);
+  led.claim_lane(0, 90);
+  led.op_end(90);
+  led.finish_request(90);
+
+  ASSERT_EQ(led.records().size(), 1u);
+  const RequestBlame& r = led.records().back();
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.fg_ops, 2u);  // A and B; the off-chain op contributes nothing
+  EXPECT_EQ(r.comp[kService], 80u);
+  EXPECT_EQ(r.latency(), 80u);
+  EXPECT_EQ(r.component_sum(), r.latency());
+}
+
+TEST(AttributionLedger, BackgroundOpsStayOutOfRequestFolds) {
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+  led.set_keep_records(true);
+
+  led.begin_request(1, OpType::kRead, 0);
+  // A GC program emitted while the request was open: it feeds the
+  // interference matrix but never the request fold.
+  led.op_begin(1, OpClass::kGcProgram, CellMode::kSlc, true, 0, 0, 0);
+  led.add_service(200);
+  led.claim_lane(0, 200);
+  led.op_end(200);
+  // The host read waits the GC program out.
+  led.op_begin(2, OpClass::kHost, CellMode::kSlc, false, 0, 0, 0);
+  led.wait_lane(0, 0, 200);
+  led.add_service(25);
+  led.claim_lane(0, 225);
+  led.op_end(225);
+  led.finish_request(225);
+
+  const RequestBlame& r = led.records().back();
+  EXPECT_EQ(r.fg_ops, 1u);
+  EXPECT_EQ(r.comp[static_cast<std::size_t>(Component::kLaneGcProgram)],
+            200u);
+  EXPECT_EQ(r.component_sum(), 225u);
+  EXPECT_EQ(r.blocker_op, 1u);
+  EXPECT_EQ(r.blocker_cls, OpClass::kGcProgram);
+}
+
+TEST(AttributionLedger, ClaimOverflowCoarsensBlameButConserves) {
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+  // 80 consecutive occupants overflow the 64-claim cap; blame for the
+  // dropped prefix coarsens to the oldest surviving claim, but the wait
+  // interval still tiles exactly.
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    led.op_begin(i + 1, OpClass::kGcRead, CellMode::kSlc, true, 0, 0,
+                 i * 10);
+    if (i > 0) led.wait_lane(0, i * 10, i * 10);  // no-op interval
+    led.add_service(10);
+    led.claim_lane(0, (i + 1) * 10);
+    led.op_end((i + 1) * 10);
+  }
+  led.op_begin(100, OpClass::kHost, CellMode::kSlc, false, 0, 0, 0);
+  led.wait_lane(0, 0, 800);
+  led.add_service(5);
+  led.claim_lane(0, 805);
+  led.op_end(805);
+  const OpBlame& op = led.last_op();
+  EXPECT_EQ(op.comp[kLaneGcRead], 800u);  // all slices blamed on GC reads
+  EXPECT_EQ(op.component_sum(), 805u);    // conservation intact
+}
+
+TEST(AttributionLedger, DumpRoundTripsThroughLoader) {
+  const std::string path = ::testing::TempDir() + "ppssd_ledger_test.bin";
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+  led.set_keep_records(true);
+  ASSERT_TRUE(led.open_dump(path));
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const SimTime arrival = 1000 * i;
+    led.begin_request(i, i % 2 ? OpType::kWrite : OpType::kRead, arrival);
+    led.op_begin(i + 1, OpClass::kHost, CellMode::kSlc, false, 0, 0,
+                 arrival);
+    led.add_service(40 + i);
+    led.claim_lane(0, arrival + 40 + i);
+    led.op_end(arrival + 40 + i);
+    led.finish_request(arrival + 40 + i);
+  }
+  led.close_dump();
+
+  LedgerFile file;
+  std::string error;
+  ASSERT_TRUE(load_ledger(path, &file, &error)) << error;
+  EXPECT_EQ(file.version, kLedgerVersion);
+  ASSERT_EQ(file.component_names.size(), kComponentCount);
+  EXPECT_EQ(file.component_names[kService], "service");
+  ASSERT_EQ(file.class_names.size(), kClassCount);
+  EXPECT_EQ(file.class_names.back(), "prefill");
+  ASSERT_EQ(file.records.size(), led.records().size());
+  for (std::size_t i = 0; i < file.records.size(); ++i) {
+    const RequestBlame& got = file.records[i];
+    const RequestBlame& want = led.records()[i];
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.op, want.op);
+    EXPECT_EQ(got.arrival, want.arrival);
+    EXPECT_EQ(got.finish, want.finish);
+    EXPECT_EQ(got.fg_ops, want.fg_ops);
+    for (std::size_t c = 0; c < kComponentCount; ++c) {
+      EXPECT_EQ(got.comp[c], want.comp[c]);
+    }
+  }
+
+  // A file truncated mid-record (aborted run) loads the complete prefix.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  out.close();
+  ASSERT_TRUE(load_ledger(path, &file, &error)) << error;
+  EXPECT_EQ(file.records.size(), 2u);
+
+  // Garbage input is rejected with a diagnostic, not a crash.
+  std::ofstream bad(path, std::ios::binary | std::ios::trunc);
+  bad << "definitely not a ledger";
+  bad.close();
+  EXPECT_FALSE(load_ledger(path, &file, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(AttributionLedger, ResetClearsClaimsButKeepsAggregates) {
+  AttributionLedger led;
+  led.bind_resources(1, 1);
+  led.op_begin(1, OpClass::kGcProgram, CellMode::kSlc, true, 0, 0, 0);
+  led.add_service(100);
+  led.claim_lane(0, 100);
+  led.op_end(100);
+  led.op_begin(2, OpClass::kHost, CellMode::kSlc, false, 0, 0, 0);
+  led.wait_lane(0, 0, 100);
+  led.add_service(10);
+  led.claim_lane(0, 110);
+  led.op_end(110);
+  led.reset_resources();
+  // Aggregates survive the reset...
+  EXPECT_EQ(led.wait_ns(OpClass::kHost, OpClass::kGcProgram, Resource::kLane,
+                        CellMode::kSlc),
+            100u);
+  EXPECT_EQ(led.ops(), 2u);
+  // ...but the claims are gone: a fresh op at t=0 sees an empty lane.
+  led.op_begin(3, OpClass::kHost, CellMode::kSlc, false, 0, 0, 0);
+  led.add_service(10);
+  led.claim_lane(0, 10);
+  led.op_end(10);
+  EXPECT_EQ(led.last_op().component_sum(), 10u);
+}
+
+}  // namespace
+}  // namespace ppssd::telemetry::attribution

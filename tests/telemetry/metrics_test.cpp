@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "telemetry/json.h"
+
 namespace ppssd::telemetry {
 namespace {
 
@@ -82,13 +84,55 @@ TEST(MetricsRegistry, GaugeFnIsPolledAtSnapshot) {
   EXPECT_FALSE(samples[0].cumulative);
 }
 
-TEST(MetricsRegistry, CsvDumpHasHeaderAndOneRowPerSample) {
+TEST(MetricsRegistry, CsvDumpIsSortedBySeriesRegardlessOfRegistration) {
   MetricsRegistry reg;
+  // Registered "reads" first: the dump must still sort rows by series id
+  // so exports diff cleanly across runs and platforms.
   reg.counter("reads")->inc(7);
   reg.gauge("depth")->set(2.5);
   std::ostringstream os;
   reg.write_csv(os);
-  EXPECT_EQ(os.str(), "series,value\nreads,7\ndepth,2.5\n");
+  EXPECT_EQ(os.str(), "series,value\ndepth,2.5\nreads,7\n");
+}
+
+TEST(MetricsRegistry, JsonDumpIsSortedAndParseable) {
+  MetricsRegistry reg;
+  reg.counter("zeta", {{"scheme", "IPU"}})->inc(3);
+  reg.counter("alpha")->inc(1);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  // Sorted keys: "alpha" must serialize before "zeta{scheme=IPU}".
+  const auto a = json.find("\"alpha\": 1");
+  const auto z = json.find("\"zeta{scheme=IPU}\": 3");
+  ASSERT_NE(a, std::string::npos) << json;
+  ASSERT_NE(z, std::string::npos) << json;
+  EXPECT_LT(a, z);
+  // Round-trip through the strict in-repo parser.
+  const auto doc = json::parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  const json::Value* schema = doc->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_DOUBLE_EQ(schema->number, 1.0);
+  const json::Value* series = doc->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_object());
+  EXPECT_EQ(series->object.size(), 2u);
+  EXPECT_DOUBLE_EQ(series->find("zeta{scheme=IPU}")->number, 3.0);
+}
+
+TEST(MetricsRegistry, JsonDumpIsIdenticalAcrossRegistrationOrders) {
+  MetricsRegistry a;
+  a.counter("x")->inc(1);
+  a.gauge("y")->set(2.0);
+  MetricsRegistry b;
+  b.gauge("y")->set(2.0);
+  b.counter("x")->inc(1);
+  std::ostringstream oa;
+  std::ostringstream ob;
+  a.write_json(oa);
+  b.write_json(ob);
+  EXPECT_EQ(oa.str(), ob.str());
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/units.h"
 #include "telemetry/json.h"
@@ -120,6 +123,50 @@ TEST(TraceLog, SmallBufferFlushesMidStreamAndStaysWellFormed) {
   }
   const auto doc = close_and_parse(log, os);
   EXPECT_EQ(doc.find("traceEvents")->array.size(), 32u);
+}
+
+TEST(TraceLog, EveryFlushLeavesParseableDocumentWithoutClose) {
+  std::ostringstream os;
+  TraceLog log(os);
+  // Sealed from construction: an abort before any event still leaves
+  // valid JSON behind.
+  ASSERT_TRUE(json::parse(os.str()).has_value()) << os.str();
+  log.span(TraceCategory::kFlash, "read", 0, us_to_ns(40), 0);
+  log.span(TraceCategory::kFlash, "program", us_to_ns(50), us_to_ns(250), 1);
+  log.flush();
+  // The log is still open — this is the on-disk state a killed run
+  // would leave. It must parse, carry both events, and visibly lack
+  // the trace_closed marker (truncation is detectable in-band).
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.has_value()) << os.str();
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  for (const json::Value& e : events->array) {
+    EXPECT_NE(e.find("name")->string, "trace_closed");
+  }
+  // Closing afterwards overwrites the seal and appends the metadata.
+  const auto closed = close_and_parse(log, os);
+  EXPECT_EQ(closed.find("traceEvents")->array.size(), 3u);
+}
+
+TEST(TraceLog, FileBackedLogIsParseableOnDiskMidRun) {
+  const std::string path = ::testing::TempDir() + "ppssd_trace_seal.json";
+  {
+    auto log = TraceLog::open_file(path);
+    ASSERT_NE(log, nullptr);
+    log->instant(TraceCategory::kGc, "gc_start", us_to_ns(1), kGcLane);
+    log->flush();
+    // Read the file back while the log is still live: exactly what a
+    // post-mortem of an aborted run sees.
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto doc = json::parse(buf.str());
+    ASSERT_TRUE(doc.has_value()) << buf.str();
+    EXPECT_EQ(doc->find("traceEvents")->array.size(), 1u);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(TraceLog, CloseIsIdempotentAndFurtherEmitsAreIgnored) {
