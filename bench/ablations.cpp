@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cache/ipu_scheme.h"
 
 using namespace ppssd;
 using namespace ppssd::bench;
@@ -35,9 +36,9 @@ int main() {
   for (const auto& trace : {std::string("ts0"), std::string("usr0")}) {
     for (const auto& v : variants) {
       auto spec = Runner::default_spec();
-      spec.scheme = cache::SchemeKind::kIpu;
+      spec.scheme = "IPU";
       spec.trace = trace;
-      spec.ipu_options = v.opts;
+      spec.options = v.opts.to_scheme_options();
       const auto r = runner.run(spec);
       table.add_row({v.name, trace, Table::fmt(r.avg_overall_ms),
                      Table::fmt(r.read_ber, 8), Table::count(r.mlc_subpages),

@@ -17,7 +17,8 @@ using core::Runner;
 using core::Table;
 
 /// The full scheme × trace matrix at the default scale, grouped by trace.
-/// Each value holds results in paper_schemes() order (Baseline, MGA, IPU).
+/// Each value holds results in paper_schemes() order (registry order:
+/// Baseline, MGA, IPU, IPS, ... — $PPSSD_SCHEMES restricts the set).
 inline std::map<std::string, std::vector<ExperimentResult>> matrix_by_trace(
     Runner& runner, std::uint32_t pe_cycles = 4000) {
   const auto traces = Runner::paper_traces();

@@ -5,6 +5,7 @@
 // Endurance ratio SLC:MLC is ~10:1 [8], so shifting erases to the SLC
 // region extends overall device lifetime.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -16,17 +17,22 @@ int main() {
 
   Runner runner;
   const auto grouped = matrix_by_trace(runner);
+  const auto schemes = Runner::paper_schemes();
 
-  Table slc({"Trace", "Baseline", "MGA", "IPU"});
-  Table mlc({"Trace", "Baseline", "MGA", "IPU"});
+  std::vector<std::string> header = {"Trace"};
+  header.insert(header.end(), schemes.begin(), schemes.end());
+  Table slc(header);
+  Table mlc(header);
   for (const auto& trace : Runner::paper_traces()) {
     const auto& cells = grouped.at(trace);
-    slc.add_row({trace, Table::count(cells[0].slc_erases),
-                 Table::count(cells[1].slc_erases),
-                 Table::count(cells[2].slc_erases)});
-    mlc.add_row({trace, Table::count(cells[0].mlc_erases),
-                 Table::count(cells[1].mlc_erases),
-                 Table::count(cells[2].mlc_erases)});
+    std::vector<std::string> srow = {trace};
+    std::vector<std::string> mrow = {trace};
+    for (const auto& r : cells) {
+      srow.push_back(Table::count(r.slc_erases));
+      mrow.push_back(Table::count(r.mlc_erases));
+    }
+    slc.add_row(srow);
+    mlc.add_row(mrow);
   }
   std::printf("%s\n", slc.render("(a) erases in SLC-mode blocks").c_str());
   std::printf("%s\n", mlc.render("(b) erases in MLC blocks").c_str());

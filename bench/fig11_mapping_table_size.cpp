@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "cache/registry.h"
 #include "core/experiment.h"
 #include "ftl/mapping_footprint.h"
 #include "nand/geometry.h"
@@ -21,27 +22,22 @@ int main() {
   const nand::Geometry geom(cfg.geometry, cfg.cache.slc_ratio);
   const ftl::MappingFootprint fp(geom);
 
-  const auto base = fp.baseline();
-  const auto mga = fp.mga();
-  const auto ipu = fp.ipu();
+  // Every registered scheme contributes a row via its footprint model;
+  // the first (Baseline) anchors the normalization.
+  const auto& registry = cache::SchemeRegistry::instance();
+  const auto base = registry.schemes().front().footprint(fp);
 
-  Table table({"scheme", "mapping bytes", "normalized", "aux bytes"});
-  table.add_row({"Baseline", Table::count(base.mapping_total()),
-                 Table::fmt(base.normalized(), 4), "0"});
-  table.add_row({"MGA", Table::count(mga.mapping_total()),
-                 Table::fmt(mga.normalized(), 4), "0"});
-  table.add_row({"IPU", Table::count(ipu.mapping_total()),
-                 Table::fmt(ipu.normalized(), 4),
-                 Table::count(ipu.aux_bytes)});
+  Table table({"scheme", "mapping bytes", "normalized", "aux bytes",
+               "vs " + registry.schemes().front().name});
+  for (const auto& info : registry.schemes()) {
+    const auto r = info.footprint(fp);
+    table.add_row({info.name, Table::count(r.mapping_total()),
+                   Table::fmt(r.normalized(), 4), Table::count(r.aux_bytes),
+                   core::delta_pct(static_cast<double>(r.mapping_total()),
+                                   static_cast<double>(base.mapping_total()))});
+  }
   std::printf("%s\n", table.render().c_str());
   std::printf("paper: MGA +23.7%%, IPU +0.84%% vs Baseline.\n");
-  std::printf("MGA overhead here: %s; IPU overhead: %s.\n",
-              core::delta_pct(static_cast<double>(mga.mapping_total()),
-                              static_cast<double>(base.mapping_total()))
-                  .c_str(),
-              core::delta_pct(static_cast<double>(ipu.mapping_total()),
-                              static_cast<double>(base.mapping_total()))
-                  .c_str());
 
   // Paper-scale sanity numbers from Section 4.4.1 (65536-block device):
   const SsdConfig paper = SsdConfig::paper();

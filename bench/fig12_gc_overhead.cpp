@@ -23,7 +23,7 @@ namespace {
 struct PopulatedDevice {
   explicit PopulatedDevice(std::uint32_t blocks) {
     const SsdConfig cfg = SsdConfig::scaled(blocks);
-    ssd = std::make_unique<sim::Ssd>(cfg, cache::SchemeKind::kIpu);
+    ssd = std::make_unique<sim::Ssd>(cfg, "IPU");
     trace::SyntheticWorkload workload(trace::profile_by_name("ts0"),
                                       ssd->logical_bytes(), 0.01);
     trace::TraceRecord rec;

@@ -2,7 +2,9 @@
 //
 // Paper shape: latency grows with wear (more raw errors -> longer ECC
 // decode), and IPU's advantage over MGA holds across all wear stages.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -15,19 +17,28 @@ int main() {
 
   Runner runner;
   const std::vector<std::uint32_t> pe_points = {1000, 2000, 4000, 8000};
+  const auto schemes = Runner::paper_schemes();
+  const bool have_ipu_mga =
+      std::count(schemes.begin(), schemes.end(), "IPU") &&
+      std::count(schemes.begin(), schemes.end(), "MGA");
 
-  Table table({"P/E", "trace", "Baseline ms", "MGA ms", "IPU ms",
-               "IPU vs MGA"});
+  std::vector<std::string> header = {"P/E", "trace"};
+  for (const auto& s : schemes) header.push_back(s + " ms");
+  if (have_ipu_mga) header.push_back("IPU vs MGA");
+  Table table(header);
   for (const std::uint32_t pe : pe_points) {
     const auto grouped = matrix_by_trace(runner, pe);
     for (const auto& trace : Runner::paper_traces()) {
       const auto& cells = grouped.at(trace);
-      table.add_row({std::to_string(pe), trace,
-                     Table::fmt(cells[0].avg_overall_ms),
-                     Table::fmt(cells[1].avg_overall_ms),
-                     Table::fmt(cells[2].avg_overall_ms),
-                     core::delta_pct(cells[2].avg_overall_ms,
-                                     cells[1].avg_overall_ms)});
+      std::vector<std::string> row = {std::to_string(pe), trace};
+      double ipu = 0, mga = 0;
+      for (const auto& r : cells) {
+        row.push_back(Table::fmt(r.avg_overall_ms));
+        if (r.spec.scheme == "IPU") ipu = r.avg_overall_ms;
+        if (r.spec.scheme == "MGA") mga = r.avg_overall_ms;
+      }
+      if (have_ipu_mga) row.push_back(core::delta_pct(ipu, mga));
+      table.add_row(row);
     }
   }
   std::printf("%s\n", table.render().c_str());

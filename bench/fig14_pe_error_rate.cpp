@@ -2,7 +2,9 @@
 //
 // Paper shape: BER rises with wear; IPU tracks close to Baseline while
 // MGA's penalty grows.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -15,17 +17,28 @@ int main() {
 
   Runner runner;
   const std::vector<std::uint32_t> pe_points = {1000, 2000, 4000, 8000};
+  const auto schemes = Runner::paper_schemes();
+  const bool have_ipu_mga =
+      std::count(schemes.begin(), schemes.end(), "IPU") &&
+      std::count(schemes.begin(), schemes.end(), "MGA");
 
-  Table table({"P/E", "trace", "Baseline", "MGA", "IPU", "IPU vs MGA"});
+  std::vector<std::string> header = {"P/E", "trace"};
+  header.insert(header.end(), schemes.begin(), schemes.end());
+  if (have_ipu_mga) header.push_back("IPU vs MGA");
+  Table table(header);
   for (const std::uint32_t pe : pe_points) {
     const auto grouped = matrix_by_trace(runner, pe);
     for (const auto& trace : Runner::paper_traces()) {
       const auto& cells = grouped.at(trace);
-      table.add_row({std::to_string(pe), trace,
-                     Table::fmt(cells[0].read_ber, 8),
-                     Table::fmt(cells[1].read_ber, 8),
-                     Table::fmt(cells[2].read_ber, 8),
-                     core::delta_pct(cells[2].read_ber, cells[1].read_ber)});
+      std::vector<std::string> row = {std::to_string(pe), trace};
+      double ipu = 0, mga = 0;
+      for (const auto& r : cells) {
+        row.push_back(Table::fmt(r.read_ber, 8));
+        if (r.spec.scheme == "IPU") ipu = r.read_ber;
+        if (r.spec.scheme == "MGA") mga = r.read_ber;
+      }
+      if (have_ipu_mga) row.push_back(core::delta_pct(ipu, mga));
+      table.add_row(row);
     }
   }
   std::printf("%s\n", table.render().c_str());

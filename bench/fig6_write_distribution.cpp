@@ -21,8 +21,7 @@ int main() {
     for (const auto& r : grouped.at(trace)) {
       const double total =
           static_cast<double>(r.slc_subpages + r.mlc_subpages);
-      table.add_row({trace, cache::scheme_name(r.spec.scheme),
-                     Table::count(r.slc_subpages),
+      table.add_row({trace, r.spec.scheme, Table::count(r.slc_subpages),
                      Table::count(r.mlc_subpages),
                      total > 0
                          ? Table::pct(static_cast<double>(r.mlc_subpages) /

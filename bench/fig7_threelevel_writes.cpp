@@ -16,7 +16,7 @@ int main() {
   const auto traces = Runner::paper_traces();
   for (const auto& trace : traces) {
     auto spec = Runner::default_spec();
-    spec.scheme = cache::SchemeKind::kIpu;
+    spec.scheme = "IPU";
     spec.trace = trace;
     const auto r = runner.run(spec);
     const double total = static_cast<double>(

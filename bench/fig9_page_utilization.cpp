@@ -15,21 +15,27 @@ int main() {
 
   Runner runner;
   const auto grouped = matrix_by_trace(runner);
+  const auto schemes = Runner::paper_schemes();
 
-  Table table({"Trace", "Baseline", "MGA", "IPU"});
-  double sums[3] = {0, 0, 0};
+  std::vector<std::string> header = {"Trace"};
+  header.insert(header.end(), schemes.begin(), schemes.end());
+  Table table(header);
+  std::vector<double> sums(schemes.size(), 0.0);
   const auto traces = Runner::paper_traces();
   for (const auto& trace : traces) {
     const auto& cells = grouped.at(trace);
-    table.add_row({trace, Table::pct(cells[0].gc_utilization),
-                   Table::pct(cells[1].gc_utilization),
-                   Table::pct(cells[2].gc_utilization)});
-    for (int i = 0; i < 3; ++i) sums[i] += cells[i].gc_utilization;
+    std::vector<std::string> row = {trace};
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      row.push_back(Table::pct(cells[i].gc_utilization));
+      sums[i] += cells[i].gc_utilization;
+    }
+    table.add_row(row);
   }
   const auto n = static_cast<double>(traces.size());
-  table.add_row({"average", Table::pct(sums[0] / n), Table::pct(sums[1] / n),
-                 Table::pct(sums[2] / n)});
+  std::vector<std::string> avg = {"average"};
+  for (const double s : sums) avg.push_back(Table::pct(s / n));
+  table.add_row(avg);
   std::printf("%s\n", table.render().c_str());
-  std::printf("Paper averages: 52.8%% / 99.9%% / 73.0%%.\n");
+  std::printf("Paper averages: Baseline 52.8%% / MGA 99.9%% / IPU 73.0%%.\n");
   return 0;
 }

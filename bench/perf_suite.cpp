@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   for (const auto& r : results) {
     perf::BenchCell cell;
     cell.key = r.spec.key();
-    cell.scheme = cache::scheme_name(r.spec.scheme);
+    cell.scheme = r.spec.scheme;
     cell.trace = r.spec.trace;
     cell.requests = r.reads + r.writes;
     cell.ctrl_events = r.ctrl_events;

@@ -179,7 +179,7 @@ const char* mode_name(CellMode mode) {
 /// the attached figure prices the ledger for users who turn it on.
 Timing run_attrib_variant(bool attached) {
   SsdConfig cfg = SsdConfig::scaled(2048);
-  sim::Ssd ssd(cfg, cache::SchemeKind::kIpu);
+  sim::Ssd ssd(cfg, "IPU");
   telemetry::Telemetry tel([] {
     telemetry::TelemetryOptions opts;
     opts.attribution = true;

@@ -31,7 +31,7 @@ Cell run_cell(const std::string& trace, double scale, double slc_ratio,
   SsdConfig cfg = SsdConfig::scaled(8192);
   cfg.cache.slc_ratio = slc_ratio;
   cfg.cache.gc_threshold = gc_threshold;
-  sim::Ssd ssd(cfg, cache::SchemeKind::kIpu);
+  sim::Ssd ssd(cfg, "IPU");
   trace::SyntheticWorkload workload(trace::profile_by_name(trace),
                                     ssd.logical_bytes(), scale);
   sim::Replayer replayer(ssd);

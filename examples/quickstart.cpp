@@ -1,7 +1,8 @@
 // Quickstart: build a small hybrid SSD, run a write/update/read pattern
 // through the IPU scheme, and print what the cache did.
 //
-//   ./quickstart [baseline|mga|ipu]
+//   ./quickstart [scheme]    any registered scheme name (default: ipu);
+//                            an unknown name aborts listing the registry.
 #include <cstdio>
 #include <string>
 
@@ -11,18 +12,12 @@
 using namespace ppssd;
 
 int main(int argc, char** argv) {
-  cache::SchemeKind kind = cache::SchemeKind::kIpu;
-  if (argc > 1) {
-    const std::string arg = argv[1];
-    if (arg == "baseline") kind = cache::SchemeKind::kBaseline;
-    if (arg == "mga") kind = cache::SchemeKind::kMga;
-    if (arg == "ipu") kind = cache::SchemeKind::kIpu;
-  }
+  const std::string scheme = argc > 1 ? argv[1] : "ipu";
 
   // A 2048-block device with the paper's ratios (5% SLC-mode cache,
   // 16 KiB pages, 4 KiB partial-programming subpages).
   const SsdConfig cfg = SsdConfig::scaled(2048);
-  sim::Ssd ssd(cfg, kind);
+  sim::Ssd ssd(cfg, scheme);
   std::printf("scheme: %s, logical capacity: %.1f GiB, SLC cache blocks: %u\n",
               ssd.scheme().name(),
               static_cast<double>(ssd.logical_bytes()) / (1 << 30),

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   }
   telemetry::Telemetry tel(opts);
 
-  sim::Ssd ssd(SsdConfig::scaled(1024), cache::SchemeKind::kIpu);
+  sim::Ssd ssd(SsdConfig::scaled(1024), "IPU");
   ssd.attach_telemetry(&tel);
 
   const auto& profile = trace::profile_by_name("ts0");

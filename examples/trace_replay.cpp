@@ -30,8 +30,10 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: trace_replay <baseline|mga|ipu> <trace-name|--file "
-               "path> [--scale f] [--blocks n]\n");
+               "usage: trace_replay <scheme> <trace-name|--file "
+               "path> [--scale f] [--blocks n]\n"
+               "known schemes: %s\n",
+               ppssd::cache::SchemeRegistry::instance().known_names().c_str());
   std::exit(2);
 }
 
@@ -40,15 +42,10 @@ void usage() {
 int main(int argc, char** argv) {
   if (argc < 3) usage();
 
-  cache::SchemeKind kind;
+  // Any registered scheme name works (case-insensitive); a typo exits
+  // here with the usage line instead of aborting inside the registry.
   const std::string scheme_arg = argv[1];
-  if (scheme_arg == "baseline") {
-    kind = cache::SchemeKind::kBaseline;
-  } else if (scheme_arg == "mga") {
-    kind = cache::SchemeKind::kMga;
-  } else if (scheme_arg == "ipu") {
-    kind = cache::SchemeKind::kIpu;
-  } else {
+  if (cache::SchemeRegistry::instance().find(scheme_arg) == nullptr) {
     usage();
     return 2;
   }
@@ -76,7 +73,7 @@ int main(int argc, char** argv) {
   }
 
   const SsdConfig cfg = SsdConfig::scaled(blocks);
-  sim::Ssd ssd(cfg, kind);
+  sim::Ssd ssd(cfg, scheme_arg);
 
   std::unique_ptr<trace::TraceSource> source;
   if (!file_path.empty()) {

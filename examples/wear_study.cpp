@@ -25,10 +25,10 @@ struct WearResult {
   double replays_to_death;   // how many such workloads until wear-out
 };
 
-WearResult run(cache::SchemeKind kind, const std::string& trace,
+WearResult run(const std::string& scheme, const std::string& trace,
                double scale) {
   const SsdConfig cfg = SsdConfig::scaled(4096);
-  sim::Ssd ssd(cfg, kind);
+  sim::Ssd ssd(cfg, scheme);
   trace::SyntheticWorkload workload(trace::profile_by_name(trace),
                                     ssd.logical_bytes(), scale);
   sim::Replayer replayer(ssd);
@@ -67,11 +67,9 @@ int main(int argc, char** argv) {
 
   core::Table table({"scheme", "SLC erases", "MLC erases", "SLC life used",
                      "MLC life used", "lifetime (replays)"});
-  for (const auto kind :
-       {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
-        cache::SchemeKind::kIpu}) {
-    const WearResult r = run(kind, trace, scale);
-    table.add_row({cache::scheme_name(kind), core::Table::count(r.slc_erases),
+  for (const auto& scheme : cache::SchemeRegistry::instance().names()) {
+    const WearResult r = run(scheme, trace, scale);
+    table.add_row({scheme, core::Table::count(r.slc_erases),
                    core::Table::count(r.mlc_erases),
                    core::Table::fmt(r.slc_life_consumed * 100.0, 4) + "%",
                    core::Table::fmt(r.mlc_life_consumed * 100.0, 4) + "%",

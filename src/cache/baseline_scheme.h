@@ -14,9 +14,7 @@ class BaselineScheme final : public Scheme {
  public:
   explicit BaselineScheme(const SsdConfig& cfg) : Scheme(cfg) {}
 
-  [[nodiscard]] SchemeKind kind() const override {
-    return SchemeKind::kBaseline;
-  }
+  [[nodiscard]] const char* name() const override { return "Baseline"; }
 
  protected:
   void place_write(Lsn lsn, std::uint32_t count, SimTime now,

@@ -4,9 +4,57 @@
 #include <array>
 #include <vector>
 
+#include "cache/registry.h"
 #include "common/check.h"
 
 namespace ppssd::cache {
+
+namespace detail {
+const SchemeRegistrar ipu_registrar(SchemeInfo{
+    "IPU",
+    "intra-page cache update with level climbing and ISR GC (the paper)",
+    /*order=*/2,
+    [](const SsdConfig& cfg,
+       const SchemeOptions& opts) -> std::unique_ptr<Scheme> {
+      auto scheme = std::make_unique<IpuScheme>(cfg);
+      if (!opts.empty()) {
+        scheme->set_options(IpuScheme::Options::from_scheme_options(opts));
+      }
+      return scheme;
+    },
+    [](const ftl::MappingFootprint& fp) { return fp.ipu(); },
+});
+
+// Called by SchemeRegistry::instance() to pin this translation unit (and
+// with it the registrar above) into static-library consumers.
+void ipu_scheme_link() {}
+}  // namespace detail
+
+SchemeOptions IpuScheme::Options::to_scheme_options() const {
+  SchemeOptions opts;
+  opts.set("isr", use_isr_gc ? "1" : "0");
+  opts.set("lvl", use_levels ? "1" : "0");
+  opts.set("ipp", use_intra_page ? "1" : "0");
+  opts.set("cmb", combine_cold ? "1" : "0");
+  return opts;
+}
+
+IpuScheme::Options IpuScheme::Options::from_scheme_options(
+    const SchemeOptions& opts) {
+  for (const auto& [key, value] : opts.entries) {
+    PPSSD_CHECK_MSG(key == "isr" || key == "lvl" || key == "ipp" ||
+                        key == "cmb",
+                    ("unknown IPU option '" + key +
+                     "'; known options: isr, lvl, ipp, cmb")
+                        .c_str());
+  }
+  Options out;
+  out.use_isr_gc = opts.flag("isr", out.use_isr_gc);
+  out.use_levels = opts.flag("lvl", out.use_levels);
+  out.use_intra_page = opts.flag("ipp", out.use_intra_page);
+  out.combine_cold = opts.flag("cmb", out.combine_cold);
+  return out;
+}
 
 IpuScheme::IpuScheme(const SsdConfig& cfg)
     : Scheme(cfg), offsets_(array_.geometry()) {}

@@ -26,7 +26,7 @@ class IpuScheme final : public Scheme {
  public:
   explicit IpuScheme(const SsdConfig& cfg);
 
-  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kIpu; }
+  [[nodiscard]] const char* name() const override { return "IPU"; }
 
   [[nodiscard]] const ftl::IpuOffsetTable& offsets() const {
     return offsets_;
@@ -43,6 +43,12 @@ class IpuScheme final : public Scheme {
     /// recovering page utilization at the cost of in-page disturb on the
     /// co-located cold data and per-slot mapping entries for those pages.
     bool combine_cold = false;
+
+    /// Registry option-bag form (keys isr/lvl/ipp/cmb, values "0"/"1",
+    /// fixed order — the encoding participates in experiment cache keys).
+    [[nodiscard]] SchemeOptions to_scheme_options() const;
+    [[nodiscard]] static Options from_scheme_options(
+        const SchemeOptions& opts);
   };
   void set_options(const Options& opts);
   [[nodiscard]] const Options& options() const { return opts_; }

@@ -3,9 +3,28 @@
 #include <algorithm>
 #include <array>
 
+#include "cache/registry.h"
 #include "common/check.h"
 
 namespace ppssd::cache {
+
+namespace detail {
+const SchemeRegistrar mga_registrar(SchemeInfo{
+    "MGA",
+    "mapping-granularity-adaptive aggregation into shared SLC pages",
+    /*order=*/1,
+    [](const SsdConfig& cfg,
+       const SchemeOptions& opts) -> std::unique_ptr<Scheme> {
+      PPSSD_CHECK_MSG(opts.empty(), "MGA scheme takes no options");
+      return std::make_unique<MgaScheme>(cfg);
+    },
+    [](const ftl::MappingFootprint& fp) { return fp.mga(); },
+});
+
+// Called by SchemeRegistry::instance() to pin this translation unit (and
+// with it the registrar above) into static-library consumers.
+void mga_scheme_link() {}
+}  // namespace detail
 
 MgaScheme::MgaScheme(const SsdConfig& cfg)
     : Scheme(cfg),

@@ -19,7 +19,7 @@ class MgaScheme final : public Scheme {
  public:
   explicit MgaScheme(const SsdConfig& cfg);
 
-  [[nodiscard]] SchemeKind kind() const override { return SchemeKind::kMga; }
+  [[nodiscard]] const char* name() const override { return "MGA"; }
 
   [[nodiscard]] const ftl::SecondLevelTable& second_level() const {
     return second_level_;

@@ -1,0 +1,137 @@
+#include "cache/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+// For the complete Scheme type: make_scheme returns unique_ptr<Scheme>,
+// whose deleter needs the definition.
+#include "cache/scheme.h"
+#include "common/check.h"
+
+namespace ppssd::cache {
+
+namespace detail {
+// Link hooks, one defined in each builtin scheme's translation unit.
+// ppssd_cache is a static library: a consumer that names schemes only by
+// string references no symbol of the scheme objects, so the linker would
+// drop them — and their self-registering SchemeRegistrar constructors
+// would never run. Calling these no-ops from instance() creates the
+// undefined references that force the scheme objects into every binary
+// that uses the registry. (An address-only anchor is not enough: the
+// compiler folds away unused address constants together with their
+// relocations.)
+void baseline_scheme_link();
+void mga_scheme_link();
+void ipu_scheme_link();
+void ips_scheme_link();
+}  // namespace detail
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+}  // namespace
+
+void SchemeOptions::set(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  entries.emplace_back(std::string(key), std::string(value));
+}
+
+const std::string* SchemeOptions::find(std::string_view key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool SchemeOptions::flag(std::string_view key, bool fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  if (*v == "1" || *v == "true") return true;
+  if (*v == "0" || *v == "false") return false;
+  PPSSD_CHECK_MSG(false, ("scheme option '" + std::string(key) +
+                          "' must be a boolean (0/1/true/false), got '" + *v +
+                          "'")
+                             .c_str());
+  return fallback;
+}
+
+SchemeRegistry& SchemeRegistry::instance() {
+  detail::baseline_scheme_link();
+  detail::mga_scheme_link();
+  detail::ipu_scheme_link();
+  detail::ips_scheme_link();
+  static SchemeRegistry registry;
+  return registry;
+}
+
+void SchemeRegistry::add(SchemeInfo info) {
+  PPSSD_CHECK_MSG(!info.name.empty(), "scheme name must not be empty");
+  PPSSD_CHECK(info.factory != nullptr);
+  PPSSD_CHECK(info.footprint != nullptr);
+  PPSSD_CHECK_MSG(find(info.name) == nullptr,
+                  ("scheme '" + info.name + "' already registered").c_str());
+  schemes_.push_back(std::move(info));
+  std::sort(schemes_.begin(), schemes_.end(),
+            [](const SchemeInfo& a, const SchemeInfo& b) {
+              if (a.order != b.order) return a.order < b.order;
+              return a.name < b.name;
+            });
+}
+
+const SchemeInfo* SchemeRegistry::find(std::string_view name) const {
+  for (const SchemeInfo& s : schemes_) {
+    if (iequals(s.name, name)) return &s;
+  }
+  return nullptr;
+}
+
+const SchemeInfo& SchemeRegistry::resolve(std::string_view name) const {
+  const SchemeInfo* info = find(name);
+  if (info == nullptr) {
+    PPSSD_CHECK_MSG(false, ("unknown scheme '" + std::string(name) +
+                            "'; known schemes: " + known_names())
+                               .c_str());
+  }
+  return *info;
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(schemes_.size());
+  for (const SchemeInfo& s : schemes_) out.push_back(s.name);
+  return out;
+}
+
+std::string SchemeRegistry::known_names() const {
+  std::string out;
+  for (const SchemeInfo& s : schemes_) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
+SchemeRegistrar::SchemeRegistrar(SchemeInfo info) {
+  SchemeRegistry::instance().add(std::move(info));
+}
+
+std::unique_ptr<Scheme> make_scheme(std::string_view name,
+                                    const SsdConfig& cfg,
+                                    const SchemeOptions& opts) {
+  const SchemeInfo& info = SchemeRegistry::instance().resolve(name);
+  return info.factory(cfg, opts);
+}
+
+}  // namespace ppssd::cache

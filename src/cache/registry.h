@@ -1,0 +1,108 @@
+// Scheme plugin registry.
+//
+// Schemes self-register by name (SimpleSSD-style modular components): each
+// scheme's translation unit defines a file-scope SchemeRegistrar whose
+// constructor adds a {factory, metadata} record to the process-wide
+// registry. Consumers — Ssd construction, the experiment runner, every
+// figure bench — resolve schemes by string name and enumerate the registry
+// instead of switching over a closed enum, so registering a new scheme
+// automatically gives it a curve in every figure and a cell family in the
+// perf report.
+//
+// Enumeration order is deterministic: records sort by their explicit
+// `order` field (ties by name), never by static-initialisation order,
+// which is unspecified across translation units.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "ftl/mapping_footprint.h"
+
+namespace ppssd::cache {
+
+class Scheme;
+
+/// Opaque per-scheme option bag: ordered key/value pairs handed to the
+/// scheme factory. Generalises the former IPU-only options plumbing —
+/// each scheme parses the keys it understands and rejects the rest.
+/// Insertion order is preserved (it participates in experiment cache
+/// keys), and keys are unique.
+struct SchemeOptions {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+
+  /// Set `key` to `value`, overwriting an existing entry in place.
+  void set(std::string_view key, std::string_view value);
+
+  /// Value of `key`, or nullptr when absent.
+  [[nodiscard]] const std::string* find(std::string_view key) const;
+
+  /// Boolean knob: "1"/"true" => true, "0"/"false" => false, absent =>
+  /// `fallback`. Aborts on any other value.
+  [[nodiscard]] bool flag(std::string_view key, bool fallback) const;
+};
+
+/// One registered scheme: identity, construction, and the metadata the
+/// generic layers need (enumeration position, Figure 11 memory model).
+struct SchemeInfo {
+  std::string name;         // canonical display name ("IPU")
+  std::string description;  // one-line summary for docs/diagnostics
+  /// Enumeration position among the paper schemes (Baseline=0 … IPS=3);
+  /// ties break by name.
+  int order = 0;
+  std::unique_ptr<Scheme> (*factory)(const SsdConfig& cfg,
+                                     const SchemeOptions& opts) = nullptr;
+  /// Mapping-table memory model (Figure 11) for this scheme.
+  ftl::FootprintReport (*footprint)(const ftl::MappingFootprint& fp) = nullptr;
+};
+
+class SchemeRegistry {
+ public:
+  /// The process-wide registry (constructed on first use, so registrar
+  /// constructors may run in any static-initialisation order).
+  static SchemeRegistry& instance();
+
+  /// Register a scheme. Duplicate names (case-insensitive) abort.
+  void add(SchemeInfo info);
+
+  /// Lookup by case-insensitive name; nullptr when unknown.
+  [[nodiscard]] const SchemeInfo* find(std::string_view name) const;
+
+  /// Lookup by name; aborts with the known-name list when unknown.
+  [[nodiscard]] const SchemeInfo& resolve(std::string_view name) const;
+
+  /// Canonical names in deterministic enumeration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Comma-separated canonical names (error messages, --help text).
+  [[nodiscard]] std::string known_names() const;
+
+  [[nodiscard]] const std::vector<SchemeInfo>& schemes() const {
+    return schemes_;
+  }
+
+ private:
+  std::vector<SchemeInfo> schemes_;  // kept sorted by (order, name)
+};
+
+/// Static self-registration helper: define one at file scope in the
+/// scheme's translation unit, together with a no-op link hook that
+/// registry.cpp calls so static-library builds cannot drop the scheme's
+/// object (and with it the registrar).
+struct SchemeRegistrar {
+  explicit SchemeRegistrar(SchemeInfo info);
+};
+
+/// Construct a scheme by registry name. Aborts (listing known names) on an
+/// unknown scheme; option parsing is delegated to the scheme's factory.
+[[nodiscard]] std::unique_ptr<Scheme> make_scheme(
+    std::string_view name, const SsdConfig& cfg,
+    const SchemeOptions& opts = {});
+
+}  // namespace ppssd::cache

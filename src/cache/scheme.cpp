@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <array>
 
-#include "cache/baseline_scheme.h"
-#include "cache/ipu_scheme.h"
-#include "cache/mga_scheme.h"
+#include "cache/registry.h"
 #include "common/check.h"
 #include "nand/page.h"
 
@@ -16,18 +14,6 @@ namespace {
 /// cannot stall forever on a pathological cache state (incremental GC).
 constexpr std::uint32_t kMaxGcPassesPerRequest = 1;
 }  // namespace
-
-const char* scheme_name(SchemeKind kind) {
-  switch (kind) {
-    case SchemeKind::kBaseline:
-      return "Baseline";
-    case SchemeKind::kMga:
-      return "MGA";
-    case SchemeKind::kIpu:
-      return "IPU";
-  }
-  return "?";
-}
 
 Scheme::Scheme(const SsdConfig& cfg)
     : cfg_(cfg),
@@ -282,8 +268,7 @@ void Scheme::flush_evictions(std::uint32_t plane, SimTime now,
     program_mlc_page(std::span<const Lsn>(lsns.data(), n),
                      std::span<const std::uint32_t>(versions.data(), n), now,
                      /*host=*/false, /*background=*/true, ops, plane);
-    metrics_.evicted_subpages += n;
-    if (tl_evicted_) tl_evicted_->inc(n);
+    count_evicted(static_cast<std::uint32_t>(n));
   }
   if (i > 0 && tlog_ && tlog_->enabled(telemetry::TraceCategory::kMode)) {
     tlog_->instant(telemetry::TraceCategory::kMode, "evict_slc_to_mlc", now,
@@ -446,8 +431,11 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
       }
     }
     if (valid == 0) continue;
-    emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
-    gc_read_dep_ = static_cast<std::uint32_t>(ops.size() - 1);
+    if (relocation_reads_source()) {
+      emit_page_read(victim, page_id, valid, max_ber, /*background=*/true,
+                     ops);
+      gc_read_dep_ = static_cast<std::uint32_t>(ops.size() - 1);
+    }
     relocate_slc_page(victim, page_id, now, ops);
     PPSSD_DCHECK_MSG(
         blk.page(page_id).count(nand::SubpageState::kValid, spp_) == 0,
@@ -653,15 +641,7 @@ void Scheme::host_read(Lsn lsn, std::uint32_t count, SimTime now,
 
 ftl::FootprintReport Scheme::footprint() const {
   const ftl::MappingFootprint fp(array_.geometry());
-  switch (kind()) {
-    case SchemeKind::kBaseline:
-      return fp.baseline();
-    case SchemeKind::kMga:
-      return fp.mga();
-    case SchemeKind::kIpu:
-      return fp.ipu();
-  }
-  return {};
+  return SchemeRegistry::instance().resolve(name()).footprint(fp);
 }
 
 void Scheme::check_consistency() const {
@@ -712,18 +692,6 @@ void Scheme::check_consistency() const {
   PPSSD_CHECK(valid_total == map_.mapped_count());
   // The GC victim index must mirror block states and invalid counts.
   bm_.check_victim_index();
-}
-
-std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SsdConfig& cfg) {
-  switch (kind) {
-    case SchemeKind::kBaseline:
-      return std::make_unique<BaselineScheme>(cfg);
-    case SchemeKind::kMga:
-      return std::make_unique<MgaScheme>(cfg);
-    case SchemeKind::kIpu:
-      return std::make_unique<IpuScheme>(cfg);
-  }
-  return nullptr;
 }
 
 }  // namespace ppssd::cache

@@ -16,6 +16,13 @@
 //    lands only on already-invalidated data), hot updates climb the
 //    Work -> Monitor -> Hot block levels, and GC uses the ISR policy with
 //    degraded cold-data movement (Sections 3.1-3.3, Algorithm 1).
+//  * IpsScheme (cache/ips_scheme.h) — the In-place Switch successor
+//    design (arXiv 2409.14360): SLC cache lines are promoted to the dense
+//    region by reprogramming the cells in place instead of
+//    read-migrate-program.
+//
+// Schemes self-register in the name-indexed plugin registry
+// (cache/registry.h); construct them with make_scheme(name, cfg, opts).
 //
 // Schemes do not advance time; they emit PhysOps that the service model
 // (sim/service_model.h) prices against chip/channel availability.
@@ -28,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "cache/registry.h"
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -57,7 +65,14 @@ namespace ppssd::cache {
 enum class OpOrigin : std::uint8_t { kHost = 0, kGc = 1, kPrefill = 2 };
 
 struct PhysOp {
-  enum class Kind : std::uint8_t { kRead = 0, kProgram = 1, kErase = 2 };
+  /// kReprogram is the in-place SLC→dense switch (IPS): pure array time on
+  /// the chip lane — no channel transfer and no ECC decode.
+  enum class Kind : std::uint8_t {
+    kRead = 0,
+    kProgram = 1,
+    kErase = 2,
+    kReprogram = 3,
+  };
 
   /// Sentinel: the op has no intra-request dependency.
   static constexpr std::uint32_t kNoDependency = 0xffffffffu;
@@ -72,10 +87,6 @@ struct PhysOp {
   OpOrigin origin = OpOrigin::kHost;
   std::uint32_t depends_on = kNoDependency;  // earlier op index, or none
 };
-
-enum class SchemeKind : std::uint8_t { kBaseline = 0, kMga = 1, kIpu = 2 };
-
-[[nodiscard]] const char* scheme_name(SchemeKind kind);
 
 /// Aggregated policy metrics for the paper's figures.
 struct SchemeMetrics {
@@ -108,8 +119,8 @@ class Scheme {
   Scheme(const Scheme&) = delete;
   Scheme& operator=(const Scheme&) = delete;
 
-  [[nodiscard]] virtual SchemeKind kind() const = 0;
-  [[nodiscard]] const char* name() const { return scheme_name(kind()); }
+  /// Canonical registry name of this scheme ("Baseline", "MGA", …).
+  [[nodiscard]] virtual const char* name() const = 0;
 
   /// Serve a host write of `count` contiguous logical subpages starting at
   /// `lsn`. Appends the physical operations to `ops` in issue order
@@ -192,6 +203,13 @@ class Scheme {
   /// GC.
   virtual void relocate_slc_page(BlockId victim, PageId page, SimTime now,
                                  std::vector<PhysOp>& ops) = 0;
+
+  /// Whether SLC GC must read a victim page out of the array before
+  /// relocate_slc_page() can consume its data. True for every
+  /// read-migrate-program scheme; IPS overrides to false because in-place
+  /// reprogramming converts the cells without a channel round-trip, so no
+  /// GC page read is emitted and relocation ops carry no read dependency.
+  [[nodiscard]] virtual bool relocation_reads_source() const { return true; }
 
   /// Victim-selection policy for the SLC region.
   [[nodiscard]] virtual const ftl::GcPolicy& slc_policy() const = 0;
@@ -295,6 +313,15 @@ class Scheme {
     if (tl_partial_programs_) tl_partial_programs_->inc(n);
   }
 
+  /// Tally `n` subpages ejected from the SLC cache into the dense region
+  /// (metrics plus telemetry). The shared eviction flush calls this;
+  /// schemes with their own SLC→MLC promotion path (IPS) call it too so
+  /// the evicted_subpages family stays comparable across schemes.
+  void count_evicted(std::uint32_t n) {
+    metrics_.evicted_subpages += n;
+    if (tl_evicted_) tl_evicted_->inc(n);
+  }
+
   /// Index (into the current request's op vector) of the GC page read that
   /// sourced the data currently being relocated; kNoDependency outside GC
   /// victim processing. emit_program() attaches it to background programs
@@ -351,9 +378,5 @@ class Scheme {
   telemetry::Histogram* tl_read_ber_ = nullptr;
   telemetry::Histogram* tl_victim_util_ = nullptr;
 };
-
-/// Factory for the three paper schemes.
-[[nodiscard]] std::unique_ptr<Scheme> make_scheme(SchemeKind kind,
-                                                  const SsdConfig& cfg);
 
 }  // namespace ppssd::cache

@@ -54,6 +54,10 @@ struct TimingConfig {
   /// Bus transfer per subpage (not in Table 2; SSDsim uses ~25ns/byte ONFI;
   /// we fold it into a small per-subpage constant).
   SimTime transfer_per_subpage = us_to_ns(10.0);
+  /// In-place SLC→dense reprogram (IPS, arXiv 2409.14360): the continued
+  /// ISPP sequence on already-programmed cells costs about a dense page
+  /// program — but no read, no channel transfer and no ECC round-trip.
+  SimTime reprogram = ms_to_ns(0.9);
 };
 
 /// BCH ECC decode-latency bounds (Table 2) and codec parameters.
@@ -91,6 +95,11 @@ struct BerConfig {
   /// The in-page/neighbour penalties grow with wear; extra multiplier per
   /// anchor-normalised P/E ((pe/anchor)^disturb_pe_exponent).
   double disturb_pe_exponent = 0.5;
+  /// Additive BER penalty (fraction of the page's base BER) on pages whose
+  /// cells were converted in place from SLC state (IPS reprogramming):
+  /// the continued ISPP sequence leaves wider threshold-voltage
+  /// distributions than a fresh dense program.
+  double reprogram_penalty = 0.3;
 };
 
 /// SLC-mode cache policy knobs.

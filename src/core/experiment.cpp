@@ -24,13 +24,12 @@ double seconds_since(Clock::time_point t0) {
 
 std::string ExperimentSpec::key() const {
   std::ostringstream os;
-  os << cache::scheme_name(scheme) << '-' << trace << "-pe" << pe_cycles
-     << "-b" << total_blocks << "-s" << trace_scale;
-  if (ipu_options) {
-    os << "-isr" << ipu_options->use_isr_gc << "-lvl"
-       << ipu_options->use_levels << "-ipp" << ipu_options->use_intra_page
-       << "-cmb" << ipu_options->combine_cold;
-  }
+  os << scheme << '-' << trace << "-pe" << pe_cycles << "-b" << total_blocks
+     << "-s" << trace_scale;
+  // Option entries append in insertion order; schemes emit a fixed key
+  // order so the encoding is stable (and byte-compatible with the legacy
+  // IPU "-isr1-lvl1-ipp1-cmb0" suffix).
+  for (const auto& [k, v] : options.entries) os << '-' << k << v;
   return os.str();
 }
 
@@ -57,15 +56,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   {
     PPSSD_PROFILE_SCOPE("setup");
     const SsdConfig cfg = config_for(spec);
-    std::unique_ptr<cache::Scheme> scheme;
-    if (spec.scheme == cache::SchemeKind::kIpu && spec.ipu_options) {
-      auto ipu = std::make_unique<cache::IpuScheme>(cfg);
-      ipu->set_options(*spec.ipu_options);
-      scheme = std::move(ipu);
-    } else {
-      scheme = cache::make_scheme(spec.scheme, cfg);
-    }
-    ssd_owner = std::make_unique<sim::Ssd>(cfg, std::move(scheme));
+    ssd_owner = std::make_unique<sim::Ssd>(
+        cfg, cache::make_scheme(spec.scheme, cfg, spec.options));
     workload_owner = std::make_unique<trace::SyntheticWorkload>(
         trace::profile_by_name(spec.trace), ssd_owner->logical_bytes(),
         spec.trace_scale);

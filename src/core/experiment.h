@@ -6,7 +6,7 @@
 #include <optional>
 #include <string>
 
-#include "cache/ipu_scheme.h"
+#include "cache/registry.h"
 #include "cache/scheme.h"
 #include "common/config.h"
 #include "perf/progress.h"
@@ -20,13 +20,14 @@ namespace ppssd::core {
 inline constexpr int kResultSchemaVersion = 4;
 
 struct ExperimentSpec {
-  cache::SchemeKind scheme = cache::SchemeKind::kIpu;
+  std::string scheme = "IPU";        // registry name (cache/registry.h)
   std::string trace;                 // profile name (profiles.h)
   std::uint32_t pe_cycles = 4000;    // device wear at replay start
   std::uint32_t total_blocks = 16384;  // device scale
   double trace_scale = 0.15;         // fraction of the profile's requests
-  /// Ablation switches (only honoured for the IPU scheme).
-  std::optional<cache::IpuScheme::Options> ipu_options;
+  /// Scheme-specific option bag, handed to the scheme's registry factory
+  /// (ablation switches, design knobs). Participates in key().
+  cache::SchemeOptions options;
 
   /// Stable identity string (cache key, log label).
   [[nodiscard]] std::string key() const;

@@ -90,7 +90,7 @@ bool write_results_csv(const std::string& path,
          "wall_measure_seconds,wall_reqs_per_sec,wall_ctrl_events_per_sec\n";
   out.precision(10);
   for (const auto& r : results) {
-    out << cache::scheme_name(r.spec.scheme) << ',' << r.spec.trace << ','
+    out << r.spec.scheme << ',' << r.spec.trace << ','
         << r.spec.pe_cycles << ',' << r.spec.total_blocks << ','
         << r.spec.trace_scale << ',' << r.avg_read_ms << ','
         << r.avg_write_ms << ',' << r.avg_overall_ms << ',' << r.p50_read_ms

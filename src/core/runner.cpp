@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "perf/profiler.h"
 #include "perf/progress.h"
@@ -62,8 +63,8 @@ ExperimentResult Runner::run(const ExperimentSpec& spec) {
   // percent/rate/ETA line from the replayer's ticks.
   auto& progress = perf::ProgressReporter::global();
   progress.note("[ppssd] simulating " + spec.key() + " ...");
-  perf::ProgressCell* cell = progress.start_cell(
-      std::string(cache::scheme_name(spec.scheme)) + "/" + spec.trace);
+  perf::ProgressCell* cell =
+      progress.start_cell(spec.scheme + "/" + spec.trace);
   ExperimentResult result = run_experiment(spec, cell);
   progress.finish_cell(cell, result.wall_seconds,
                        result.reads + result.writes);
@@ -108,12 +109,12 @@ std::vector<ExperimentResult> Runner::run_all(
 }
 
 std::vector<ExperimentResult> Runner::run_matrix(
-    const std::vector<cache::SchemeKind>& schemes,
+    const std::vector<std::string>& schemes,
     const std::vector<std::string>& traces, std::uint32_t pe_cycles) {
   std::vector<ExperimentSpec> specs;
   specs.reserve(schemes.size() * traces.size());
   for (const auto& trace : traces) {
-    for (const auto scheme : schemes) {
+    for (const auto& scheme : schemes) {
       ExperimentSpec spec = default_spec();
       spec.scheme = scheme;
       spec.trace = trace;
@@ -149,9 +150,40 @@ std::vector<std::string> Runner::paper_traces() {
   return names;
 }
 
-std::vector<cache::SchemeKind> Runner::paper_schemes() {
-  return {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
-          cache::SchemeKind::kIpu};
+std::vector<std::string> Runner::paper_schemes() {
+  // Registry enumeration order is the paper order (Baseline, MGA, IPU,
+  // then later additions) — every bench matrix follows it automatically.
+  std::vector<std::string> names = cache::SchemeRegistry::instance().names();
+  const std::string filter = env_or("PPSSD_SCHEMES", "");
+  if (filter.empty()) return names;
+
+  // $PPSSD_SCHEMES=a,b restricts the matrix. Resolve each requested name
+  // through the registry (fails fast listing known schemes on a typo),
+  // then keep registry order rather than the env-var order so figures
+  // stay stable under any spelling of the same subset.
+  std::vector<std::string> wanted;
+  std::stringstream ss(filter);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const auto begin = tok.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;  // empty segment
+    const auto end = tok.find_last_not_of(" \t");
+    wanted.push_back(
+        cache::SchemeRegistry::instance().resolve(
+            tok.substr(begin, end - begin + 1)).name);
+  }
+  PPSSD_CHECK_MSG(!wanted.empty(),
+                  "PPSSD_SCHEMES is set but names no schemes");
+  std::vector<std::string> out;
+  for (const auto& name : names) {
+    for (const auto& w : wanted) {
+      if (w == name) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace ppssd::core

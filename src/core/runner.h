@@ -11,11 +11,15 @@
 //   PPSSD_SCALE=f      trace-length fraction override
 //   PPSSD_NO_CACHE=1   disable the disk cache
 //
-// Matrix-level knob (run_all / run_matrix):
+// Matrix-level knobs (run_all / run_matrix / paper_schemes):
 //   PPSSD_JOBS=n       simulate up to n cells concurrently (default 1).
 //                      Each cell owns its Ssd and deterministic RNG, so
 //                      results are bit-identical at any job count; only
 //                      wall_seconds varies.
+//   PPSSD_SCHEMES=a,b  restrict paper_schemes() to a comma-separated
+//                      subset of registered scheme names (case-
+//                      insensitive). Unknown names abort with the list
+//                      of known schemes.
 #pragma once
 
 #include <string>
@@ -45,7 +49,7 @@ class Runner {
   /// Run the full scheme × trace matrix at the default scale (delegates
   /// to run_all, honouring $PPSSD_JOBS).
   std::vector<ExperimentResult> run_matrix(
-      const std::vector<cache::SchemeKind>& schemes,
+      const std::vector<std::string>& schemes,
       const std::vector<std::string>& traces, std::uint32_t pe_cycles = 4000);
 
   /// Spec template honouring the environment knobs.
@@ -54,8 +58,10 @@ class Runner {
   /// All six paper trace names in Table 3 order.
   [[nodiscard]] static std::vector<std::string> paper_traces();
 
-  /// The three paper schemes.
-  [[nodiscard]] static std::vector<cache::SchemeKind> paper_schemes();
+  /// Every registered scheme, in registry (paper) order — a newly
+  /// registered scheme automatically appears in every figure matrix.
+  /// $PPSSD_SCHEMES restricts the list (see header comment).
+  [[nodiscard]] static std::vector<std::string> paper_schemes();
 
   [[nodiscard]] const std::string& cache_dir() const { return cache_dir_; }
 

@@ -22,9 +22,10 @@ double BerModel::raw_ber(const nand::DisturbSnapshot& snap) const {
   const double scale = wear_scale(snap.pe_cycles);
   const double a = cfg_.in_page_disturb_factor * scale;
   const double b = cfg_.neighbor_disturb_factor * scale;
+  const double r = snap.reprogrammed ? cfg_.reprogram_penalty : 0.0;
   const double ber =
       base_ber(snap.mode, snap.pe_cycles) *
-      (1.0 + a * snap.in_page_disturbs + b * snap.neighbor_disturbs);
+      (1.0 + r + a * snap.in_page_disturbs + b * snap.neighbor_disturbs);
   return std::min(ber, 0.5);
 }
 

@@ -75,4 +75,15 @@ FootprintReport MappingFootprint::ipu() const {
   return r;
 }
 
+FootprintReport MappingFootprint::ips() const {
+  // In-place switch keeps Baseline's page-level dynamic map: promotion
+  // rebinds a cached page's mapping to the reprogrammed dense page, no
+  // second-level structure. The only addition is one
+  // reprogrammed-eligibility bit per SLC page (frontier-state tracking),
+  // reported outside the map like IPU's bookkeeping.
+  FootprintReport r = baseline();
+  r.aux_bytes = bits_to_bytes(slc_pages(), 1);
+  return r;
+}
+
 }  // namespace ppssd::ftl

@@ -42,6 +42,7 @@ class MappingFootprint {
   [[nodiscard]] FootprintReport baseline() const;
   [[nodiscard]] FootprintReport mga() const;
   [[nodiscard]] FootprintReport ipu() const;
+  [[nodiscard]] FootprintReport ips() const;
 
   /// Bits needed to address every physical page.
   [[nodiscard]] std::uint32_t ppn_bits() const;

@@ -22,6 +22,10 @@ struct DisturbSnapshot {
   std::uint32_t in_page_disturbs = 0;
   /// Programs applied to wordline-adjacent pages after this subpage's write.
   std::uint32_t neighbor_disturbs = 0;
+  /// Page was produced by an in-place SLC→dense reprogram (IPS): the
+  /// continued ISPP sequence leaves wider threshold-voltage distributions
+  /// than a fresh dense program, priced as a BER penalty.
+  bool reprogrammed = false;
 };
 
 /// Build the snapshot for `block.page(p).subpage(s)` given the device's
@@ -38,6 +42,7 @@ struct DisturbSnapshot {
   const Page& pg = block.page(p);
   snap.in_page_disturbs = pg.in_page_disturbs(s);
   snap.neighbor_disturbs = pg.neighbor_disturbs(s);
+  snap.reprogrammed = pg.reprogrammed();
   return snap;
 }
 

@@ -45,6 +45,9 @@ struct ArrayCounters {
   std::uint64_t slc_erases = 0;
   std::uint64_t mlc_erases = 0;
   std::uint64_t read_ops = 0;
+  /// In-place SLC→dense reprogram operations (IPS promotion path).
+  std::uint64_t reprogram_ops = 0;
+  std::uint64_t reprogrammed_subpages = 0;
 };
 
 /// Observer of block bookkeeping changes. The FTL's victim index hangs
@@ -176,6 +179,38 @@ class FlashArray {
   /// the equivalence oracle for the fused program().
   bool program_reference(BlockId b, PageId p,
                          std::span<const SlotWrite> writes, SimTime now);
+
+  /// In-place switch (IPS, arXiv 2409.14360): promote an SLC-mode cache
+  /// page to a dense-mode destination by continuing the ISPP sequence on
+  /// the cells instead of read-migrate-program. The destination page's
+  /// resulting state is identical to program(dst_b, dst_p, writes, now) —
+  /// the caller supplies the surviving slot writes — plus a sticky
+  /// `reprogrammed` mark that the BER model prices as a retention/disturb
+  /// penalty. The mark clears on erase.
+  ///
+  /// The source page must be in SLC frontier state: exactly one program
+  /// since erase (a single-pulse SLC write, never partially programmed).
+  /// Reprogramming from any other state is physically meaningless and is
+  /// rejected by an always-on check, as is a non-SLC source or a non-dense
+  /// destination. The caller invalidates the source slots itself (they
+  /// are superseded data after the switch, exactly as after a migration).
+  void reprogram(BlockId src_b, PageId src_p, BlockId dst_b, PageId dst_p,
+                 std::span<const SlotWrite> writes, SimTime now) {
+    PPSSD_DCHECK(src_b < blocks_.size());
+    const Block& src = blocks_[src_b];
+    PPSSD_DCHECK(src_p < src.page_count());
+    PPSSD_CHECK_MSG(statics_[src_b].mode == CellMode::kSlc,
+                    "reprogram source must be an SLC-mode page");
+    PPSSD_CHECK_MSG(src.page(src_p).program_ops() == 1,
+                    "reprogram source not in SLC frontier state (exactly one "
+                    "program since erase required)");
+    PPSSD_CHECK_MSG(statics_[dst_b].mode == CellMode::kMlc,
+                    "reprogram destination must be a dense-mode page");
+    program(dst_b, dst_p, writes, now);
+    blocks_[dst_b].pages_[dst_p].reprogrammed_ = true;
+    ++counters_.reprogram_ops;
+    counters_.reprogrammed_subpages += writes.size();
+  }
 
   /// Bulk first-program entry point for setup (Scheme prefill): programs
   /// the write frontier of `b` at sim time 0. Skips the partial-program

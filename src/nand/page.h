@@ -60,6 +60,12 @@ class Page {
     return neighbor_programs_;
   }
 
+  /// True when this page's data was produced by an in-place reprogram
+  /// (ISPP continuation from SLC frontier state, IPS promotion) rather
+  /// than a fresh program. Reprogrammed cells carry a retention/disturb
+  /// BER penalty; cleared by erase.
+  [[nodiscard]] bool reprogrammed() const { return reprogrammed_; }
+
   [[nodiscard]] const Subpage& subpage(SubpageId i) const {
     PPSSD_DCHECK(i < kMaxSubpagesPerPage);
     return subpages_[i];
@@ -131,6 +137,7 @@ class Page {
   std::array<Subpage, kMaxSubpagesPerPage> subpages_{};
   std::uint8_t program_ops_ = 0;
   std::uint16_t neighbor_programs_ = 0;
+  bool reprogrammed_ = false;
 };
 
 }  // namespace ppssd::nand

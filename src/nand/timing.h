@@ -24,6 +24,10 @@ class TimingModel {
 
   [[nodiscard]] SimTime erase_latency() const { return cfg_.erase; }
 
+  /// In-place SLC→dense reprogram (IPS promotion): pure array time — the
+  /// data never crosses the channel, so there is no transfer or ECC term.
+  [[nodiscard]] SimTime reprogram_latency() const { return cfg_.reprogram; }
+
   /// Channel transfer time for `subpages` subpages of data.
   [[nodiscard]] SimTime transfer_latency(std::uint32_t subpages) const {
     return cfg_.transfer_per_subpage * subpages;

@@ -38,7 +38,7 @@ struct BenchPhases {
 
 struct BenchCell {
   std::string key;     // full experiment cache key (identity for diffs)
-  std::string scheme;  // "Baseline" / "MGA" / "IPU"
+  std::string scheme;  // registry scheme name (cache/registry.h)
   std::string trace;   // profile name
   std::uint64_t requests = 0;
   std::uint64_t ctrl_events = 0;  // flash commands in the measured phase

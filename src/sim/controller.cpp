@@ -72,7 +72,8 @@ void Controller::attach_telemetry(telemetry::Telemetry* telemetry) {
   if (telemetry == nullptr) {
     trace_ = nullptr;
     tl_ops_[0][0] = tl_ops_[0][1] = tl_ops_[1][0] = tl_ops_[1][1] = nullptr;
-    tl_erases_ = tl_ecc_decodes_ = tl_ecc_saturated_ = nullptr;
+    tl_erases_ = tl_reprograms_ = tl_ecc_decodes_ = tl_ecc_saturated_ =
+        nullptr;
     tl_chip_wait_ = tl_ecc_ns_ = nullptr;
     return;
   }
@@ -87,6 +88,7 @@ void Controller::attach_telemetry(telemetry::Telemetry* telemetry) {
     }
   }
   tl_erases_ = reg.counter("flash_ops", {{"kind", "erase"}});
+  tl_reprograms_ = reg.counter("flash_ops", {{"kind", "reprogram"}});
   tl_ecc_decodes_ = reg.counter("ecc_decodes");
   tl_ecc_saturated_ = reg.counter("ecc_decodes_saturated");
   // Chip queueing delay seen by array ops (ns): 100 ns .. 10 s.
@@ -200,6 +202,45 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
         trace_->span(telemetry::TraceCategory::kFlash,
                      op.mode == CellMode::kSlc ? "prog_slc" : "prog_mlc",
                      xfer_start, end, op.chip,
+                     {{"subpages", static_cast<double>(op.subpages)},
+                      {"bg", op.background ? 1.0 : 0.0}});
+      }
+      break;
+    }
+    case Kind::kReprogram: {
+      // In-place SLC→dense switch (IPS): one continued-ISPP pulse sequence
+      // on the chip — the data never leaves the array, so there is no
+      // channel transfer and no controller-side ECC. Erase interaction
+      // mirrors a program: background reprograms queue behind an
+      // in-progress erase, foreground ones suspend it.
+      SimTime start = std::max(ready, lane.busy_until);
+      if (op.background) start = std::max(start, lane.erase_until);
+      end = start + timing_.reprogram_latency();
+      (op.background ? usage_.program_bg : usage_.program_fg) +=
+          timing_.reprogram_latency();
+      chip_occupancy_[op.chip] += timing_.reprogram_latency();
+      lane.busy_until = end;
+      if (attrib_) {
+        attrib_->op_begin(scheduled_ops_, classify(op), op.mode,
+                          op.background, op.chip, op.channel, ready);
+        const SimTime base = std::max(ready, lane_was);
+        attrib_->wait_lane(op.chip, ready, base);
+        if (op.background) {
+          attrib_->wait_erase(op.chip, base, start);
+        } else if (erase_was > start) {
+          attrib_->note_suspend_saved(erase_was - start);
+        }
+        attrib_->add_service(end - start);
+        attrib_->claim_lane(op.chip, end);
+        attrib_->op_end(end);
+      }
+      if (tl_reprograms_) {
+        tl_reprograms_->inc();
+        tl_chip_wait_->observe(static_cast<double>(start - ready));
+      }
+      if (trace_ && trace_->enabled(telemetry::TraceCategory::kFlash)) {
+        trace_->span(telemetry::TraceCategory::kFlash, "reprog", start, end,
+                     op.chip,
                      {{"subpages", static_cast<double>(op.subpages)},
                       {"bg", op.background ? 1.0 : 0.0}});
       }

@@ -82,6 +82,8 @@ class Controller {
   [[nodiscard]] SimTime ecc_cost(const cache::PhysOp& op) const;
 
   /// Accumulated chip-occupancy by op kind (ns), foreground/background.
+  /// In-place reprograms (IPS) fold into the program buckets: they occupy
+  /// the lane exactly like a program pulse, just without the channel leg.
   struct Usage {
     SimTime read_fg = 0, read_bg = 0;
     SimTime program_fg = 0, program_bg = 0;
@@ -131,6 +133,7 @@ class Controller {
   telemetry::Counter* tl_ops_[2][2] = {{nullptr, nullptr},
                                        {nullptr, nullptr}};
   telemetry::Counter* tl_erases_ = nullptr;
+  telemetry::Counter* tl_reprograms_ = nullptr;
   telemetry::Counter* tl_ecc_decodes_ = nullptr;
   telemetry::Counter* tl_ecc_saturated_ = nullptr;
   telemetry::Histogram* tl_chip_wait_ = nullptr;

@@ -8,8 +8,8 @@
 
 namespace ppssd::sim {
 
-Ssd::Ssd(const SsdConfig& cfg, cache::SchemeKind kind)
-    : Ssd(cfg, cache::make_scheme(kind, cfg)) {}
+Ssd::Ssd(const SsdConfig& cfg, std::string_view scheme_name)
+    : Ssd(cfg, cache::make_scheme(scheme_name, cfg)) {}
 
 Ssd::Ssd(const SsdConfig& cfg, std::unique_ptr<cache::Scheme> scheme)
     : scheme_(std::move(scheme)),

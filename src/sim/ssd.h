@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "cache/scheme.h"
@@ -25,7 +26,8 @@ namespace ppssd::sim {
 
 class Ssd {
  public:
-  Ssd(const SsdConfig& cfg, cache::SchemeKind kind);
+  /// Construct with a scheme resolved from the registry by name.
+  Ssd(const SsdConfig& cfg, std::string_view scheme_name);
 
   /// Take ownership of a pre-built scheme (used for ablation variants).
   Ssd(const SsdConfig& cfg, std::unique_ptr<cache::Scheme> scheme);

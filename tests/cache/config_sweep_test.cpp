@@ -3,6 +3,7 @@
 // thresholds, and cell-mode ratios — not just the paper's Table 2 point.
 #include <gtest/gtest.h>
 
+#include <string_view>
 #include <tuple>
 
 #include "cache/scheme.h"
@@ -11,6 +12,8 @@
 
 namespace ppssd::cache {
 namespace {
+
+constexpr const char* kSweepSchemes[] = {"Baseline", "MGA", "IPU"};
 
 struct SweepPoint {
   std::uint32_t max_partial_programs;
@@ -44,7 +47,7 @@ TEST_P(ConfigSweep, MixedWorkloadStaysConsistent) {
   cfg.cache.gc_interleave_ops = 0;
   ASSERT_TRUE(cfg.validate().empty()) << cfg.validate();
 
-  auto scheme = make_scheme(static_cast<SchemeKind>(scheme_idx), cfg);
+  auto scheme = make_scheme(kSweepSchemes[scheme_idx], cfg);
   Rng rng(500 + scheme_idx * 7 + point_idx);
   std::vector<PhysOp> ops;
   SimTime now = 0;
@@ -86,8 +89,7 @@ TEST_P(ConfigSweep, MixedWorkloadStaysConsistent) {
 
 std::string sweep_name(
     const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-  static constexpr const char* kNames[] = {"Baseline", "MGA", "IPU"};
-  return std::string(kNames[std::get<0>(info.param)]) + "_cfg" +
+  return std::string(kSweepSchemes[std::get<0>(info.param)]) + "_cfg" +
          std::to_string(std::get<1>(info.param));
 }
 
@@ -103,9 +105,8 @@ TEST(ConfigSweepEdge, SinglePartialProgramDegeneratesGracefully) {
   SsdConfig cfg = SsdConfig::scaled(1024);
   cfg.cache.max_partial_programs = 1;
   cfg.cache.gc_interleave_ops = 0;
-  for (const auto kind :
-       {SchemeKind::kBaseline, SchemeKind::kMga, SchemeKind::kIpu}) {
-    auto scheme = make_scheme(kind, cfg);
+  for (const char* name : {"Baseline", "MGA", "IPU"}) {
+    auto scheme = make_scheme(name, cfg);
     std::vector<PhysOp> ops;
     SimTime now = 0;
     for (Lsn lsn = 0; lsn < 4000; lsn += 2) {
@@ -115,9 +116,8 @@ TEST(ConfigSweepEdge, SinglePartialProgramDegeneratesGracefully) {
       scheme->host_write(lsn, 2, now += ms_to_ns(0.5), ops);  // update
     }
     scheme->check_consistency();
-    EXPECT_EQ(scheme->array().counters().partial_program_ops, 0u)
-        << scheme_name(kind);
-    if (kind == SchemeKind::kIpu) {
+    EXPECT_EQ(scheme->array().counters().partial_program_ops, 0u) << name;
+    if (std::string_view(name) == "IPU") {
       EXPECT_EQ(scheme->metrics().intra_page_updates, 0u);
     }
   }
@@ -129,7 +129,7 @@ TEST(ConfigSweepEdge, EightSubpagePages) {
   cfg.geometry.page_bytes = 32 * kKiB;
   cfg.cache.gc_interleave_ops = 0;
   ASSERT_TRUE(cfg.validate().empty()) << cfg.validate();
-  auto scheme = make_scheme(SchemeKind::kIpu, cfg);
+  auto scheme = make_scheme("IPU", cfg);
   std::vector<PhysOp> ops;
   SimTime now = 0;
   // Non-overlapping extents (stride 8 >= max size 4).

@@ -1,0 +1,129 @@
+// Scheme plugin registry: deterministic enumeration, case-insensitive
+// lookup, the unknown-name diagnostic, duplicate-registration rejection,
+// and the option-bag plumbing consumers depend on.
+#include "cache/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/scheme.h"
+#include "common/config.h"
+
+namespace ppssd::cache {
+namespace {
+
+SsdConfig small_config() { return SsdConfig::scaled(1024); }
+
+TEST(SchemeRegistry, EnumerationOrderIsDeterministicPaperOrder) {
+  const auto names = SchemeRegistry::instance().names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "Baseline");
+  EXPECT_EQ(names[1], "MGA");
+  EXPECT_EQ(names[2], "IPU");
+  EXPECT_EQ(names[3], "IPS");
+  EXPECT_EQ(SchemeRegistry::instance().known_names(),
+            "Baseline, MGA, IPU, IPS");
+  // schemes() is the same sequence with metadata attached.
+  const auto& infos = SchemeRegistry::instance().schemes();
+  ASSERT_EQ(infos.size(), names.size());
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i].name, names[i]);
+    EXPECT_FALSE(infos[i].description.empty()) << names[i];
+    EXPECT_NE(infos[i].factory, nullptr) << names[i];
+    EXPECT_NE(infos[i].footprint, nullptr) << names[i];
+  }
+}
+
+TEST(SchemeRegistry, LookupIsCaseInsensitive) {
+  auto& reg = SchemeRegistry::instance();
+  ASSERT_NE(reg.find("ipu"), nullptr);
+  EXPECT_EQ(reg.find("ipu")->name, "IPU");
+  EXPECT_EQ(reg.find("BASELINE")->name, "Baseline");
+  EXPECT_EQ(reg.find("Ips")->name, "IPS");
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  EXPECT_EQ(reg.resolve("mga").name, "MGA");
+}
+
+TEST(SchemeRegistry, FactoriesProduceSchemesWithMatchingNames) {
+  const SsdConfig cfg = small_config();
+  for (const auto& name : SchemeRegistry::instance().names()) {
+    const std::unique_ptr<Scheme> scheme = make_scheme(name, cfg);
+    ASSERT_NE(scheme, nullptr) << name;
+    EXPECT_EQ(scheme->name(), name);
+  }
+}
+
+TEST(SchemeOptions, SetFindFlagRoundTrip) {
+  SchemeOptions opts;
+  EXPECT_TRUE(opts.empty());
+  opts.set("isr", "1");
+  opts.set("ipp", "false");
+  opts.set("isr", "0");  // overwrite in place, order preserved
+  ASSERT_EQ(opts.entries.size(), 2u);
+  EXPECT_EQ(opts.entries[0].first, "isr");
+  EXPECT_EQ(*opts.find("isr"), "0");
+  EXPECT_EQ(opts.find("missing"), nullptr);
+  EXPECT_FALSE(opts.flag("isr", true));
+  EXPECT_FALSE(opts.flag("ipp", true));
+  EXPECT_TRUE(opts.flag("missing", true));
+}
+
+using RegistryDeathTest = ::testing::Test;
+
+TEST(RegistryDeathTest, UnknownNameListsKnownSchemes) {
+  EXPECT_DEATH((void)SchemeRegistry::instance().resolve("quux"),
+               "unknown scheme 'quux'; known schemes: Baseline, MGA, IPU, "
+               "IPS");
+  EXPECT_DEATH(make_scheme("quux", small_config()), "unknown scheme 'quux'");
+}
+
+TEST(RegistryDeathTest, DuplicateRegistrationRejected) {
+  // Case-insensitive clash with the builtin IPU record. The whole add()
+  // runs inside the death statement: death tests execute in a forked
+  // child, so the parent registry is never polluted.
+  EXPECT_DEATH(
+      {
+        SchemeInfo dup;
+        dup.name = "ipu";
+        dup.description = "imposter";
+        dup.order = 99;
+        dup.factory = [](const SsdConfig& cfg,
+                         const SchemeOptions&) -> std::unique_ptr<Scheme> {
+          return make_scheme("Baseline", cfg);
+        };
+        dup.footprint = [](const ftl::MappingFootprint& fp) {
+          return fp.baseline();
+        };
+        SchemeRegistry::instance().add(std::move(dup));
+      },
+      "scheme 'ipu' already registered");
+}
+
+TEST(RegistryDeathTest, BooleanOptionRejectsGarbageValue) {
+  SchemeOptions opts;
+  opts.set("isr", "maybe");
+  EXPECT_DEATH((void)opts.flag("isr", false),
+               "must be a boolean .0/1/true/false., got 'maybe'");
+}
+
+TEST(RegistryDeathTest, SchemesWithoutOptionsRejectAnyOptionBag) {
+  SchemeOptions opts;
+  opts.set("isr", "1");
+  EXPECT_DEATH(make_scheme("Baseline", small_config(), opts),
+               "Baseline scheme takes no options");
+  EXPECT_DEATH(make_scheme("MGA", small_config(), opts),
+               "MGA scheme takes no options");
+}
+
+TEST(RegistryDeathTest, OptionParsingSchemesRejectUnknownKeys) {
+  SchemeOptions opts;
+  opts.set("bogus", "1");
+  EXPECT_DEATH(make_scheme("IPU", small_config(), opts),
+               "unknown IPU option 'bogus'");
+  EXPECT_DEATH(make_scheme("IPS", small_config(), opts),
+               "unknown IPS option 'bogus'");
+}
+
+}  // namespace
+}  // namespace ppssd::cache

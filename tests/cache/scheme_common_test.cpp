@@ -16,9 +16,9 @@ SsdConfig small_config() {
 }
 
 struct Harness {
-  explicit Harness(SchemeKind kind = SchemeKind::kBaseline,
+  explicit Harness(const char* name = "Baseline",
                    SsdConfig cfg = small_config())
-      : scheme(make_scheme(kind, cfg)) {}
+      : scheme(make_scheme(name, cfg)) {}
 
   void write(Lsn lsn, std::uint32_t count) {
     ops.clear();
@@ -186,8 +186,8 @@ TEST(SchemeCommon, ReadBerGrowsWithDeviceWear) {
   SsdConfig old_cfg = small_config();
   old_cfg.wear.initial_pe_cycles = 8000;
 
-  Harness hy(SchemeKind::kBaseline, young);
-  Harness ho(SchemeKind::kBaseline, old_cfg);
+  Harness hy("Baseline", young);
+  Harness ho("Baseline", old_cfg);
   hy.write(0, 4);
   ho.write(0, 4);
   hy.read(0, 4);
@@ -210,9 +210,9 @@ TEST(SchemeCommon, VersionsSurviveEviction) {
 }
 
 TEST(SchemeCommon, FootprintMatchesKind) {
-  Harness base(SchemeKind::kBaseline);
-  Harness mga(SchemeKind::kMga);
-  Harness ipu(SchemeKind::kIpu);
+  Harness base("Baseline");
+  Harness mga("MGA");
+  Harness ipu("IPU");
   EXPECT_EQ(base.scheme->footprint().scheme_extra, 0u);
   EXPECT_GT(mga.scheme->footprint().scheme_extra,
             ipu.scheme->footprint().scheme_extra);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "cache/ipu_scheme.h"
 #include "core/runner.h"
 
 namespace ppssd::core {
@@ -12,7 +13,7 @@ namespace {
 
 ExperimentSpec tiny_spec() {
   ExperimentSpec spec;
-  spec.scheme = cache::SchemeKind::kIpu;
+  spec.scheme = "IPU";
   spec.trace = "ts0";
   spec.total_blocks = 1024;
   spec.trace_scale = 0.002;  // ~3.6k requests: fast
@@ -23,14 +24,26 @@ TEST(ExperimentSpec, KeyIsStableAndDistinct) {
   ExperimentSpec a = tiny_spec();
   ExperimentSpec b = tiny_spec();
   EXPECT_EQ(a.key(), b.key());
-  b.scheme = cache::SchemeKind::kMga;
+  b.scheme = "MGA";
   EXPECT_NE(a.key(), b.key());
   b = tiny_spec();
   b.pe_cycles = 8000;
   EXPECT_NE(a.key(), b.key());
   b = tiny_spec();
-  b.ipu_options = cache::IpuScheme::Options{false, true, true};
+  b.options = cache::IpuScheme::Options{false, true, true}.to_scheme_options();
   EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ExperimentSpec, KeyEncodingMatchesLegacyIpuFormat) {
+  // The option-bag suffix must stay byte-identical to the pre-registry
+  // "-isr<b>-lvl<b>-ipp<b>-cmb<b>" encoding: cache files keyed by it
+  // survive the refactor.
+  ExperimentSpec spec = tiny_spec();
+  spec.options =
+      cache::IpuScheme::Options{true, true, true, false}.to_scheme_options();
+  EXPECT_EQ(spec.key(), "IPU-ts0-pe4000-b1024-s0.002-isr1-lvl1-ipp1-cmb0");
+  spec.options.entries.clear();
+  EXPECT_EQ(spec.key(), "IPU-ts0-pe4000-b1024-s0.002");
 }
 
 TEST(ExperimentResult, SerializeRoundTrip) {
@@ -141,7 +154,8 @@ TEST(RunExperiment, DeterministicAcrossRuns) {
 TEST(RunExperiment, AblationOptionsChangeResults) {
   ExperimentSpec spec = tiny_spec();
   const ExperimentResult full = run_experiment(spec);
-  spec.ipu_options = cache::IpuScheme::Options{true, true, false};
+  spec.options =
+      cache::IpuScheme::Options{true, true, false}.to_scheme_options();
   const ExperimentResult no_ipp = run_experiment(spec);
   EXPECT_GT(full.intra_page_updates, 0u);
   EXPECT_EQ(no_ipp.intra_page_updates, 0u);
@@ -162,9 +176,29 @@ TEST(Runner, CachesResultsOnDisk) {
 
 TEST(Runner, PaperMatrixShape) {
   EXPECT_EQ(Runner::paper_traces().size(), 6u);
-  EXPECT_EQ(Runner::paper_schemes().size(), 3u);
-  EXPECT_EQ(Runner::paper_schemes()[0], cache::SchemeKind::kBaseline);
-  EXPECT_EQ(Runner::paper_schemes()[2], cache::SchemeKind::kIpu);
+  // The matrix enumerates the registry: all four schemes, paper order.
+  const auto schemes = Runner::paper_schemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0], "Baseline");
+  EXPECT_EQ(schemes[1], "MGA");
+  EXPECT_EQ(schemes[2], "IPU");
+  EXPECT_EQ(schemes[3], "IPS");
+}
+
+TEST(Runner, SchemesEnvFilterRestrictsMatrix) {
+  ASSERT_EQ(setenv("PPSSD_SCHEMES", "ips , baseline", 1), 0);
+  const auto filtered = Runner::paper_schemes();
+  unsetenv("PPSSD_SCHEMES");
+  // Registry order wins over env-var order; names are case-insensitive.
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0], "Baseline");
+  EXPECT_EQ(filtered[1], "IPS");
+}
+
+TEST(RunnerDeathTest, SchemesEnvFilterRejectsUnknownName) {
+  ASSERT_EQ(setenv("PPSSD_SCHEMES", "nope", 1), 0);
+  EXPECT_DEATH(Runner::paper_schemes(), "unknown scheme 'nope'");
+  unsetenv("PPSSD_SCHEMES");
 }
 
 }  // namespace

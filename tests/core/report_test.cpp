@@ -45,7 +45,7 @@ TEST(DeltaPct, SignsAndBase) {
 
 TEST(WriteResultsCsv, RoundTripColumns) {
   ExperimentResult r;
-  r.spec.scheme = cache::SchemeKind::kIpu;
+  r.spec.scheme = "IPU";
   r.spec.trace = "ts0";
   r.avg_overall_ms = 0.5;
   r.read_ber = 2.8e-4;

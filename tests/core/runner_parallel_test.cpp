@@ -14,7 +14,7 @@ std::vector<ExperimentSpec> tiny_matrix() {
   std::vector<ExperimentSpec> specs;
   for (const char* trace : {"ts0", "lun2"}) {
     for (const auto scheme :
-         {cache::SchemeKind::kBaseline, cache::SchemeKind::kIpu}) {
+         {"Baseline", "IPU"}) {
       ExperimentSpec s;
       s.scheme = scheme;
       s.trace = trace;

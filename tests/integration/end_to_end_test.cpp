@@ -16,7 +16,7 @@ struct RunOutcome {
   nand::ArrayCounters counters;
 };
 
-RunOutcome run(cache::SchemeKind kind, const char* trace, double scale) {
+RunOutcome run(const char* kind, const char* trace, double scale) {
   const SsdConfig cfg = SsdConfig::scaled(2048);
   sim::Ssd ssd(cfg, kind);
   trace::SyntheticWorkload workload(trace::profile_by_name(trace),
@@ -33,24 +33,21 @@ RunOutcome run(cache::SchemeKind kind, const char* trace, double scale) {
 
 TEST(EndToEnd, AllSchemesSurviveEveryTraceProfile) {
   for (const auto& profile : trace::paper_profiles()) {
-    for (const auto kind :
-         {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
-          cache::SchemeKind::kIpu}) {
+    for (const auto kind : {"Baseline", "MGA", "IPU", "IPS"}) {
       const auto out = run(kind, profile.name.c_str(), 0.002);
-      EXPECT_GT(out.replay.requests, 0u)
-          << profile.name << "/" << cache::scheme_name(kind);
+      EXPECT_GT(out.replay.requests, 0u) << profile.name << "/" << kind;
     }
   }
 }
 
 TEST(EndToEnd, BaselineNeverPartialPrograms) {
-  const auto out = run(cache::SchemeKind::kBaseline, "ts0", 0.02);
+  const auto out = run("Baseline", "ts0", 0.02);
   EXPECT_EQ(out.counters.partial_program_ops, 0u);
 }
 
 TEST(EndToEnd, PartialProgrammingSchemesUseIt) {
-  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.02);
-  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.02);
+  const auto mga = run("MGA", "ts0", 0.02);
+  const auto ipu = run("IPU", "ts0", 0.02);
   EXPECT_GT(mga.counters.partial_program_ops, 0u);
   EXPECT_GT(ipu.counters.partial_program_ops, 0u);
   EXPECT_GT(ipu.metrics.intra_page_updates, 0u);
@@ -58,9 +55,9 @@ TEST(EndToEnd, PartialProgrammingSchemesUseIt) {
 
 TEST(EndToEnd, GcUtilizationOrderingMatchesFigure9) {
   // Baseline (fragmented) < IPU (reserved slots) < MGA (aggregated).
-  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
-  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.03);
-  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  const auto base = run("Baseline", "ts0", 0.03);
+  const auto mga = run("MGA", "ts0", 0.03);
+  const auto ipu = run("IPU", "ts0", 0.03);
   ASSERT_GT(base.metrics.slc_gc_count, 0u);
   ASSERT_GT(mga.metrics.slc_gc_count, 0u);
   ASSERT_GT(ipu.metrics.slc_gc_count, 0u);
@@ -72,9 +69,9 @@ TEST(EndToEnd, GcUtilizationOrderingMatchesFigure9) {
 
 TEST(EndToEnd, SlcEraseOrderingMatchesFigure10a) {
   // Baseline erases the SLC cache most; MGA least among the three.
-  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
-  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.03);
-  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  const auto base = run("Baseline", "ts0", 0.03);
+  const auto mga = run("MGA", "ts0", 0.03);
+  const auto ipu = run("IPU", "ts0", 0.03);
   EXPECT_GT(base.counters.slc_erases, ipu.counters.slc_erases);
   EXPECT_GT(ipu.counters.slc_erases, mga.counters.slc_erases);
 }
@@ -82,9 +79,9 @@ TEST(EndToEnd, SlcEraseOrderingMatchesFigure10a) {
 TEST(EndToEnd, ReadBerOrderingMatchesFigure8) {
   // MGA's in-page disturb on shared pages raises its read BER above
   // Baseline's; IPU stays close to Baseline.
-  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
-  const auto mga = run(cache::SchemeKind::kMga, "ts0", 0.03);
-  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  const auto base = run("Baseline", "ts0", 0.03);
+  const auto mga = run("MGA", "ts0", 0.03);
+  const auto ipu = run("IPU", "ts0", 0.03);
   EXPECT_GT(mga.metrics.read_ber.mean(), base.metrics.read_ber.mean());
   EXPECT_GT(mga.metrics.read_ber.mean(), ipu.metrics.read_ber.mean());
   EXPECT_NEAR(ipu.metrics.read_ber.mean() / base.metrics.read_ber.mean(),
@@ -92,15 +89,15 @@ TEST(EndToEnd, ReadBerOrderingMatchesFigure8) {
 }
 
 TEST(EndToEnd, IpuKeepsHotWritesInSlc) {
-  const auto base = run(cache::SchemeKind::kBaseline, "ts0", 0.03);
-  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  const auto base = run("Baseline", "ts0", 0.03);
+  const auto ipu = run("IPU", "ts0", 0.03);
   // Figure 6's shape at small scale: fewer MLC subpage writes under IPU.
   EXPECT_LT(ipu.metrics.mlc_subpages_written,
             base.metrics.mlc_subpages_written);
 }
 
 TEST(EndToEnd, IpuLevelDistributionPlausible) {
-  const auto ipu = run(cache::SchemeKind::kIpu, "ts0", 0.03);
+  const auto ipu = run("IPU", "ts0", 0.03);
   const auto& lv = ipu.metrics.level_subpages;
   const double total = static_cast<double>(lv[1] + lv[2] + lv[3]);
   ASSERT_GT(total, 0.0);

@@ -51,9 +51,9 @@ TEST(GcGolden, OptimizedPoliciesReproduceSeedDecisions) {
   std::vector<std::string> actual;
   actual.reserve(golden.size());
 
-  for (const cache::SchemeKind kind :
-       {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
-        cache::SchemeKind::kIpu}) {
+  // Fixed seed-era scheme list: the golden file was captured for these
+  // three; newly registered schemes get their own coverage elsewhere.
+  for (const std::string kind : {"Baseline", "MGA", "IPU"}) {
     for (const char* trace : {"ts0", "usr0"}) {
       const SsdConfig cfg = SsdConfig::scaled(1024);
       sim::Ssd ssd(cfg, kind);
@@ -68,7 +68,7 @@ TEST(GcGolden, OptimizedPoliciesReproduceSeedDecisions) {
       scheme.prefill_mlc(geom.logical_subpages(), free_floor);
 
       // IPU's SLC region runs ISR; everything else is greedy.
-      const bool slc_isr = kind == cache::SchemeKind::kIpu;
+      const bool slc_isr = kind == "IPU";
 
       scheme.set_gc_decision_hook([&](std::uint32_t plane, CellMode mode,
                                       BlockId victim, SimTime now) {

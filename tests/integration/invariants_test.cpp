@@ -18,7 +18,7 @@ struct Shadow {
 };
 
 struct FuzzParams {
-  cache::SchemeKind kind;
+  const char* kind;
   std::uint64_t seed;
   std::uint64_t footprint_subpages;  // address locality knob
   double write_ratio;
@@ -29,7 +29,8 @@ class SchemeFuzz
 
 TEST_P(SchemeFuzz, RandomWorkloadKeepsAllInvariants) {
   const auto [scheme_idx, variant] = GetParam();
-  const auto kind = static_cast<cache::SchemeKind>(scheme_idx);
+  static constexpr const char* kSchemes[] = {"Baseline", "MGA", "IPU", "IPS"};
+  const char* kind = kSchemes[scheme_idx];
 
   SsdConfig cfg = SsdConfig::scaled(1024);
   cfg.cache.gc_interleave_ops = static_cast<std::uint32_t>(variant);  // 0,1,2
@@ -90,22 +91,22 @@ TEST_P(SchemeFuzz, RandomWorkloadKeepsAllInvariants) {
 
 std::string fuzz_name(
     const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-  static constexpr const char* kNames[] = {"Baseline", "MGA", "IPU"};
+  static constexpr const char* kNames[] = {"Baseline", "MGA", "IPU", "IPS"};
   return std::string(kNames[std::get<0>(info.param)]) + "_interleave" +
          std::to_string(std::get<1>(info.param));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllSchemesAndGcModes, SchemeFuzz,
-    ::testing::Combine(::testing::Values(0, 1, 2),   // Baseline, MGA, IPU
-                       ::testing::Values(0, 1, 2)),  // gc interleave
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),  // registry order
+                       ::testing::Values(0, 1, 2)),    // gc interleave
     fuzz_name);
 
 TEST(Invariants, SequentialOverwriteStress) {
   // Repeated sequential overwrite of one region: maximal update pressure.
   SsdConfig cfg = SsdConfig::scaled(1024);
   cfg.cache.gc_interleave_ops = 0;
-  sim::Ssd ssd(cfg, cache::SchemeKind::kIpu);
+  sim::Ssd ssd(cfg, "IPU");
   SimTime now = 0;
   for (int round = 0; round < 30; ++round) {
     for (Lsn lsn = 0; lsn < 4096; lsn += 4) {
@@ -122,7 +123,7 @@ TEST(Invariants, SequentialOverwriteStress) {
 TEST(Invariants, WearAccumulatesOnlyThroughErase) {
   SsdConfig cfg = SsdConfig::scaled(1024);
   cfg.cache.gc_interleave_ops = 0;
-  sim::Ssd ssd(cfg, cache::SchemeKind::kBaseline);
+  sim::Ssd ssd(cfg, "Baseline");
   SimTime now = 0;
   for (Lsn lsn = 0; lsn < 60'000; lsn += 2) {
     ssd.submit(OpType::kWrite, lsn * kSubpageBytes, 2 * kSubpageBytes,
@@ -139,14 +140,12 @@ TEST(Invariants, WearAccumulatesOnlyThroughErase) {
 }
 
 TEST(Invariants, MixedSchemesAgreeOnStoredData) {
-  // The same workload through all three schemes must produce identical
+  // The same workload through every scheme must produce identical
   // logical contents (versions), whatever the physical layout.
   SsdConfig cfg = SsdConfig::scaled(1024);
   cfg.cache.gc_interleave_ops = 1;
   std::vector<std::unique_ptr<sim::Ssd>> devices;
-  for (const auto kind :
-       {cache::SchemeKind::kBaseline, cache::SchemeKind::kMga,
-        cache::SchemeKind::kIpu}) {
+  for (const auto kind : {"Baseline", "MGA", "IPU", "IPS"}) {
     devices.push_back(std::make_unique<sim::Ssd>(cfg, kind));
   }
   Rng rng(77);
@@ -162,8 +161,9 @@ TEST(Invariants, MixedSchemesAgreeOnStoredData) {
   }
   for (Lsn lsn = 0; lsn < 30'000; ++lsn) {
     const auto v = devices[0]->scheme().version_of(lsn);
-    EXPECT_EQ(devices[1]->scheme().version_of(lsn), v);
-    EXPECT_EQ(devices[2]->scheme().version_of(lsn), v);
+    for (std::size_t d = 1; d < devices.size(); ++d) {
+      EXPECT_EQ(devices[d]->scheme().version_of(lsn), v);
+    }
   }
   for (auto& dev : devices) {
     dev->scheme().check_consistency();

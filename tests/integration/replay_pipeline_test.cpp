@@ -22,7 +22,7 @@ TEST(ReplayPipeline, FileRoundTripMatchesDirectReplay) {
   const auto& profile = trace::profile_by_name("wdev0");
 
   // Direct replay.
-  sim::Ssd direct(cfg(), cache::SchemeKind::kIpu);
+  sim::Ssd direct(cfg(), "IPU");
   trace::SyntheticWorkload workload(profile, direct.logical_bytes(), 0.01);
   sim::Replayer direct_replayer(direct);
   const auto direct_result = direct_replayer.replay(workload);
@@ -35,7 +35,7 @@ TEST(ReplayPipeline, FileRoundTripMatchesDirectReplay) {
     workload.reset();
     writer.write_all(workload);
   }
-  sim::Ssd from_file(cfg(), cache::SchemeKind::kIpu);
+  sim::Ssd from_file(cfg(), "IPU");
   trace::MsrTraceParser parser(path);
   sim::Replayer file_replayer(from_file);
   const auto file_result = file_replayer.replay(parser);
@@ -61,8 +61,8 @@ TEST(ReplayPipeline, SchemesSeeIdenticalRequestStream) {
   // the only difference, so logical contents agree at the end.
   const auto& profile = trace::profile_by_name("ts0");
   std::uint64_t checks = 0;
-  sim::Ssd a(cfg(), cache::SchemeKind::kBaseline);
-  sim::Ssd b(cfg(), cache::SchemeKind::kIpu);
+  sim::Ssd a(cfg(), "Baseline");
+  sim::Ssd b(cfg(), "IPU");
   for (sim::Ssd* dev : {&a, &b}) {
     trace::SyntheticWorkload workload(profile, dev->logical_bytes(), 0.005);
     sim::Replayer replayer(*dev);
@@ -80,7 +80,7 @@ TEST(ReplayPipeline, SchemesSeeIdenticalRequestStream) {
 TEST(ReplayPipeline, RerunOnSameDeviceAccumulates) {
   // Replaying the same trace twice on one device: the second pass sees
   // warm state (more cache hits, updates instead of new data).
-  sim::Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  sim::Ssd ssd(cfg(), "IPU");
   const auto& profile = trace::profile_by_name("usr0");
   trace::SyntheticWorkload workload(profile, ssd.logical_bytes(), 0.005);
   sim::Replayer replayer(ssd);

@@ -33,14 +33,19 @@ cache::PhysOp rand_op(Rng& rng, std::uint32_t chips, std::uint32_t channels) {
   op.chip = static_cast<std::uint32_t>(rng.next_below(chips));
   op.channel = static_cast<std::uint32_t>(rng.next_below(channels));
   const std::uint64_t kind = rng.next_below(10);
-  if (kind < 5) {
+  if (kind < 4) {
     op.kind = cache::PhysOp::Kind::kRead;
-  } else if (kind < 9) {
+  } else if (kind < 8) {
     op.kind = cache::PhysOp::Kind::kProgram;
+  } else if (kind < 9) {
+    op.kind = cache::PhysOp::Kind::kReprogram;
   } else {
     op.kind = cache::PhysOp::Kind::kErase;
   }
-  op.mode = rng.next_below(2) == 0 ? CellMode::kSlc : CellMode::kMlc;
+  // Reprogram targets are always dense-mode pages (the IPS promotion).
+  op.mode = op.kind == cache::PhysOp::Kind::kReprogram || rng.next_below(2)
+                ? CellMode::kMlc
+                : CellMode::kSlc;
   op.subpages = static_cast<std::uint32_t>(1 + rng.next_below(4));
   op.ber = 0.0;
   op.background =
@@ -124,6 +129,21 @@ TEST(AttributionDualAccounting, RandomOpsMatchIndependentModelAcrossSeeds) {
           chan[op.channel] = xfer_end;
           break;
         }
+        case cache::PhysOp::Kind::kReprogram: {
+          // Lane-only op: no channel transfer, no ECC (the data never
+          // leaves the array).
+          SimTime start = std::max(now, busy[op.chip]);
+          exp_lane = start - now;
+          if (op.background) {
+            const SimTime gated = std::max(start, erase_h[op.chip]);
+            exp_erase = gated - start;
+            start = gated;
+          }
+          exp_end = start + c.timing.reprogram;
+          exp_service = exp_end - start;
+          busy[op.chip] = exp_end;
+          break;
+        }
         case cache::PhysOp::Kind::kErase: {
           const SimTime after_erase = std::max(now, erase_h[op.chip]);
           exp_erase = after_erase - now;
@@ -161,7 +181,7 @@ TEST(AttributionE2e, EveryRecordConservesUnderBothInterleaveSettings) {
   for (const std::uint32_t interleave : {0u, 2u}) {
     SsdConfig c = SsdConfig::scaled(2048);
     c.cache.gc_interleave_ops = interleave;
-    Ssd ssd(c, cache::SchemeKind::kIpu);
+    Ssd ssd(c, "IPU");
     telemetry::Telemetry tel(attrib_opts());
     tel.attribution()->set_keep_records(true);
     ssd.attach_telemetry(&tel);
@@ -193,8 +213,8 @@ TEST(AttributionE2e, EveryRecordConservesUnderBothInterleaveSettings) {
 
 TEST(AttributionE2e, AttachedLedgerDoesNotPerturbLatencies) {
   SsdConfig c = SsdConfig::scaled(2048);
-  Ssd plain(c, cache::SchemeKind::kIpu);
-  Ssd probed(c, cache::SchemeKind::kIpu);
+  Ssd plain(c, "IPU");
+  Ssd probed(c, "IPU");
   telemetry::Telemetry tel(attrib_opts());
   probed.attach_telemetry(&tel);
 

@@ -15,7 +15,7 @@ trace::TraceRecord rec(SimTime arrival, OpType op, std::uint64_t offset,
 }
 
 TEST(Replayer, ReplaysAllRecords) {
-  Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  Ssd ssd(cfg(), "IPU");
   std::vector<trace::TraceRecord> records;
   for (int i = 0; i < 100; ++i) {
     records.push_back(rec(ms_to_ns(i + 1.0), OpType::kWrite,
@@ -31,7 +31,7 @@ TEST(Replayer, ReplaysAllRecords) {
 }
 
 TEST(Replayer, MaxRequestsLimit) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   std::vector<trace::TraceRecord> records;
   for (int i = 0; i < 50; ++i) {
     records.push_back(rec(ms_to_ns(i + 1.0), OpType::kWrite, 0, 4096));
@@ -43,7 +43,7 @@ TEST(Replayer, MaxRequestsLimit) {
 }
 
 TEST(Replayer, SeparatesReadAndWriteLatency) {
-  Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  Ssd ssd(cfg(), "IPU");
   std::vector<trace::TraceRecord> records;
   records.push_back(rec(ms_to_ns(1.0), OpType::kWrite, 0, 16384));
   records.push_back(rec(ms_to_ns(100.0), OpType::kRead, 0, 16384));
@@ -55,7 +55,7 @@ TEST(Replayer, SeparatesReadAndWriteLatency) {
 
 TEST(Replayer, QueueDepthTracksOverlap) {
   // Back-to-back arrivals while the device is busy -> queue builds.
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   std::vector<trace::TraceRecord> burst;
   for (int i = 0; i < 64; ++i) {
     burst.push_back(rec(1000 + i, OpType::kWrite,
@@ -69,7 +69,7 @@ TEST(Replayer, QueueDepthTracksOverlap) {
 }
 
 TEST(Replayer, IdleArrivalsKeepQueueEmpty) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   std::vector<trace::TraceRecord> slow;
   for (int i = 0; i < 20; ++i) {
     slow.push_back(rec(ms_to_ns(100.0 * (i + 1)), OpType::kWrite,
@@ -91,7 +91,7 @@ TEST(Replayer, TimeWeightedQueueDepthClosedForm) {
   // t2 with t2 > t1 + L. The depth is 1 for 2L of simulated time and 0
   // otherwise, so the time-weighted mean over [t1, t2 + L] is
   // 2L / (t2 + L - t1); the at-arrival sample never sees a queue.
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   const SimTime t1 = ms_to_ns(1.0);
   const SimTime t2 = ms_to_ns(201.0);
   std::vector<trace::TraceRecord> records = {
@@ -108,7 +108,7 @@ TEST(Replayer, TimeWeightedQueueDepthClosedForm) {
 }
 
 TEST(Replayer, EmptySource) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   trace::VectorTraceSource src({});
   Replayer replayer(ssd);
   const auto result = replayer.replay(src);

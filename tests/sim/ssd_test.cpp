@@ -11,7 +11,7 @@ namespace {
 SsdConfig cfg() { return SsdConfig::scaled(1024); }
 
 TEST(Ssd, WriteCompletesAfterArrival) {
-  Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  Ssd ssd(cfg(), "IPU");
   const auto done = ssd.submit(OpType::kWrite, 0, 4096, ms_to_ns(10.0));
   EXPECT_EQ(done.start, ms_to_ns(10.0));
   EXPECT_GT(done.finish, done.start);
@@ -22,7 +22,7 @@ TEST(Ssd, WriteCompletesAfterArrival) {
 }
 
 TEST(Ssd, ByteAddressingConvertsToSubpages) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   // A 6000-byte write at offset 100 touches subpages 0 and 1.
   ssd.submit(OpType::kWrite, 100, 6000, 0);
   EXPECT_TRUE(ssd.scheme().device_map().mapped(0));
@@ -31,7 +31,7 @@ TEST(Ssd, ByteAddressingConvertsToSubpages) {
 }
 
 TEST(Ssd, OffsetWrapsIntoLogicalSpace) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   const std::uint64_t logical = ssd.logical_bytes();
   const auto done =
       ssd.submit(OpType::kWrite, logical + 8192, 4096, ms_to_ns(1.0));
@@ -40,7 +40,7 @@ TEST(Ssd, OffsetWrapsIntoLogicalSpace) {
 }
 
 TEST(Ssd, SizeClampedAtTopOfLogicalSpace) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   const std::uint64_t logical = ssd.logical_bytes();
   // A write straddling the end of the logical space is truncated.
   const auto done =
@@ -50,7 +50,7 @@ TEST(Ssd, SizeClampedAtTopOfLogicalSpace) {
 }
 
 TEST(Ssd, ReadOfWrittenDataIsFasterThanWrite) {
-  Ssd ssd(cfg(), cache::SchemeKind::kIpu);
+  Ssd ssd(cfg(), "IPU");
   const auto w = ssd.submit(OpType::kWrite, 0, 8192, ms_to_ns(1.0));
   const auto r = ssd.submit(OpType::kRead, 0, 8192, ms_to_ns(100.0));
   EXPECT_LT(r.latency(), w.latency());
@@ -59,7 +59,7 @@ TEST(Ssd, ReadOfWrittenDataIsFasterThanWrite) {
 TEST(Ssd, BackgroundWorkDeferredAndDrainable) {
   SsdConfig c = cfg();
   c.cache.gc_interleave_ops = 1;
-  Ssd ssd(c, cache::SchemeKind::kBaseline);
+  Ssd ssd(c, "Baseline");
   SimTime now = 0;
   // Enough writes to trigger GC; with interleave the deferred queue sees
   // traffic and fully drains at the end.
@@ -75,7 +75,7 @@ TEST(Ssd, BackgroundWorkDeferredAndDrainable) {
 TEST(Ssd, InlineGcModeHasNoDeferredOps) {
   SsdConfig c = cfg();
   c.cache.gc_interleave_ops = 0;
-  Ssd ssd(c, cache::SchemeKind::kBaseline);
+  Ssd ssd(c, "Baseline");
   SimTime now = 0;
   for (Lsn lsn = 0; lsn < 30'000; lsn += 2) {
     ssd.submit(OpType::kWrite, lsn * kSubpageBytes, 8192,
@@ -87,8 +87,8 @@ TEST(Ssd, InlineGcModeHasNoDeferredOps) {
 TEST(Ssd, EnqueueMatchesSubmitTiming) {
   // The pipelined path schedules through the same controller: identical
   // request streams produce identical completion times.
-  Ssd sync_ssd(cfg(), cache::SchemeKind::kIpu);
-  Ssd async_ssd(cfg(), cache::SchemeKind::kIpu);
+  Ssd sync_ssd(cfg(), "IPU");
+  Ssd async_ssd(cfg(), "IPU");
   SimTime now = 0;
   for (Lsn lsn = 0; lsn < 2000; lsn += 2) {
     now += ms_to_ns(0.05);
@@ -107,7 +107,7 @@ TEST(Ssd, EnqueueMatchesSubmitTiming) {
 TEST(Ssd, CompletionsHarvestedOutOfSubmissionOrder) {
   // A fast read enqueued after a slow write is delivered to the host
   // first: the completion queue orders by finish time, not submission.
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   // Prime one LSN so the read touches flash, then clear the horizons.
   ssd.submit(OpType::kWrite, 0, 4096, 0);
   ssd.reset_timing();
@@ -137,7 +137,7 @@ TEST(Ssd, CompletionsHarvestedOutOfSubmissionOrder) {
 }
 
 TEST(Ssd, ResetTimingDropsPendingCompletions) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   ssd.enqueue(OpType::kWrite, 0, 4096, 1000);
   EXPECT_EQ(ssd.in_flight(), 1u);
   ssd.reset_timing();
@@ -150,11 +150,11 @@ TEST(Ssd, CustomSchemeInjection) {
   auto ipu = std::make_unique<cache::IpuScheme>(c);
   ipu->set_options({false, false, true});
   Ssd ssd(c, std::move(ipu));
-  EXPECT_EQ(ssd.scheme().kind(), cache::SchemeKind::kIpu);
+  EXPECT_STREQ(ssd.scheme().name(), "IPU");
 }
 
 TEST(Ssd, LogicalBytesMatchesGeometry) {
-  Ssd ssd(cfg(), cache::SchemeKind::kBaseline);
+  Ssd ssd(cfg(), "Baseline");
   EXPECT_EQ(ssd.logical_bytes(),
             ssd.scheme().array().geometry().logical_subpages() *
                 kSubpageBytes);

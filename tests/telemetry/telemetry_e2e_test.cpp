@@ -41,7 +41,7 @@ TEST(TelemetryE2e, ReplayProducesParseableTraceMetricsAndWindows) {
 
   {
     telemetry::Telemetry tel(opts);
-    sim::Ssd ssd(SsdConfig::scaled(1024), cache::SchemeKind::kIpu);
+    sim::Ssd ssd(SsdConfig::scaled(1024), "IPU");
     ssd.attach_telemetry(&tel);
     trace::SyntheticWorkload workload(trace::profile_by_name("ts0"),
                                       ssd.logical_bytes(), 0.01);
@@ -88,7 +88,7 @@ TEST(TelemetryE2e, ReplayProducesParseableTraceMetricsAndWindows) {
 
 TEST(TelemetryE2e, RegistryOnlyBundleCountsWithoutArtifacts) {
   telemetry::Telemetry tel;  // in-memory: registry, no files
-  sim::Ssd ssd(SsdConfig::scaled(1024), cache::SchemeKind::kMga);
+  sim::Ssd ssd(SsdConfig::scaled(1024), "MGA");
   ssd.attach_telemetry(&tel);
   trace::SyntheticWorkload workload(trace::profile_by_name("ts0"),
                                     ssd.logical_bytes(), 0.01);
@@ -122,7 +122,7 @@ TEST(TelemetryE2e, TraceLimitFromEnvCapsEventsAndAccountsDropsInBand) {
   std::uint64_t emitted = 0;
   std::uint64_t dropped = 0;
   {
-    sim::Ssd ssd(SsdConfig::scaled(1024), cache::SchemeKind::kIpu);
+    sim::Ssd ssd(SsdConfig::scaled(1024), "IPU");
     ssd.attach_telemetry(tel.get());
     trace::SyntheticWorkload workload(trace::profile_by_name("ts0"),
                                       ssd.logical_bytes(), 0.01);
@@ -152,7 +152,7 @@ TEST(TelemetryE2e, DetachedSsdReplaysIdenticallyToNeverAttached) {
   // The null-handle contract: after detach, behaviour (and results) must
   // be indistinguishable from a never-instrumented run.
   auto run = [](bool attach_then_detach) {
-    sim::Ssd ssd(SsdConfig::scaled(1024), cache::SchemeKind::kIpu);
+    sim::Ssd ssd(SsdConfig::scaled(1024), "IPU");
     if (attach_then_detach) {
       telemetry::Telemetry tel;
       ssd.attach_telemetry(&tel);

@@ -12,7 +12,11 @@
 // load-bearing: a regression there fails the run even under
 // --warn-only, and a required baseline cell missing from the current
 // report is itself a failure (a gate that silently stops measuring is
-// worse than one that fails).
+// worse than one that fails). A required cell present only in the
+// current report (e.g. a newly registered scheme the committed baseline
+// predates) is reported as new but does not fail — regenerating the
+// baseline picks it up. Each --require pattern must match at least one
+// current cell, so a gate cannot rot into requiring nothing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,6 +115,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "perf_compare: required cell missing from current: %s\n",
                    key.c_str());
+      required_failure = true;
+    }
+  }
+  // New cells (no baseline counterpart) are informational even when
+  // required — the matrix legitimately grows ahead of its baseline.
+  for (const std::string& key : cmp.only_in_current) {
+    if (matches_any(key, required)) {
+      std::printf("perf_compare: required cell is new (no baseline): %s\n",
+                  key.c_str());
+    }
+  }
+  // A --require pattern matching nothing in the current report means the
+  // gate stopped measuring what it was told to watch.
+  for (const std::string& n : required) {
+    bool seen = false;
+    for (const auto& d : cmp.cells) seen = seen || matches_any(d.key, {n});
+    for (const auto& k : cmp.only_in_current) seen = seen || matches_any(k, {n});
+    if (!seen) {
+      std::fprintf(stderr,
+                   "perf_compare: required pattern '%s' matched no cell in "
+                   "the current report\n",
+                   n.c_str());
       required_failure = true;
     }
   }
