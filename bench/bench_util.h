@@ -1,14 +1,18 @@
 // Shared helpers for the per-figure bench binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/config.h"
 #include "core/report.h"
 #include "core/runner.h"
+#include "perf/bench_report.h"
 
 namespace ppssd::bench {
 
@@ -43,6 +47,93 @@ inline void print_scale_banner(const char* what) {
       "%s\n(device: %u blocks, trace scale: %.2f; set REPRO_FULL=1 for "
       "paper scale)\n\n",
       what, spec.total_blocks, spec.trace_scale);
+}
+
+// ---- micro-bench scaffolding (gc_bench, write_bench) -----------------------
+
+/// Device sizes every micro-bench sweeps: candidate / cycle counts grow
+/// with the block budget, which is what separates O(n) reference paths
+/// from the indexed ones.
+inline constexpr std::uint32_t kMicroSizes[] = {2048, 8192, 32768};
+
+/// Minimum accumulated wall time before a timing loop may report.
+inline constexpr double kMinMeasureSeconds = 0.05;
+
+/// Accumulated call count + wall seconds for one timed loop.
+struct Timing {
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double calls_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(calls) / seconds : 0.0;
+  }
+  [[nodiscard]] double ns_per_call() const {
+    return calls > 0 ? seconds * 1e9 / static_cast<double>(calls) : 0.0;
+  }
+};
+
+/// Report path from `./bench [report.json]` — default is the shared
+/// artifact every micro-bench merges into.
+inline std::string report_path_from_args(int argc, char** argv) {
+  return argc > 1 ? argv[1] : "BENCH_perf.json";
+}
+
+/// Load the shared report and drop this bench's own cell family (keys
+/// starting with `prefix`) so it can be regenerated; every other family
+/// (perf_suite replay matrix, the other micro-benches) is preserved, so
+/// the benches can rebuild one artifact in any order.
+inline perf::BenchReport load_report_replacing(const std::string& path,
+                                               std::string_view prefix) {
+  perf::BenchReport report;
+  if (auto existing = perf::BenchReport::load(path)) {
+    report = *existing;
+    std::erase_if(report.cells, [prefix](const perf::BenchCell& c) {
+      return std::string_view(c.key).substr(0, prefix.size()) == prefix;
+    });
+  }
+  return report;
+}
+
+/// Append one micro-bench cell in the shared layout: requests = timed
+/// calls, wall/measure seconds = the timed loop only.
+inline void add_micro_cell(perf::BenchReport& report, std::string key,
+                           std::string scheme, std::string trace,
+                           const Timing& t) {
+  perf::BenchCell cell;
+  cell.key = std::move(key);
+  cell.scheme = std::move(scheme);
+  cell.trace = std::move(trace);
+  cell.requests = t.calls;
+  cell.wall_seconds = t.seconds;
+  cell.reqs_per_sec = t.calls_per_sec();
+  cell.phases.measure_seconds = t.seconds;
+  report.cells.push_back(cell);
+}
+
+/// Save the merged report; returns the bench's exit code and prints the
+/// standard merge line (or an error naming the bench).
+inline int save_report(const perf::BenchReport& report,
+                       const std::string& path, const char* bench_name,
+                       const char* family) {
+  if (!report.save(path)) {
+    std::fprintf(stderr, "%s: failed to write %s\n", bench_name,
+                 path.c_str());
+    return 1;
+  }
+  std::printf("merged %s cells into %s (%zu cells total)\n", family,
+              path.c_str(), report.cells.size());
+  return 0;
+}
+
+/// Scaled device config collapsed to a single plane: the whole block
+/// budget forms one region, so per-plane candidate / cycle counts scale
+/// with device size instead of plane count.
+inline SsdConfig single_plane_config(std::uint32_t blocks) {
+  SsdConfig cfg = SsdConfig::scaled(blocks);
+  cfg.geometry.channels = 1;
+  cfg.geometry.chips_per_channel = 1;
+  cfg.geometry.dies_per_chip = 1;
+  cfg.geometry.planes_per_die = 1;
+  return cfg;
 }
 
 }  // namespace ppssd::bench

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/config.h"
 #include "common/units.h"
 #include "core/report.h"
@@ -34,12 +35,11 @@
 #include "perf/bench_report.h"
 
 using namespace ppssd;
+using bench::kMinMeasureSeconds;
+using bench::Timing;
 using core::Table;
 
 namespace {
-
-constexpr std::uint32_t kSizes[] = {2048, 8192, 32768};
-constexpr double kMinMeasureSeconds = 0.05;
 
 /// Fill plane 0's SLC region into GC-candidate shape. Returns the sim
 /// time just after the last write.
@@ -81,17 +81,6 @@ SimTime populate_slc_plane(nand::FlashArray& arr, ftl::BlockManager& bm) {
   return ms_to_ns(static_cast<double>(page_seq) + 10'000.0);
 }
 
-struct Timing {
-  std::uint64_t calls = 0;
-  double seconds = 0.0;
-  [[nodiscard]] double calls_per_sec() const {
-    return seconds > 0.0 ? static_cast<double>(calls) / seconds : 0.0;
-  }
-  [[nodiscard]] double ns_per_call() const {
-    return calls > 0 ? seconds * 1e9 / static_cast<double>(calls) : 0.0;
-  }
-};
-
 /// Time repeated calls of `fn` until kMinMeasureSeconds elapsed.
 template <typename Fn>
 Timing time_select(Fn&& fn) {
@@ -116,27 +105,16 @@ Timing time_select(Fn&& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
-
-  perf::BenchReport report;
-  if (auto existing = perf::BenchReport::load(out_path)) {
-    report = *existing;
-    std::erase_if(report.cells, [](const perf::BenchCell& c) {
-      return c.key.rfind("gc/select/", 0) == 0;
-    });
-  }
+  const std::string out_path = bench::report_path_from_args(argc, argv);
+  perf::BenchReport report =
+      bench::load_report_replacing(out_path, "gc/select/");
 
   Table table({"cell", "candidates", "ns/select", "selects/s"});
-  for (const std::uint32_t blocks : kSizes) {
-    // Collapse the geometry to one plane so the whole block budget lands
-    // in a single SLC region: candidate count then grows with device
-    // size, which is what separates O(candidates) scans from the index.
-    SsdConfig cfg = SsdConfig::scaled(blocks);
-    cfg.geometry.channels = 1;
-    cfg.geometry.chips_per_channel = 1;
-    cfg.geometry.dies_per_chip = 1;
-    cfg.geometry.planes_per_die = 1;
-    nand::FlashArray arr(cfg);
+  for (const std::uint32_t blocks : bench::kMicroSizes) {
+    // One plane: the whole block budget lands in a single SLC region, so
+    // candidate count grows with device size, which is what separates
+    // O(candidates) scans from the index.
+    nand::FlashArray arr(bench::single_plane_config(blocks));
     ftl::BlockManager bm(arr);
     const SimTime now = populate_slc_plane(arr, bm);
     std::uint64_t candidates = 0;
@@ -164,28 +142,17 @@ int main(int argc, char** argv) {
     };
 
     for (const Variant& v : variants) {
-      perf::BenchCell cell;
-      cell.key = std::string("gc/select/") + v.name + "/" +
-                 std::to_string(blocks);
-      cell.scheme = "GC";
-      cell.trace = std::string(v.name) + "@" + std::to_string(blocks);
-      cell.requests = v.timing.calls;
-      cell.wall_seconds = v.timing.seconds;
-      cell.reqs_per_sec = v.timing.calls_per_sec();
-      cell.phases.measure_seconds = v.timing.seconds;
-      report.cells.push_back(cell);
-      table.add_row({cell.key, Table::count(candidates),
+      const std::string key =
+          std::string("gc/select/") + v.name + "/" + std::to_string(blocks);
+      bench::add_micro_cell(
+          report, key, "GC",
+          std::string(v.name) + "@" + std::to_string(blocks), v.timing);
+      table.add_row({key, Table::count(candidates),
                      Table::fmt(v.timing.ns_per_call(), 0),
                      Table::fmt(v.timing.calls_per_sec(), 0)});
     }
   }
 
   std::printf("%s\n", table.render("GC victim selection").c_str());
-  if (!report.save(out_path)) {
-    std::fprintf(stderr, "gc_bench: failed to write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::printf("merged gc/select cells into %s (%zu cells total)\n",
-              out_path.c_str(), report.cells.size());
-  return 0;
+  return bench::save_report(report, out_path, "gc_bench", "gc/select");
 }

@@ -9,17 +9,77 @@
 // repo-root baseline is generated at PPSSD_BLOCKS=2048 PPSSD_SCALE=0.02
 // (matching the CI perf-smoke job); compare runs only against baselines
 // produced with the same knobs.
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/units.h"
 #include "perf/bench_report.h"
+#include "sim/ssd.h"
+#include "telemetry/introspect/snapshotter.h"
 
 using namespace ppssd;
 using namespace ppssd::bench;
 
+namespace {
+
+/// Introspection-overhead cell pair: the full Ssd submit path with the
+/// snapshotter + flight recorder detached (pricing the null-handle hot
+/// path the perf gate enforces) vs attached at a 5 ms sim-time snapshot
+/// interval. Both variants run the same loop including the tick guard;
+/// the scratch stream files are deleted afterwards — only the timing
+/// survives.
+Timing run_snapshot_variant(bool attached) {
+  const std::string scratch_snap = "BENCH_snapshot_scratch.bin";
+  const std::string scratch_flight = "BENCH_flight_scratch.bin";
+  SsdConfig cfg = SsdConfig::scaled(2048);
+  sim::Ssd ssd(cfg, "IPU");
+  std::unique_ptr<telemetry::introspect::Snapshotter> snap;
+  if (attached) {
+    telemetry::introspect::IntrospectOptions opts;
+    opts.snapshot_every_ns = ms_to_ns(5.0);
+    opts.snapshot_path = scratch_snap;
+    opts.flight_capacity = 4096;
+    opts.flight_path = scratch_flight;
+    snap = std::make_unique<telemetry::introspect::Snapshotter>(opts);
+    ssd.attach_introspection(snap.get());
+  }
+
+  using clock = std::chrono::steady_clock;
+  Timing t;
+  std::uint64_t lsn = 0;
+  SimTime now = 0;
+  while (t.seconds < kMinMeasureSeconds) {
+    const auto start = clock::now();
+    for (int i = 0; i < 2048; ++i) {
+      // Same 3:1 write:read churn as the attribution pair, so the two
+      // observability overhead figures are directly comparable.
+      const OpType op = (i & 3) == 3 ? OpType::kRead : OpType::kWrite;
+      ssd.submit(op, (lsn * 17) * kSubpageBytes, kSubpageBytes, now);
+      now += us_to_ns(20.0);
+      ++lsn;
+      ++t.calls;
+      if (snap != nullptr) snap->tick(now);
+    }
+    t.seconds += std::chrono::duration<double>(clock::now() - start).count();
+  }
+
+  if (attached) {
+    snap->finish(now);
+    ssd.attach_introspection(nullptr);
+    snap.reset();
+    std::remove(scratch_snap.c_str());
+    std::remove(scratch_flight.c_str());
+  }
+  return t;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  const std::string out_path = report_path_from_args(argc, argv);
   print_scale_banner("Wall-clock performance suite");
 
   // Empty cache dir: a cache hit would report zero wall time for the cell.
@@ -68,6 +128,19 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("total wall %.1fs, geomean %.0f req/s\n",
               report.total_wall_seconds(), report.geomean_reqs_per_sec());
+
+  // Snapshotter-overhead pair: appended after the matrix summary so the
+  // printed geomean stays the replay matrix alone (requests here are bare
+  // submits, not replayed trace requests).
+  for (const bool attached : {false, true}) {
+    const Timing t = run_snapshot_variant(attached);
+    const std::string key =
+        std::string("snapshot/") + (attached ? "on" : "off");
+    add_micro_cell(report, key, "IPU",
+                   std::string("snapshot-") + (attached ? "on" : "off"), t);
+    std::printf("%-14s %8.1f ns/op  %10.0f ops/s\n", key.c_str(),
+                t.ns_per_call(), t.calls_per_sec());
+  }
 
   if (!report.save(out_path)) {
     std::fprintf(stderr, "perf_suite: failed to write %s\n", out_path.c_str());

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/config.h"
 #include "common/units.h"
 #include "core/report.h"
@@ -46,23 +47,11 @@
 #include "telemetry/telemetry.h"
 
 using namespace ppssd;
+using bench::kMinMeasureSeconds;
+using bench::Timing;
 using core::Table;
 
 namespace {
-
-constexpr std::uint32_t kSizes[] = {2048, 8192, 32768};
-constexpr double kMinMeasureSeconds = 0.05;
-
-struct Timing {
-  std::uint64_t calls = 0;
-  double seconds = 0.0;
-  [[nodiscard]] double calls_per_sec() const {
-    return seconds > 0.0 ? static_cast<double>(calls) / seconds : 0.0;
-  }
-  [[nodiscard]] double ns_per_call() const {
-    return calls > 0 ? seconds * 1e9 / static_cast<double>(calls) : 0.0;
-  }
-};
 
 /// One fill/drain cycle over plane 0's region. Accumulates program timing
 /// over the fill loop and invalidate timing over the drain loop.
@@ -149,14 +138,7 @@ void run_cycle(nand::FlashArray& arr, ftl::BlockManager& bm, CellMode mode,
 /// measured time.
 template <bool kFused>
 std::pair<Timing, Timing> run_variant(std::uint32_t blocks, CellMode mode) {
-  SsdConfig cfg = SsdConfig::scaled(blocks);
-  // Single plane: the whole block budget forms one region, so the cycle
-  // length scales with device size.
-  cfg.geometry.channels = 1;
-  cfg.geometry.chips_per_channel = 1;
-  cfg.geometry.dies_per_chip = 1;
-  cfg.geometry.planes_per_die = 1;
-  nand::FlashArray arr(cfg);
+  nand::FlashArray arr(bench::single_plane_config(blocks));
   ftl::BlockManager bm(arr);
 
   Timing program;
@@ -211,18 +193,11 @@ Timing run_attrib_variant(bool attached) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
-
-  perf::BenchReport report;
-  if (auto existing = perf::BenchReport::load(out_path)) {
-    report = *existing;
-    std::erase_if(report.cells, [](const perf::BenchCell& c) {
-      return c.key.rfind("write/", 0) == 0;
-    });
-  }
+  const std::string out_path = bench::report_path_from_args(argc, argv);
+  perf::BenchReport report = bench::load_report_replacing(out_path, "write/");
 
   Table table({"cell", "ns/op", "ops/s"});
-  for (const std::uint32_t blocks : kSizes) {
+  for (const std::uint32_t blocks : bench::kMicroSizes) {
     for (const CellMode mode : {CellMode::kSlc, CellMode::kMlc}) {
       const auto [fused_prog, fused_inv] = run_variant<true>(blocks, mode);
       const auto [ref_prog, ref_inv] = run_variant<false>(blocks, mode);
@@ -237,18 +212,14 @@ int main(int argc, char** argv) {
           {"invalidate", "reference", ref_inv},
       };
       for (const Cell& c : cells) {
-        perf::BenchCell cell;
-        cell.key = std::string("write/") + c.family + "/" + c.variant + "/" +
-                   mode_name(mode) + "/" + std::to_string(blocks);
-        cell.scheme = "WritePath";
-        cell.trace = std::string(c.family) + "-" + c.variant + "@" +
-                     mode_name(mode) + std::to_string(blocks);
-        cell.requests = c.timing.calls;
-        cell.wall_seconds = c.timing.seconds;
-        cell.reqs_per_sec = c.timing.calls_per_sec();
-        cell.phases.measure_seconds = c.timing.seconds;
-        report.cells.push_back(cell);
-        table.add_row({cell.key, Table::fmt(c.timing.ns_per_call(), 1),
+        const std::string key = std::string("write/") + c.family + "/" +
+                                c.variant + "/" + mode_name(mode) + "/" +
+                                std::to_string(blocks);
+        bench::add_micro_cell(report, key, "WritePath",
+                              std::string(c.family) + "-" + c.variant + "@" +
+                                  mode_name(mode) + std::to_string(blocks),
+                              c.timing);
+        table.add_row({key, Table::fmt(c.timing.ns_per_call(), 1),
                        Table::fmt(c.timing.calls_per_sec(), 0)});
       }
     }
@@ -256,26 +227,15 @@ int main(int argc, char** argv) {
 
   for (const bool attached : {false, true}) {
     const Timing t = run_attrib_variant(attached);
-    perf::BenchCell cell;
-    cell.key = std::string("write/attrib/") + (attached ? "on" : "off");
-    cell.scheme = "IPU";
-    cell.trace = std::string("attrib-") + (attached ? "on" : "off");
-    cell.requests = t.calls;
-    cell.wall_seconds = t.seconds;
-    cell.reqs_per_sec = t.calls_per_sec();
-    cell.phases.measure_seconds = t.seconds;
-    report.cells.push_back(cell);
-    table.add_row({cell.key, Table::fmt(t.ns_per_call(), 1),
+    const std::string key =
+        std::string("write/attrib/") + (attached ? "on" : "off");
+    bench::add_micro_cell(report, key, "IPU",
+                          std::string("attrib-") + (attached ? "on" : "off"),
+                          t);
+    table.add_row({key, Table::fmt(t.ns_per_call(), 1),
                    Table::fmt(t.calls_per_sec(), 0)});
   }
 
   std::printf("%s\n", table.render("Write-path program/invalidate").c_str());
-  if (!report.save(out_path)) {
-    std::fprintf(stderr, "write_bench: failed to write %s\n",
-                 out_path.c_str());
-    return 1;
-  }
-  std::printf("merged write/ cells into %s (%zu cells total)\n",
-              out_path.c_str(), report.cells.size());
-  return 0;
+  return bench::save_report(report, out_path, "write_bench", "write/");
 }

@@ -16,6 +16,12 @@ class BaselineScheme final : public Scheme {
 
   [[nodiscard]] const char* name() const override { return "Baseline"; }
 
+  /// Baseline keeps no side tables beyond the base mapping; the explicit
+  /// override documents that the base entries are its full state.
+  void inspect(telemetry::introspect::StateSink& sink) const override {
+    Scheme::inspect(sink);
+  }
+
  protected:
   void place_write(Lsn lsn, std::uint32_t count, SimTime now,
                    std::vector<PhysOp>& ops) override;

@@ -55,6 +55,14 @@ class IpsScheme final : public Scheme {
     return fallback_subpages_;
   }
 
+  /// Base entries plus the cumulative promotion accounting above.
+  void inspect(telemetry::introspect::StateSink& sink) const override {
+    Scheme::inspect(sink);
+    sink.value("reprogrammed_pages", reprogrammed_pages_);
+    sink.value("reprogrammed_subpages", reprogrammed_subpages_);
+    sink.value("fallback_subpages", fallback_subpages_);
+  }
+
  protected:
   void place_write(Lsn lsn, std::uint32_t count, SimTime now,
                    std::vector<PhysOp>& ops) override;

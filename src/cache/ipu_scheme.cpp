@@ -59,6 +59,17 @@ IpuScheme::Options IpuScheme::Options::from_scheme_options(
 IpuScheme::IpuScheme(const SsdConfig& cfg)
     : Scheme(cfg), offsets_(array_.geometry()) {}
 
+void IpuScheme::inspect(telemetry::introspect::StateSink& sink) const {
+  Scheme::inspect(sink);
+  sink.value("offset_tagged_pages", offsets_.live_pages());
+  sink.value("offset_table_capacity", offsets_.capacity());
+  std::uint64_t cold = 0;
+  for (const ColdOpenPage& p : cold_pages_) {
+    if (p.valid()) ++cold;
+  }
+  sink.value("open_cold_pages", cold);
+}
+
 void IpuScheme::set_options(const Options& opts) {
   opts_ = opts;
   if (opts_.combine_cold) {

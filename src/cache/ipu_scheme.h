@@ -32,6 +32,10 @@ class IpuScheme final : public Scheme {
     return offsets_;
   }
 
+  /// Base entries plus the offset table's occupancy and the count of
+  /// open combine_cold shared pages.
+  void inspect(telemetry::introspect::StateSink& sink) const override;
+
   /// Ablation knobs (bench/ablations): disable pieces of the design —
   /// plus the paper's future-work extension (`combine_cold`).
   struct Options {

@@ -31,6 +31,17 @@ MgaScheme::MgaScheme(const SsdConfig& cfg)
       second_level_(array_.geometry()),
       open_pages_(array_.geometry().planes()) {}
 
+void MgaScheme::inspect(telemetry::introspect::StateSink& sink) const {
+  Scheme::inspect(sink);
+  sink.value("second_level_entries", second_level_.live_entries());
+  sink.value("second_level_capacity", second_level_.capacity());
+  std::uint64_t open = 0;
+  for (const OpenPage& p : open_pages_) {
+    if (p.valid()) ++open;
+  }
+  sink.value("open_aggregation_pages", open);
+}
+
 std::uint32_t MgaScheme::append_to_plane(std::uint32_t plane, Lsn lsn,
                                          std::uint32_t max, SimTime now,
                                          std::vector<PhysOp>& ops) {

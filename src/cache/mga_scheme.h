@@ -25,6 +25,10 @@ class MgaScheme final : public Scheme {
     return second_level_;
   }
 
+  /// Base entries plus the two-level table's occupancy and the count of
+  /// currently open per-plane aggregation pages.
+  void inspect(telemetry::introspect::StateSink& sink) const override;
+
  protected:
   void place_write(Lsn lsn, std::uint32_t count, SimTime now,
                    std::vector<PhysOp>& ops) override;

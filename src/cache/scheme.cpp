@@ -395,6 +395,12 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
   if (gc_decision_hook_) {
     gc_decision_hook_(plane, CellMode::kSlc, victim, now);
   }
+  if (flight_ != nullptr) {
+    flight_->record(telemetry::introspect::FlightEvent{
+        now, victim, plane, bm_.free_blocks(plane, CellMode::kSlc),
+        telemetry::introspect::FlightEventKind::kGcDecision,
+        static_cast<std::uint8_t>(CellMode::kSlc)});
+  }
 
   nand::Block& blk = array_.block(victim);
   ++metrics_.slc_gc_count;
@@ -467,6 +473,12 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
   if (blk.invalid_subpages() < min_invalid) return false;
   if (gc_decision_hook_) {
     gc_decision_hook_(plane, CellMode::kMlc, victim, now);
+  }
+  if (flight_ != nullptr) {
+    flight_->record(telemetry::introspect::FlightEvent{
+        now, victim, plane, bm_.free_blocks(plane, CellMode::kMlc),
+        telemetry::introspect::FlightEventKind::kGcDecision,
+        static_cast<std::uint8_t>(CellMode::kMlc)});
   }
   ++metrics_.mlc_gc_count;
   if (tl_gc_mlc_) tl_gc_mlc_->inc();
@@ -635,6 +647,21 @@ void Scheme::host_read(Lsn lsn, std::uint32_t count, SimTime now,
     }
     i = j;
   }
+}
+
+// ---- introspection ------------------------------------------------------------
+
+void Scheme::inspect(telemetry::introspect::StateSink& sink) const {
+  sink.value("mapped_lsns", map_.mapped_count());
+  sink.value("logical_subpages", map_.logical_subpages());
+  const nand::Geometry& geom = array_.geometry();
+  std::uint64_t slc_valid = 0;
+  for (std::uint32_t i = 0; i < geom.slc_block_count(); ++i) {
+    slc_valid += array_.block(geom.slc_block_at(i)).valid_subpages();
+  }
+  sink.value("slc_cached_subpages", slc_valid);
+  sink.value("staged_evictions",
+             static_cast<std::uint64_t>(staged_evictions_.size()));
 }
 
 // ---- footprint & invariants ---------------------------------------------------

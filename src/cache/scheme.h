@@ -46,6 +46,7 @@
 #include "ftl/mapping.h"
 #include "ftl/mapping_footprint.h"
 #include "nand/flash_array.h"
+#include "telemetry/introspect/format.h"
 #include "telemetry/telemetry.h"
 
 namespace ppssd::cache {
@@ -184,6 +185,22 @@ class Scheme {
   /// kPrefill so the attribution ledger separates it from measured host
   /// work; restore kHost before the measured replay.
   void set_origin_phase(OpOrigin origin) { fg_origin_ = origin; }
+
+  /// Append this scheme's named occupancy/side-table figures to `sink`
+  /// for the introspection snapshotter. The base implementation emits
+  /// the scheme-independent accounting every frame carries —
+  /// "mapped_lsns", "logical_subpages", "slc_cached_subpages",
+  /// "staged_evictions" — and overrides must call it before adding
+  /// their own entries (names are stable: tools key on them). Must be a
+  /// pure observation — no state changes, device walk allowed.
+  virtual void inspect(telemetry::introspect::StateSink& sink) const;
+
+  /// Attach (or detach, with null) the crash flight recorder: committed
+  /// GC victim decisions are recorded as kGcDecision events. Pure
+  /// observer; one branch per GC pass when detached.
+  void set_flight_recorder(telemetry::introspect::FlightRecorder* flight) {
+    flight_ = flight;
+  }
 
   /// Register the scheme's counters/histograms (cache hit/miss, partial
   /// programs, evictions, GC episodes, read BER…) labelled
@@ -358,6 +375,7 @@ class Scheme {
   std::vector<StagedEviction> staged_evictions_;
 
   GcDecisionHook gc_decision_hook_;
+  telemetry::introspect::FlightRecorder* flight_ = nullptr;
 
   std::uint32_t spp_;
   std::uint32_t rr_plane_ = 0;

@@ -1,0 +1,35 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppssd::detail {
+
+namespace {
+CheckFailureHook g_hook = nullptr;
+void* g_hook_ctx = nullptr;
+}  // namespace
+
+void set_check_failure_hook(CheckFailureHook hook, void* ctx) {
+  g_hook = hook;
+  g_hook_ctx = ctx;
+}
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* msg) {
+  std::fprintf(stderr, "ppssd check failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  // Clear the hook before invoking it: if the hook itself trips a
+  // PPSSD_CHECK we land back here with g_hook == nullptr and abort
+  // directly instead of recursing. Also gives exactly-once semantics.
+  if (g_hook != nullptr) {
+    CheckFailureHook hook = g_hook;
+    void* ctx = g_hook_ctx;
+    g_hook = nullptr;
+    g_hook_ctx = nullptr;
+    hook(ctx);
+  }
+  std::abort();
+}
+
+}  // namespace ppssd::detail

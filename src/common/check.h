@@ -16,17 +16,22 @@
 // has end-to-end coverage — it just stops paying per-operation.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace ppssd::detail {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const char* msg) {
-  std::fprintf(stderr, "ppssd check failed: %s\n  at %s:%d\n  %s\n", expr,
-               file, line, msg ? msg : "");
-  std::abort();
-}
+/// Cold path behind every failing PPSSD_CHECK: prints the failure,
+/// invokes the registered failure hook at most once, then aborts.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* msg);
+
+/// Last-gasp forensic hook, invoked (at most once per process) from
+/// check_failed() after the failure is printed and before abort(). The
+/// introspection layer registers one that dumps the flight-recorder ring
+/// and flushes the snapshot stream, so an invariant violation ships with
+/// its recent-event context. The hook is cleared before it runs: a
+/// PPSSD_CHECK failing *inside* the hook falls straight through to
+/// abort() instead of recursing.
+using CheckFailureHook = void (*)(void* ctx);
+void set_check_failure_hook(CheckFailureHook hook, void* ctx);
 
 }  // namespace ppssd::detail
 

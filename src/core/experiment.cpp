@@ -8,6 +8,7 @@
 #include "perf/profiler.h"
 #include "sim/replayer.h"
 #include "sim/ssd.h"
+#include "telemetry/introspect/snapshotter.h"
 #include "telemetry/telemetry.h"
 #include "trace/profiles.h"
 #include "trace/synthetic.h"
@@ -123,6 +124,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       telemetry::Telemetry::from_env();
   if (tel) ssd.attach_telemetry(tel.get());
 
+  // Introspection (PPSSD_SNAPSHOT / PPSSD_FLIGHT): same post-warm-up
+  // attach discipline, so the snapshot stream and flight ring cover only
+  // the measured phase. Declared after `ssd` so finish()/destruction run
+  // while the scheme it observes is alive.
+  const std::unique_ptr<telemetry::introspect::Snapshotter> snap =
+      telemetry::introspect::Snapshotter::from_env();
+  if (snap) {
+    ssd.attach_introspection(snap.get());
+    replayer.set_snapshotter(snap.get());
+  }
+
   if (progress != nullptr) {
     progress->begin(workload.expected_records());
     replayer.set_progress(progress);
@@ -133,6 +145,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     replay = replayer.replay(workload);
   }
   if (tel) tel->finish(replay.makespan);
+  if (snap) {
+    snap->finish(replay.makespan);
+    ssd.attach_introspection(nullptr);
+  }
   r.wall_measure_seconds = seconds_since(phase_start);
   phase_start = Clock::now();
 

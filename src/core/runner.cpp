@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "perf/profiler.h"
 #include "perf/progress.h"
+#include "telemetry/introspect/format.h"
 #include "telemetry/telemetry.h"
 #include "trace/profiles.h"
 
@@ -42,9 +43,12 @@ std::string Runner::cache_path(const ExperimentSpec& spec) const {
 
 ExperimentResult Runner::run(const ExperimentSpec& spec) {
   // A cached cell would skip the simulation entirely — and with it every
-  // requested telemetry artifact (trace, metrics CSV, time series). When
-  // the telemetry environment is set, always re-simulate.
-  const bool want_telemetry = telemetry::TelemetryOptions::from_env().any();
+  // requested telemetry artifact (trace, metrics CSV, time series) or
+  // introspection stream (snapshots, flight dump). When either
+  // environment is set, always re-simulate.
+  const bool want_telemetry =
+      telemetry::TelemetryOptions::from_env().any() ||
+      telemetry::introspect::IntrospectOptions::from_env().any();
   if (!cache_dir_.empty() && !want_telemetry) {
     std::ifstream in(cache_path(spec));
     if (in) {
@@ -93,8 +97,14 @@ std::vector<ExperimentResult> Runner::run_all(
   }
   // The telemetry artifact writers (trace JSON, metrics CSV, time series)
   // share env-configured output paths; concurrent cells would clobber
-  // each other's files. Telemetry runs force sequential execution.
-  if (telemetry::TelemetryOptions::from_env().any()) jobs = 1;
+  // each other's files. The same goes for the snapshot stream (append
+  // mode gives one stream per *sequential* cell) and the check-failure
+  // hook (process-global). Telemetry/introspection runs force sequential
+  // execution.
+  if (telemetry::TelemetryOptions::from_env().any() ||
+      telemetry::introspect::IntrospectOptions::from_env().any()) {
+    jobs = 1;
+  }
 
   perf::ProgressReporter::global().set_expected_cells(specs.size());
   std::vector<ExperimentResult> results(specs.size());

@@ -109,6 +109,8 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
   // wait intervals against the *previous* occupancy.
   const SimTime lane_was = lane.busy_until;
   const SimTime erase_was = lane.erase_until;
+  // Array-occupancy start of the op (per-branch), for the flight recorder.
+  SimTime svc_start = ready;
 
   switch (op.kind) {
     case Kind::kRead: {
@@ -117,6 +119,7 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       // read suspends it.
       SimTime sense_start = std::max(ready, lane.busy_until);
       if (op.background) sense_start = std::max(sense_start, lane.erase_until);
+      svc_start = sense_start;
       const SimTime sense_end = sense_start + timing_.read_latency(op.mode);
       (op.background ? usage_.read_bg : usage_.read_fg) +=
           timing_.read_latency(op.mode);
@@ -172,6 +175,7 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       channel = xfer_end;
       SimTime prog_start = std::max(xfer_end, lane.busy_until);
       if (op.background) prog_start = std::max(prog_start, lane.erase_until);
+      svc_start = prog_start;
       end = prog_start + timing_.program_latency(op.mode);
       (op.background ? usage_.program_bg : usage_.program_fg) +=
           timing_.program_latency(op.mode);
@@ -215,6 +219,7 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       // in-progress erase, foreground ones suspend it.
       SimTime start = std::max(ready, lane.busy_until);
       if (op.background) start = std::max(start, lane.erase_until);
+      svc_start = start;
       end = start + timing_.reprogram_latency();
       (op.background ? usage_.program_bg : usage_.program_fg) +=
           timing_.reprogram_latency();
@@ -254,6 +259,7 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       // background progress on the lane.
       const SimTime start =
           std::max({ready, lane.erase_until, lane.busy_until});
+      svc_start = start;
       end = start + timing_.erase_latency();
       usage_.erase_bg += timing_.erase_latency();
       chip_occupancy_[op.chip] += timing_.erase_latency();
@@ -276,6 +282,28 @@ SimTime Controller::schedule(const cache::PhysOp& op, SimTime ready) {
       }
       break;
     }
+  }
+
+  if (flight_ != nullptr) [[unlikely]] {
+    using telemetry::introspect::FlightEvent;
+    using telemetry::introspect::FlightEventKind;
+    const auto detail = static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(op.kind) << 2) |
+        (static_cast<std::uint8_t>(op.mode) << 1) | (op.background ? 1 : 0));
+    flight_->record(FlightEvent{ready, scheduled_ops_, op.chip, op.channel,
+                                FlightEventKind::kOpBegin, detail});
+    // A foreground array op starting under a pending erase horizon is
+    // exactly the condition the attribution layer books as suspend
+    // savings; record it with the saved nanoseconds.
+    if (!op.background && op.kind != Kind::kErase && erase_was > svc_start) {
+      flight_->record(FlightEvent{
+          svc_start, scheduled_ops_, op.chip,
+          static_cast<std::uint32_t>(
+              std::min<SimTime>(erase_was - svc_start, UINT32_MAX)),
+          FlightEventKind::kEraseSuspend, detail});
+    }
+    flight_->record(FlightEvent{end, scheduled_ops_, op.chip, op.channel,
+                                FlightEventKind::kOpFinish, detail});
   }
 
   ++scheduled_ops_;

@@ -105,6 +105,16 @@ class Controller {
   /// trace log for per-op chip-lane spans. Null detaches.
   void attach_telemetry(telemetry::Telemetry* telemetry);
 
+  /// Attach (or detach, with null) the crash flight recorder: every
+  /// scheduled command records begin/finish events (ids match the
+  /// attribution ledger's op sequence numbers), and a foreground command
+  /// preempting an in-progress erase records a kEraseSuspend. Pure
+  /// observer; one branch per scheduled op when detached. Survives
+  /// reset() — the recorder's lifetime is managed by the snapshotter.
+  void set_flight_recorder(telemetry::introspect::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
  private:
   /// Per-chip command lane: the array horizon (one read/program at a
   /// time) and the suspendable-erase horizon.
@@ -130,6 +140,8 @@ class Controller {
   // pointer test per scheduled op). attach_telemetry() binds the
   // resource topology and seeds current horizons as prefill claims.
   telemetry::attribution::AttributionLedger* attrib_ = nullptr;
+  // Flight recorder (null when detached; see set_flight_recorder).
+  telemetry::introspect::FlightRecorder* flight_ = nullptr;
   telemetry::Counter* tl_ops_[2][2] = {{nullptr, nullptr},
                                        {nullptr, nullptr}};
   telemetry::Counter* tl_erases_ = nullptr;

@@ -72,6 +72,7 @@ ReplayResult Replayer::replay(trace::TraceSource& src,
       progress_->advance(result.requests);
     }
 
+    if (snapshot_ != nullptr) snapshot_->tick(rec.arrival);
     if (tel != nullptr) {
       inflight->set(static_cast<double>(depth));
       const double ms = ns_to_ms(done.latency());

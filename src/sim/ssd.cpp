@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "telemetry/introspect/snapshotter.h"
 
 namespace ppssd::sim {
 
@@ -30,6 +31,17 @@ void Ssd::attach_telemetry(telemetry::Telemetry* telemetry) {
   }
   scheme_->attach_telemetry(telemetry);
   service_.attach_telemetry(telemetry);
+}
+
+void Ssd::attach_introspection(telemetry::introspect::Snapshotter* snap) {
+  if (snap == nullptr) {
+    controller().set_flight_recorder(nullptr);
+    scheme_->set_flight_recorder(nullptr);
+    return;
+  }
+  snap->bind(*scheme_);
+  controller().set_flight_recorder(snap->flight());
+  scheme_->set_flight_recorder(snap->flight());
 }
 
 void Ssd::reset_timing() {

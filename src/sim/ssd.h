@@ -22,6 +22,10 @@
 #include "sim/event_queue.h"
 #include "sim/service_model.h"
 
+namespace ppssd::telemetry::introspect {
+class Snapshotter;
+}
+
 namespace ppssd::sim {
 
 class Ssd {
@@ -101,6 +105,13 @@ class Ssd {
   /// Fan the bundle out to the scheme (placement/GC instruments) and the
   /// controller (flash-op spans). Null detaches.
   void attach_telemetry(telemetry::Telemetry* telemetry);
+
+  /// Bind the introspection snapshotter to this device (stream header
+  /// from the scheme's geometry, crash hook installed) and fan its
+  /// flight recorder out to the controller and the scheme's GC driver.
+  /// Null detaches the recorder hooks; the snapshotter must outlive the
+  /// device or be detached first.
+  void attach_introspection(telemetry::introspect::Snapshotter* snap);
   /// The attached bundle, or null. The replayer uses this for host-level
   /// spans and sampler ticks.
   [[nodiscard]] telemetry::Telemetry* telemetry() const { return telemetry_; }

@@ -1,0 +1,90 @@
+// The check-failure hook contract (common/check.h): invoked at most
+// once per process, cleared before it runs, and a failure inside the
+// hook falls straight through to abort() instead of recursing. The
+// introspection crash path (flight-ring dump) depends on exactly these
+// semantics.
+#include "common/check.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+
+namespace ppssd {
+namespace {
+
+using ::testing::HasSubstr;
+using ::testing::KilledBySignal;
+using ::testing::Not;
+
+// Hook bodies run in the death-test child process; the markers they
+// print are matched against the child's stderr.
+void print_marker_hook(void* ctx) {
+  std::fprintf(stderr, "hook-marker:%s\n", static_cast<const char*>(ctx));
+}
+
+int g_hook_calls = 0;
+
+// Counts invocations and fails a *second* check from inside the hook.
+// If check_failed re-entered the hook, the counter would reach 2 and the
+// second marker would print before the abort.
+void reentrant_hook(void*) {
+  ++g_hook_calls;
+  std::fprintf(stderr, "hook-call-%d\n", g_hook_calls);
+  PPSSD_CHECK_MSG(false, "failure raised inside the hook");
+}
+
+TEST(CheckFailureHook, HookRunsOnCheckFailure) {
+  EXPECT_EXIT(
+      {
+        detail::set_check_failure_hook(
+            &print_marker_hook, const_cast<char*>("basic"));
+        PPSSD_CHECK_MSG(false, "triggering hook");
+      },
+      KilledBySignal(SIGABRT),
+      ::testing::AllOf(HasSubstr("triggering hook"),
+                       HasSubstr("hook-marker:basic")));
+}
+
+TEST(CheckFailureHook, FiresExactlyOnceEvenWhenHookItselfFails) {
+  EXPECT_EXIT(
+      {
+        detail::set_check_failure_hook(&reentrant_hook, nullptr);
+        PPSSD_CHECK_MSG(false, "outer failure");
+      },
+      KilledBySignal(SIGABRT),
+      ::testing::AllOf(HasSubstr("outer failure"), HasSubstr("hook-call-1"),
+                       HasSubstr("failure raised inside the hook"),
+                       Not(HasSubstr("hook-call-2"))));
+}
+
+TEST(CheckFailureHook, ClearedHookDoesNotRun) {
+  EXPECT_EXIT(
+      {
+        detail::set_check_failure_hook(
+            &print_marker_hook, const_cast<char*>("cleared"));
+        detail::set_check_failure_hook(nullptr, nullptr);
+        PPSSD_CHECK_MSG(false, "no hook expected");
+      },
+      KilledBySignal(SIGABRT),
+      ::testing::AllOf(HasSubstr("no hook expected"),
+                       Not(HasSubstr("hook-marker:cleared"))));
+}
+
+TEST(CheckFailureHook, LatestRegistrationWins) {
+  EXPECT_EXIT(
+      {
+        detail::set_check_failure_hook(
+            &print_marker_hook, const_cast<char*>("first"));
+        detail::set_check_failure_hook(
+            &print_marker_hook, const_cast<char*>("second"));
+        PPSSD_CHECK(false);
+      },
+      KilledBySignal(SIGABRT),
+      ::testing::AllOf(HasSubstr("hook-marker:second"),
+                       Not(HasSubstr("hook-marker:first"))));
+}
+
+}  // namespace
+}  // namespace ppssd

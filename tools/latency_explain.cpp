@@ -19,8 +19,9 @@
 // parser and summarized (event count, truncation marker), so a ledger
 // and its companion trace can be sanity-checked together.
 //
-// Exit status: 0 when the ledger loads and every record conserves,
-// 2 on malformed input or any conservation failure.
+// Exit status (also printed by --help): 0 when the ledger loads and
+// every record conserves, 1 on a usage error, 2 on any conservation
+// failure, 3 when an input file is unreadable or malformed.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -40,11 +41,20 @@ using ppssd::telemetry::attribution::kComponentCount;
 using ppssd::telemetry::attribution::LedgerFile;
 using ppssd::telemetry::attribution::RequestBlame;
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <ledger.bin> [--top <k>] [--trace <trace.json>]\n",
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s <ledger.bin> [--top <k>] [--trace <trace.json>]\n"
+               "exit codes:\n"
+               "  0  ledger loaded and every record conserves\n"
+               "  1  usage error\n"
+               "  2  conservation failure (components != latency)\n"
+               "  3  unreadable or malformed input file\n",
                argv0);
-  return 2;
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
+  return 1;
 }
 
 double percentile(std::vector<SimTime>& sorted, double q) {
@@ -68,7 +78,7 @@ int summarize_trace(const std::string& path) {
   if (!in) {
     std::fprintf(stderr, "latency_explain: cannot read trace %s\n",
                  path.c_str());
-    return 2;
+    return 3;
   }
   std::stringstream buf;
   buf << in.rdbuf();
@@ -76,13 +86,13 @@ int summarize_trace(const std::string& path) {
   if (!doc || !doc->is_object()) {
     std::fprintf(stderr, "latency_explain: trace %s is not valid JSON\n",
                  path.c_str());
-    return 2;
+    return 3;
   }
   const auto* events = doc->find("traceEvents");
   if (events == nullptr || !events->is_array()) {
     std::fprintf(stderr, "latency_explain: trace %s has no traceEvents\n",
                  path.c_str());
-    return 2;
+    return 3;
   }
   bool closed = false;
   for (const auto& e : events->array) {
@@ -105,7 +115,10 @@ int main(int argc, char** argv) {
   std::size_t top_k = 5;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--top") == 0) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       top_k = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -125,7 +138,7 @@ int main(int argc, char** argv) {
                                                   &error)) {
     std::fprintf(stderr, "latency_explain: %s: %s\n", ledger_path.c_str(),
                  error.c_str());
-    return 2;
+    return 3;
   }
   std::printf("ledger: %s — version %u, %zu requests, %zu components\n",
               ledger_path.c_str(), ledger.version, ledger.records.size(),
