@@ -105,7 +105,10 @@ inline void add_micro_cell(perf::BenchReport& report, std::string key,
   cell.requests = t.calls;
   cell.wall_seconds = t.seconds;
   cell.reqs_per_sec = t.calls_per_sec();
-  cell.phases.measure_seconds = t.seconds;
+  // Phases stay zero: a micro cell's wall time is however long the
+  // timing loop chose to run (elastic, not a cost), so the per-phase
+  // regression gate must never fire on it — per-op throughput above is
+  // the micro cell's only signal.
   report.cells.push_back(cell);
 }
 

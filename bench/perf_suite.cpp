@@ -11,6 +11,8 @@
 // produced with the same knobs.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -74,6 +76,34 @@ Timing run_snapshot_variant(bool attached) {
     std::remove(scratch_flight.c_str());
   }
   return t;
+}
+
+/// Warm-start checkpoint pair (DESIGN.md §14): the same cell run twice
+/// against a scratch checkpoint directory — first cold (warms the device
+/// and stores the checkpoint), then warm (restores it). The two cells
+/// make the cache's value visible in the perf trajectory, and the
+/// per-phase gate on warmstart/warm's warmup time is what catches the
+/// cache silently breaking.
+///
+/// The cell pins its own trace and scale (blocks still follow the
+/// device config under test): at the smoke scale of the rest of the
+/// matrix the warm-up replay is a couple of milliseconds, so the pair
+/// would measure checkpoint serialization overhead instead of the
+/// warm-up work the cache saves. ads has the largest prefill footprint
+/// per measured request, so at scale 0.5 the warm-up replay dominates
+/// the cold path (~10x the restore cost) while the measure phase stays
+/// a few hundred milliseconds.
+core::ExperimentResult run_warmstart_variant(const std::string& dir) {
+  setenv("PPSSD_WARMSTART", "1", 1);
+  setenv("PPSSD_WARMSTART_DIR", dir.c_str(), 1);
+  core::ExperimentSpec spec = Runner::default_spec();
+  spec.scheme = "IPU";
+  spec.trace = "ads";
+  spec.trace_scale = 0.5;
+  const core::ExperimentResult r = core::run_experiment(spec);
+  unsetenv("PPSSD_WARMSTART");
+  unsetenv("PPSSD_WARMSTART_DIR");
+  return r;
 }
 
 }  // namespace
@@ -140,6 +170,34 @@ int main(int argc, char** argv) {
                    std::string("snapshot-") + (attached ? "on" : "off"), t);
     std::printf("%-14s %8.1f ns/op  %10.0f ops/s\n", key.c_str(),
                 t.ns_per_call(), t.calls_per_sec());
+  }
+
+  // Warm-start pair: cold stores the checkpoint, warm restores it. Keys
+  // are stable ("warmstart/cold", "warmstart/warm") so CI can --require
+  // them; the warm cell's warmup phase is the cache's health signal.
+  {
+    const std::string scratch_dir = "BENCH_warmstart_scratch";
+    std::filesystem::remove_all(scratch_dir);
+    for (const bool warm : {false, true}) {
+      const core::ExperimentResult r = run_warmstart_variant(scratch_dir);
+      perf::BenchCell cell;
+      cell.key = std::string("warmstart/") + (warm ? "warm" : "cold");
+      cell.scheme = r.spec.scheme;
+      cell.trace = r.spec.trace;
+      cell.requests = r.reads + r.writes;
+      cell.ctrl_events = r.ctrl_events;
+      cell.wall_seconds = r.wall_seconds;
+      cell.reqs_per_sec = r.wall_reqs_per_sec;
+      cell.ctrl_events_per_sec = r.wall_ctrl_events_per_sec;
+      cell.phases.setup_seconds = r.wall_setup_seconds;
+      cell.phases.warmup_seconds = r.wall_warmup_seconds;
+      cell.phases.measure_seconds = r.wall_measure_seconds;
+      cell.phases.report_seconds = r.wall_report_seconds;
+      report.cells.push_back(cell);
+      std::printf("%-14s %8.2f s warmup  %8.2f s total\n", cell.key.c_str(),
+                  cell.phases.warmup_seconds, cell.wall_seconds);
+    }
+    std::filesystem::remove_all(scratch_dir);
   }
 
   if (!report.save(out_path)) {

@@ -108,9 +108,9 @@ void run_cycle(nand::FlashArray& arr, ftl::BlockManager& bm, CellMode mode,
     const nand::Block& blk = arr.block(b);
     const std::uint32_t pages = blk.write_frontier();
     for (std::uint32_t p = 0; p < pages; ++p) {
-      const nand::Page& pg = blk.page(static_cast<PageId>(p));
       for (std::uint32_t s = 0; s < spp; ++s) {
-        if (pg.subpage(static_cast<SubpageId>(s)).state !=
+        if (arr.subpage_state(b, static_cast<PageId>(p),
+                              static_cast<SubpageId>(s)) !=
             nand::SubpageState::kValid) {
           continue;
         }

@@ -99,7 +99,8 @@ void IpsScheme::relocate_slc_page(BlockId victim, PageId page, SimTime now,
   std::size_t n = 0;
   double max_ber = 0.0;
   for (std::uint32_t s = 0; s < subpages_per_page(); ++s) {
-    const auto& sp = pg.subpage(static_cast<SubpageId>(s));
+    const nand::Subpage sp =
+        array_.subpage(victim, page, static_cast<SubpageId>(s));
     if (sp.state != nand::SubpageState::kValid) continue;
     writes[n++] = {static_cast<SubpageId>(s), sp.owner_lsn, sp.version};
     max_ber = std::max(

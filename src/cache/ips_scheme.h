@@ -20,6 +20,7 @@
 #pragma once
 
 #include "cache/scheme.h"
+#include "common/state_io.h"
 
 namespace ppssd::cache {
 
@@ -76,6 +77,16 @@ class IpsScheme final : public Scheme {
   }
   void on_attach_telemetry(telemetry::MetricsRegistry* registry,
                            const telemetry::Labels& labels) override;
+  void save_scheme_state(io::StateSink& sink) const override {
+    sink.u64(reprogrammed_pages_);
+    sink.u64(reprogrammed_subpages_);
+    sink.u64(fallback_subpages_);
+  }
+  void restore_scheme_state(io::StateSource& src) override {
+    reprogrammed_pages_ = src.u64();
+    reprogrammed_subpages_ = src.u64();
+    fallback_subpages_ = src.u64();
+  }
 
  private:
   Options opts_;

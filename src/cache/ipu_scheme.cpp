@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 #include <vector>
 
 #include "cache/registry.h"
 #include "common/check.h"
+#include "common/state_io.h"
 
 namespace ppssd::cache {
 
@@ -117,13 +119,13 @@ std::uint32_t IpuScheme::append_cold(Lsn lsn, std::uint32_t count,
 
   const auto& page = array_.block(open.block).page(open.page);
   const std::uint32_t free =
-      page.count(nand::SubpageState::kFree, subpages_per_page());
+      array_.page_count_state(open.block, open.page, nand::SubpageState::kFree);
   PPSSD_CHECK(free > 0);
   const std::uint32_t n = std::min(count, free);
   const bool partial = page.programmed();
 
   std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
-  const SubpageId first = page.first_free(subpages_per_page());
+  const SubpageId first = array_.page_first_free(open.block, open.page);
   for (std::uint32_t k = 0; k < n; ++k) {
     const Lsn cur = lsn + k;
     invalidate_previous(cur);
@@ -163,9 +165,9 @@ std::uint32_t IpuScheme::update_cached_run(Lsn lsn, std::uint32_t count,
   }
 
   nand::Block& blk = array_.block(first.block);
-  const nand::Page& page = blk.page(first.page);
   const std::uint32_t free =
-      page.count(nand::SubpageState::kFree, subpages_per_page());
+      array_.page_count_state(first.block, first.page,
+                              nand::SubpageState::kFree);
   const bool fits = opts_.use_intra_page && free >= n &&
                     array_.can_partial_program(first.block, first.page);
 
@@ -174,7 +176,7 @@ std::uint32_t IpuScheme::update_cached_run(Lsn lsn, std::uint32_t count,
     // versions are invalidated, so the partial program's in-page disturb
     // lands only on dead data (Section 3.1).
     std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
-    SubpageId slot = page.first_free(subpages_per_page());
+    SubpageId slot = array_.page_first_free(first.block, first.page);
     for (std::uint32_t k = 0; k < n; ++k) {
       writes[k] = {slot, lsn + k, bump_version(lsn + k)};
       slot = static_cast<SubpageId>(slot + 1);
@@ -339,7 +341,8 @@ void IpuScheme::relocate_slc_page(BlockId victim, PageId page, SimTime now,
   std::vector<Lsn> live;
   std::vector<std::uint32_t> vers;
   for (std::uint32_t s = 0; s < subpages_per_page(); ++s) {
-    const auto& sp = pg.subpage(static_cast<SubpageId>(s));
+    const nand::Subpage sp =
+        array_.subpage(victim, page, static_cast<SubpageId>(s));
     if (sp.state == nand::SubpageState::kValid) {
       live.push_back(sp.owner_lsn);
       vers.push_back(sp.version);
@@ -390,6 +393,28 @@ void IpuScheme::on_slc_page_programmed(BlockId block, PageId page,
   }
   offsets_.open_page(array_.geometry(), block, page, lsns.front(),
                      static_cast<std::uint8_t>(lsns.size()), /*offset=*/0);
+}
+
+void IpuScheme::save_scheme_state(io::StateSink& sink) const {
+  offsets_.save(sink);
+  sink.boolean(tracker_ != nullptr);
+  if (tracker_) tracker_->save(sink);
+  sink.vec(cold_pages_);
+}
+
+void IpuScheme::restore_scheme_state(io::StateSource& src) {
+  offsets_.restore(src);
+  // Options (and with them the tracker's existence) are config-derived and
+  // applied before restore; the checkpoint key pins them, so a mismatch
+  // here is a programming error, not data corruption.
+  const bool has_tracker = src.boolean();
+  PPSSD_CHECK_MSG(has_tracker == (tracker_ != nullptr),
+                  "warm-start checkpoint disagrees on combine_cold tracker");
+  if (tracker_) tracker_->restore(src);
+  std::vector<ColdOpenPage> cold = src.vec<ColdOpenPage>();
+  PPSSD_CHECK_MSG(src.ok() && cold.size() == cold_pages_.size(),
+                  "warm-start checkpoint does not match cold-page shape");
+  cold_pages_ = std::move(cold);
 }
 
 }  // namespace ppssd::cache

@@ -69,6 +69,8 @@ class IpuScheme final : public Scheme {
                               bool first_program) override;
   void on_attach_telemetry(telemetry::MetricsRegistry* registry,
                            const telemetry::Labels& labels) override;
+  void save_scheme_state(io::StateSink& sink) const override;
+  void restore_scheme_state(io::StateSource& src) override;
 
  private:
   /// Serve an update run whose previous versions all live in one SLC page.

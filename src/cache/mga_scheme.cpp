@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 
 #include "cache/registry.h"
 #include "common/check.h"
+#include "common/state_io.h"
 
 namespace ppssd::cache {
 
@@ -63,8 +65,8 @@ std::uint32_t MgaScheme::append_to_plane(std::uint32_t plane, Lsn lsn,
   }
 
   const auto& page = array_.block(open.block).page(open.page);
-  const std::uint32_t free = page.count(nand::SubpageState::kFree,
-                                        subpages_per_page());
+  const std::uint32_t free =
+      array_.page_count_state(open.block, open.page, nand::SubpageState::kFree);
   PPSSD_CHECK(free > 0);
   const std::uint32_t n = std::min(max, free);
   const bool partial = page.programmed();
@@ -72,7 +74,7 @@ std::uint32_t MgaScheme::append_to_plane(std::uint32_t plane, Lsn lsn,
   // Fill free slots (a suffix: slots are consumed in order, invalidation
   // never frees them).
   std::array<nand::SlotWrite, nand::kMaxSubpagesPerPage> writes;
-  const SubpageId first = page.first_free(subpages_per_page());
+  const SubpageId first = array_.page_first_free(open.block, open.page);
   for (std::uint32_t k = 0; k < n; ++k) {
     const Lsn cur = lsn + k;
     invalidate_previous(cur);
@@ -136,6 +138,19 @@ void MgaScheme::on_slc_page_programmed(BlockId block, PageId page,
         array_.geometry(),
         PhysicalAddress{block, page, static_cast<SubpageId>(i)}, lsns[i]);
   }
+}
+
+void MgaScheme::save_scheme_state(io::StateSink& sink) const {
+  second_level_.save(sink);
+  sink.vec(open_pages_);
+}
+
+void MgaScheme::restore_scheme_state(io::StateSource& src) {
+  second_level_.restore(src);
+  std::vector<OpenPage> open = src.vec<OpenPage>();
+  PPSSD_CHECK_MSG(src.ok() && open.size() == open_pages_.size(),
+                  "warm-start checkpoint does not match MGA open-page shape");
+  open_pages_ = std::move(open);
 }
 
 }  // namespace ppssd::cache

@@ -42,6 +42,8 @@ class MgaScheme final : public Scheme {
   void on_slc_page_programmed(BlockId block, PageId page,
                               std::span<const Lsn> lsns,
                               bool first_program) override;
+  void save_scheme_state(io::StateSink& sink) const override;
+  void restore_scheme_state(io::StateSource& src) override;
 
  private:
   /// The plane's current aggregation page, or nullopt when a fresh page

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 
 #include "cache/registry.h"
 #include "common/check.h"
+#include "common/state_io.h"
 #include "nand/page.h"
 
 namespace ppssd::cache {
@@ -238,10 +240,9 @@ void Scheme::evict_page_to_mlc(BlockId victim, PageId page, SimTime now,
                                std::vector<PhysOp>& ops) {
   // Stage and retire the page's valid data; the staged buffer flushes
   // into packed MLC pages at the end of the GC pass.
-  nand::Block& blk = array_.block(victim);
-  const auto& pg = blk.page(page);
   for (std::uint32_t s = 0; s < spp_; ++s) {
-    const auto& sp = pg.subpage(static_cast<SubpageId>(s));
+    const nand::Subpage sp =
+        array_.subpage(victim, page, static_cast<SubpageId>(s));
     if (sp.state != nand::SubpageState::kValid) continue;
     staged_evictions_.push_back({sp.owner_lsn, sp.version});
     retire_slot(sp.owner_lsn,
@@ -423,11 +424,10 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
   const std::size_t victim_ops_start = ops.size();
   for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
     const auto page_id = static_cast<PageId>(p);
-    const auto& page = blk.page(page_id);
     std::uint32_t valid = 0;
     double max_ber = 0.0;
     for (std::uint32_t s = 0; s < spp_; ++s) {
-      if (page.subpage(static_cast<SubpageId>(s)).state ==
+      if (array_.subpage_state(victim, page_id, static_cast<SubpageId>(s)) ==
           nand::SubpageState::kValid) {
         ++valid;
         max_ber = std::max(
@@ -444,7 +444,8 @@ bool Scheme::slc_gc_once(std::uint32_t plane, SimTime now,
     }
     relocate_slc_page(victim, page_id, now, ops);
     PPSSD_DCHECK_MSG(
-        blk.page(page_id).count(nand::SubpageState::kValid, spp_) == 0,
+        array_.page_count_state(victim, page_id, nand::SubpageState::kValid) ==
+            0,
         "relocate_slc_page left valid data behind");
   }
   flush_evictions(array_.block_static(victim).plane, now, ops);
@@ -525,12 +526,13 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
 
   for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
     const auto page_id = static_cast<PageId>(p);
-    const auto& page = blk.page(page_id);
     std::uint32_t valid = 0;
     double max_ber = 0.0;
     for (std::uint32_t s = 0; s < spp_; ++s) {
-      const auto& sp = page.subpage(static_cast<SubpageId>(s));
-      if (sp.state != nand::SubpageState::kValid) continue;
+      if (array_.subpage_state(victim, page_id, static_cast<SubpageId>(s)) !=
+          nand::SubpageState::kValid) {
+        continue;
+      }
       ++valid;
       max_ber = std::max(
           max_ber, ber_of(PhysicalAddress{victim, page_id,
@@ -540,7 +542,8 @@ bool Scheme::mlc_gc_once(std::uint32_t plane, SimTime now,
     emit_page_read(victim, page_id, valid, max_ber, /*background=*/true, ops);
     gc_read_dep_ = static_cast<std::uint32_t>(ops.size() - 1);
     for (std::uint32_t s = 0; s < spp_; ++s) {
-      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      const nand::Subpage sp =
+          array_.subpage(victim, page_id, static_cast<SubpageId>(s));
       if (sp.state != nand::SubpageState::kValid) continue;
       pack[packed++] = {0, sp.owner_lsn, sp.version};
       if (packed == spp_) flush_pack();
@@ -664,6 +667,35 @@ void Scheme::inspect(telemetry::introspect::StateSink& sink) const {
              static_cast<std::uint64_t>(staged_evictions_.size()));
 }
 
+// ---- warm-start checkpointing -------------------------------------------------
+
+void Scheme::save(io::StateSink& sink) const {
+  PPSSD_CHECK_MSG(staged_evictions_.empty(),
+                  "checkpointing with staged evictions in flight");
+  PPSSD_CHECK_MSG(gc_read_dep_ == PhysOp::kNoDependency,
+                  "checkpointing inside GC victim processing");
+  array_.save(sink);
+  bm_.save(sink);
+  map_.save(sink);
+  sink.vec(versions_);
+  sink.u32(rr_plane_);
+  save_scheme_state(sink);
+}
+
+void Scheme::restore(io::StateSource& src) {
+  // Order matters: the block manager's victim-index rebuild reads invalid
+  // counts out of the restored array.
+  array_.restore(src);
+  bm_.restore(src);
+  map_.restore(src);
+  (void)src.vec_into(versions_);
+  const std::uint32_t rr = src.u32();
+  PPSSD_CHECK_MSG(src.ok(),
+                  "warm-start checkpoint does not match version-table shape");
+  rr_plane_ = rr;
+  restore_scheme_state(src);
+}
+
 // ---- footprint & invariants ---------------------------------------------------
 
 ftl::FootprintReport Scheme::footprint() const {
@@ -687,7 +719,8 @@ void Scheme::check_consistency() const {
     for (std::uint32_t p = 0; p < blk.page_count(); ++p) {
       const auto& page = blk.page(static_cast<PageId>(p));
       for (std::uint32_t s = 0; s < blk.subpages_per_page(); ++s) {
-        const auto& sp = page.subpage(static_cast<SubpageId>(s));
+        const nand::Subpage sp = array_.subpage(b, static_cast<PageId>(p),
+                                                static_cast<SubpageId>(s));
         if (sp.state == nand::SubpageState::kInvalid) ++recount_invalid;
         if (sp.state != nand::SubpageState::kValid) continue;
         recount_wt_sum += sp.write_time_ms;

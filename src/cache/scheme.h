@@ -195,6 +195,19 @@ class Scheme {
   /// pure observation — no state changes, device walk allowed.
   virtual void inspect(telemetry::introspect::StateSink& sink) const;
 
+  /// Warm-start checkpointing (DESIGN.md §14): serialize the device's
+  /// complete mutable state — flash array, block manager, mapping table,
+  /// version table, round-robin cursor — then scheme-specific side state
+  /// via save_scheme_state(). Must be called at a quiescent point (no
+  /// staged evictions, no GC victim mid-flight); metrics are NOT
+  /// serialized — callers checkpoint right after reset_metrics() so both
+  /// cold and warm paths start the measured phase from zero.
+  void save(io::StateSink& sink) const;
+  /// Inverse of save() on a freshly constructed scheme of the *same*
+  /// config and options. PPSSD_CHECKs on any shape mismatch (the
+  /// checkpoint container validates integrity up front).
+  void restore(io::StateSource& src);
+
   /// Attach (or detach, with null) the crash flight recorder: committed
   /// GC victim decisions are recorded as kGcDecision events. Pure
   /// observer; one branch per GC pass when detached.
@@ -248,6 +261,12 @@ class Scheme {
   /// `labels` already carries {scheme=<name>}.
   virtual void on_attach_telemetry(telemetry::MetricsRegistry* /*registry*/,
                                    const telemetry::Labels& /*labels*/) {}
+
+  /// Hooks for scheme-specific mutable state in warm-start checkpoints
+  /// (side tables, open-page cursors, promotion counters). Baseline has
+  /// none; MGA/IPU/IPS override both.
+  virtual void save_scheme_state(io::StateSink& /*sink*/) const {}
+  virtual void restore_scheme_state(io::StateSource& /*src*/) {}
 
   // ---- shared mechanisms available to subclasses -----------------------
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "core/warmstart.h"
 #include "perf/profiler.h"
 #include "sim/replayer.h"
 #include "sim/ssd.h"
@@ -20,6 +21,47 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Cold warm-up: pre-fill the MLC region, then stream ~1.2x the SLC cache
+/// capacity of writes from the trace's address model, and land the device
+/// on the quiescent post-warm-up boundary (metrics and timing reset).
+/// This is the work a warm-start checkpoint hit replaces.
+void run_warmup(sim::Ssd& ssd, const trace::SyntheticWorkload& workload,
+                const trace::TraceProfile& profile) {
+  const auto& geom = ssd.scheme().array().geometry();
+  // Fill the whole logical space: an aged drive holds the trace's
+  // footprint plus other resident data, so the MLC region runs near its
+  // steady-state occupancy and evictions contend with MLC GC.
+  const std::uint64_t prefill_subpages = geom.logical_subpages();
+  const std::uint32_t free_floor =
+      ssd.scheme().blocks().gc_threshold_blocks(CellMode::kMlc) +
+      std::max<std::uint32_t>(
+          3, static_cast<std::uint32_t>(
+                 0.03 * (geom.blocks_per_plane() -
+                         geom.slc_blocks_per_plane())));
+  ssd.scheme().prefill_mlc(prefill_subpages, free_floor);
+  const std::uint64_t cache_bytes =
+      static_cast<std::uint64_t>(geom.slc_block_count()) *
+      geom.pages_per_block(CellMode::kSlc) * geom.config().page_bytes;
+  trace::TraceProfile warm = profile;
+  warm.seed = profile.seed + 7777;
+  warm.write_ratio = 1.0;
+  warm.hot_objects = workload.hot_object_count();
+  warm.mean_interarrival_us = 1.0;  // back-to-back; timing is reset after
+  warm.requests = static_cast<std::uint64_t>(
+      1.2 * static_cast<double>(cache_bytes) /
+      (profile.mean_write_kb * 1024.0));
+  trace::SyntheticWorkload warmup(warm, ssd.logical_bytes());
+  // Warm-up ops carry the kPrefill origin so a blame ledger attached
+  // around this phase (telemetry tour, bench harnesses) separates
+  // pre-conditioning traffic from measured host work.
+  sim::Replayer replayer(ssd);
+  ssd.scheme().set_origin_phase(cache::OpOrigin::kPrefill);
+  replayer.replay(warmup);
+  ssd.scheme().set_origin_phase(cache::OpOrigin::kHost);
+  ssd.scheme().reset_metrics();
+  ssd.reset_timing();
 }
 }  // namespace
 
@@ -78,40 +120,20 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   //     the same address model (identical hot-object layout).
   // Metrics and queues reset afterwards so the measured phase starts from
   // steady state.
+  //
+  // The warmed state is a pure function of the cache key, so with
+  // PPSSD_WARMSTART=1 both phases are skipped on a checkpoint hit: the
+  // device restores straight to the post-warm-up quiescent boundary.
+  // Restores are behavior-preserving to the byte, so measured results are
+  // identical either way; a miss warms cold and stores the checkpoint.
   {
     PPSSD_PROFILE_SCOPE("warmup");
-    const auto& geom = ssd.scheme().array().geometry();
-    // Fill the whole logical space: an aged drive holds the trace's
-    // footprint plus other resident data, so the MLC region runs near its
-    // steady-state occupancy and evictions contend with MLC GC.
-    const std::uint64_t prefill_subpages = geom.logical_subpages();
-    const std::uint32_t free_floor =
-        ssd.scheme().blocks().gc_threshold_blocks(CellMode::kMlc) +
-        std::max<std::uint32_t>(
-            3, static_cast<std::uint32_t>(
-                   0.03 * (geom.blocks_per_plane() -
-                           geom.slc_blocks_per_plane())));
-    ssd.scheme().prefill_mlc(prefill_subpages, free_floor);
-    const std::uint64_t cache_bytes =
-        static_cast<std::uint64_t>(geom.slc_block_count()) *
-        geom.pages_per_block(CellMode::kSlc) * geom.config().page_bytes;
-    trace::TraceProfile warm = profile;
-    warm.seed = profile.seed + 7777;
-    warm.write_ratio = 1.0;
-    warm.hot_objects = workload.hot_object_count();
-    warm.mean_interarrival_us = 1.0;  // back-to-back; timing is reset after
-    warm.requests = static_cast<std::uint64_t>(
-        1.2 * static_cast<double>(cache_bytes) /
-        (profile.mean_write_kb * 1024.0));
-    trace::SyntheticWorkload warmup(warm, ssd.logical_bytes());
-    // Warm-up ops carry the kPrefill origin so a blame ledger attached
-    // around this phase (telemetry tour, bench harnesses) separates
-    // pre-conditioning traffic from measured host work.
-    ssd.scheme().set_origin_phase(cache::OpOrigin::kPrefill);
-    replayer.replay(warmup);
-    ssd.scheme().set_origin_phase(cache::OpOrigin::kHost);
-    ssd.scheme().reset_metrics();
-    ssd.reset_timing();
+    const WarmStartCache warmstart = WarmStartCache::from_env();
+    const std::string spec_key = spec.key();
+    if (!warmstart.try_restore(spec_key, ssd)) {
+      run_warmup(ssd, workload, profile);
+      warmstart.store(spec_key, ssd);
+    }
   }
   r.wall_warmup_seconds = seconds_since(phase_start);
   phase_start = Clock::now();

@@ -1,0 +1,239 @@
+#include "core/warmstart.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/state_io.h"
+#include "common/warmstart_format.h"
+#include "nand/geometry.h"
+#include "perf/progress.h"
+#include "sim/ssd.h"
+
+namespace ppssd::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void warn(const std::string& message) {
+  perf::ProgressReporter::global().note("[ppssd] warm-start: " + message);
+}
+
+io::warmstart::Header header_for(const std::string& key,
+                                 const sim::Ssd& ssd) {
+  const cache::Scheme& scheme = ssd.scheme();
+  const nand::Geometry& geom = scheme.array().geometry();
+  io::warmstart::Header h;
+  h.key = key;
+  h.scheme = scheme.name();
+  h.total_blocks = geom.total_blocks();
+  h.planes = geom.planes();
+  h.subpages_per_page = geom.subpages_per_page();
+  h.slc_blocks_per_plane = geom.slc_blocks_per_plane();
+  h.slc_pages_per_block = geom.pages_per_block(CellMode::kSlc);
+  h.mlc_pages_per_block = geom.pages_per_block(CellMode::kMlc);
+  h.slc_gc_threshold = scheme.blocks().gc_threshold_blocks(CellMode::kSlc);
+  h.mlc_gc_threshold = scheme.blocks().gc_threshold_blocks(CellMode::kMlc);
+  return h;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(out->size()));
+  return in.good() || out->empty();
+}
+
+/// Read-only view of a checkpoint file, memory-mapped when possible so
+/// the multi-MB file is never copied into a heap buffer before the
+/// checksum pass — the checksum and the layer restores read the
+/// page-cached mapping directly. Falls back to a buffered read when mmap
+/// is unavailable (zero-length or special files).
+class MappedCheckpoint {
+ public:
+  explicit MappedCheckpoint(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      struct ::stat st {};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map != MAP_FAILED) {
+          map_ = map;
+          size_ = static_cast<std::size_t>(st.st_size);
+          ::madvise(map_, size_, MADV_WILLNEED);
+        }
+      }
+      ::close(fd);
+    }
+    if (map_ == nullptr) {
+      opened_ = read_file(path, &fallback_);
+    } else {
+      opened_ = true;
+    }
+  }
+  ~MappedCheckpoint() {
+    if (map_ != nullptr) ::munmap(map_, size_);
+  }
+  MappedCheckpoint(const MappedCheckpoint&) = delete;
+  MappedCheckpoint& operator=(const MappedCheckpoint&) = delete;
+
+  [[nodiscard]] bool opened() const { return opened_; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return map_ != nullptr ? static_cast<const std::uint8_t*>(map_)
+                           : fallback_.data();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return map_ != nullptr ? size_ : fallback_.size();
+  }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<std::uint8_t> fallback_;
+  bool opened_ = false;
+};
+
+}  // namespace
+
+WarmStartCache WarmStartCache::from_env() {
+  const char* flag = std::getenv("PPSSD_WARMSTART");
+  const bool enabled = flag != nullptr && flag[0] == '1';
+  const char* dir = std::getenv("PPSSD_WARMSTART_DIR");
+  return WarmStartCache(enabled,
+                        dir != nullptr ? dir : ".ppssd_warmstart");
+}
+
+std::string WarmStartCache::path_for(const std::string& key) const {
+  return dir_ + "/wrm-v" + std::to_string(io::warmstart::kVersion) + "-" +
+         key + ".ckpt";
+}
+
+bool WarmStartCache::try_restore(const std::string& key,
+                                 sim::Ssd& ssd) const {
+  if (!enabled_) return false;
+  const std::string path = path_for(key);
+
+  const MappedCheckpoint bytes(path);
+  if (!bytes.opened()) return false;  // no checkpoint: silent miss
+
+  io::StateSource src(bytes.data(), bytes.size());
+  io::warmstart::Header h;
+  if (!io::warmstart::read_header(src, &h)) {
+    warn("ignoring stale/corrupt checkpoint " + path);
+    return false;
+  }
+  if (h.key != key) {
+    warn("ignoring checkpoint with foreign key at " + path);
+    return false;
+  }
+  // Cross-check the device shape before the payload touches it; a
+  // mismatch here (key collision, edited config) must stay a soft miss,
+  // while post-checksum shape mismatches inside restore() are hard
+  // programming errors.
+  const io::warmstart::Header want = header_for(key, ssd);
+  if (h.scheme != want.scheme || h.total_blocks != want.total_blocks ||
+      h.planes != want.planes ||
+      h.subpages_per_page != want.subpages_per_page ||
+      h.slc_blocks_per_plane != want.slc_blocks_per_plane ||
+      h.slc_pages_per_block != want.slc_pages_per_block ||
+      h.mlc_pages_per_block != want.mlc_pages_per_block ||
+      h.slc_gc_threshold != want.slc_gc_threshold ||
+      h.mlc_gc_threshold != want.mlc_gc_threshold) {
+    warn("ignoring checkpoint with mismatched geometry at " + path);
+    return false;
+  }
+
+  // Validate the payload in full before any layer restore runs: the
+  // bytes after the header must be exactly payload_size and hash to the
+  // stored checksum. After this gate, Ssd::restore may assume integrity.
+  const std::size_t header_end = src.pos();
+  if (bytes.size() - header_end != h.payload_size) {
+    warn("ignoring truncated checkpoint " + path);
+    return false;
+  }
+  const std::uint8_t* payload = bytes.data() + header_end;
+  const std::size_t payload_size = static_cast<std::size_t>(h.payload_size);
+  if (io::warmstart::fnv1a(payload, payload_size) != h.payload_checksum) {
+    warn("ignoring corrupt checkpoint " + path);
+    return false;
+  }
+
+  io::StateSource payload_src(payload, payload_size);
+  ssd.restore(payload_src);
+  PPSSD_CHECK_MSG(payload_src.exhausted(),
+                  "warm-start payload has trailing bytes after restore");
+  return true;
+}
+
+bool WarmStartCache::store(const std::string& key,
+                           const sim::Ssd& ssd) const {
+  if (!enabled_) return false;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const std::string path = path_for(key);
+  if (fs::exists(path, ec)) return false;  // first writer already won
+
+  io::StateSink payload_sink;
+  ssd.save(payload_sink);
+  const std::vector<std::uint8_t> payload = payload_sink.take();
+
+  io::warmstart::Header h = header_for(key, ssd);
+  h.payload_size = payload.size();
+  h.payload_checksum = io::warmstart::fnv1a(payload.data(), payload.size());
+
+  io::StateSink file_sink;
+  io::warmstart::write_header(file_sink, h);
+  const std::vector<std::uint8_t>& head = file_sink.buffer();
+
+  // Atomic publish: write a uniquely named temp file in the same
+  // directory, then rename over the final path. Concurrent runners
+  // (PPSSD_JOBS) either lose the exists() race above or rename identical
+  // bytes — both are fine.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      warn("cannot write checkpoint " + tmp);
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(head.data()),
+              static_cast<std::streamsize>(head.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp, ec);
+      warn("failed writing checkpoint " + tmp);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    warn("failed publishing checkpoint " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ppssd::core

@@ -1,0 +1,63 @@
+// Warm-start device-checkpoint cache (DESIGN.md §14).
+//
+// run_experiment spends most of its non-measured wall time warming the
+// device: pre-filling the MLC region and streaming ~1.2x the SLC cache
+// capacity of writes. That warm-up is a pure function of the experiment
+// cache key (config + trace + scale pin every input), so its result — the
+// complete post-warm-up device state — is cached on disk as a PPSSDWRM
+// container (common/warmstart_format.h) and restored on later runs.
+//
+// Enabled with PPSSD_WARMSTART=1; checkpoints live under
+// PPSSD_WARMSTART_DIR (default .ppssd_warmstart). Restores are
+// behavior-preserving to the byte (tests/integration/warmstart_twin_test),
+// so cached and cold runs produce identical results.
+//
+// Failure policy: anything wrong with a checkpoint file — missing, stale
+// format, foreign key, truncated, corrupt — is a cache *miss*, never an
+// abort. Missing files miss silently; everything else warns once.
+#pragma once
+
+#include <string>
+
+namespace ppssd::sim {
+class Ssd;
+}
+
+namespace ppssd::core {
+
+class WarmStartCache {
+ public:
+  /// Disabled cache: every lookup misses, store() is a no-op.
+  WarmStartCache() = default;
+  WarmStartCache(bool enabled, std::string dir)
+      : enabled_(enabled), dir_(std::move(dir)) {}
+
+  /// PPSSD_WARMSTART=1 enables; PPSSD_WARMSTART_DIR overrides the
+  /// checkpoint directory (default .ppssd_warmstart).
+  static WarmStartCache from_env();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Checkpoint file path for an experiment cache key.
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  /// Restore `ssd` from the checkpoint for `key`. True on a hit (the
+  /// device now carries the post-warm-up state); false on any miss.
+  /// The device must be freshly constructed from the spec's config —
+  /// the geometry header is cross-checked before the payload touches it.
+  bool try_restore(const std::string& key, sim::Ssd& ssd) const;
+
+  /// Write the checkpoint for `key` from a just-warmed device. Skips
+  /// silently when a checkpoint already exists (first writer wins; the
+  /// content is deterministic, so every writer would produce the same
+  /// bytes). Writes are atomic (unique temp file + rename), so parallel
+  /// runners never observe a half-written checkpoint. Returns true if a
+  /// new checkpoint was written.
+  bool store(const std::string& key, const sim::Ssd& ssd) const;
+
+ private:
+  bool enabled_ = false;
+  std::string dir_ = ".ppssd_warmstart";
+};
+
+}  // namespace ppssd::core

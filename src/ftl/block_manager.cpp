@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/state_io.h"
 
 namespace ppssd::ftl {
 
@@ -354,6 +356,80 @@ void BlockManager::check_victim_index() const {
       PPSSD_CHECK_MSG(needs_gc(p, mode) == expected,
                       "GC-pressure bit disagrees with free-list size");
     }
+  }
+}
+
+namespace {
+
+/// std::priority_queue keeps its storage in the protected member `c`;
+/// this opens it for verbatim capture/replacement.
+template <typename Q>
+struct HeapAccess : Q {
+  static const typename Q::container_type& get(const Q& q) {
+    return q.*&HeapAccess::c;
+  }
+  static void set(Q& q, typename Q::container_type v) {
+    q.*&HeapAccess::c = std::move(v);
+  }
+};
+
+}  // namespace
+
+void BlockManager::save(io::StateSink& sink) const {
+  // Keep the layout in sync with the read-only checkpoint adapter
+  // (telemetry/introspect/warmstart_reader.cpp), which re-parses this
+  // section standalone; bump io::warmstart::kVersion on any change.
+  sink.vec(state_);
+  sink.u64(planes_.size());
+  for (const PlaneState& ps : planes_) {
+    sink.vec(HeapAccess<FreeHeap>::get(ps.slc_free));
+    sink.vec(HeapAccess<FreeHeap>::get(ps.mlc_free));
+    sink.pod(ps.open);
+    sink.pod(ps.level_counts);
+  }
+}
+
+void BlockManager::restore(io::StateSource& src) {
+  std::vector<State> state = src.vec<State>();
+  PPSSD_CHECK_MSG(src.ok() && state.size() == state_.size() &&
+                      src.u64() == planes_.size(),
+                  "warm-start checkpoint does not match block-manager shape");
+  state_ = std::move(state);
+  for (PlaneState& ps : planes_) {
+    HeapAccess<FreeHeap>::set(ps.slc_free, src.vec<FreeEntry>());
+    HeapAccess<FreeHeap>::set(ps.mlc_free, src.vec<FreeEntry>());
+    ps.open = src.pod<std::array<BlockId, 4>>();
+    ps.level_counts = src.pod<std::array<std::uint32_t, 4>>();
+  }
+  PPSSD_CHECK_MSG(src.ok(), "warm-start checkpoint truncated");
+
+  // Rebuild the derived structures from the restored ground truth. The
+  // victim-index bitmaps are insertion-order independent, so filing every
+  // kUsed block in BlockId order reproduces the cold-built index exactly.
+  const auto& geom = array_->geometry();
+  indexed_invalid_.assign(geom.total_blocks(), 0);
+  const std::uint32_t slc_subpages =
+      geom.pages_per_block(CellMode::kSlc) * geom.subpages_per_page();
+  const std::uint32_t mlc_subpages =
+      geom.pages_per_block(CellMode::kMlc) * geom.subpages_per_page();
+  const std::uint32_t slc_per_plane = geom.slc_blocks_per_plane();
+  for (std::uint32_t p = 0; p < geom.planes(); ++p) {
+    const BlockId first = geom.plane_first_block(p);
+    planes_[p].slc_victims.init(first, slc_per_plane, slc_subpages + 1);
+    planes_[p].slc_victims.max_invalid = 0;
+    planes_[p].slc_victims.candidates = 0;
+    planes_[p].mlc_victims.init(
+        first + slc_per_plane, geom.blocks_per_plane() - slc_per_plane,
+        mlc_subpages + 1);
+    planes_[p].mlc_victims.max_invalid = 0;
+    planes_[p].mlc_victims.candidates = 0;
+  }
+  for (BlockId b = 0; b < geom.total_blocks(); ++b) {
+    if (state_[b] == State::kUsed) index_insert(b);
+  }
+  for (std::uint32_t p = 0; p < geom.planes(); ++p) {
+    update_pressure(p, CellMode::kSlc);
+    update_pressure(p, CellMode::kMlc);
   }
 }
 

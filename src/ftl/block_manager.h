@@ -150,6 +150,16 @@ class BlockManager : private nand::BlockObserver {
   void attach_telemetry(telemetry::MetricsRegistry& registry,
                         const telemetry::Labels& labels);
 
+  /// Warm-start checkpointing (DESIGN.md §14). The free heaps are written
+  /// as their underlying storage verbatim: heap order among equal erase
+  /// counts is history-dependent, so rebuilding them would change warm-path
+  /// pop order versus the cold run. The victim indexes, per-block invalid
+  /// keys, and GC-pressure bitmasks are canonical functions of (state_,
+  /// array) and are rebuilt on restore — which must therefore run *after*
+  /// FlashArray::restore on the same device.
+  void save(io::StateSink& sink) const;
+  void restore(io::StateSource& src);
+
  private:
   enum class State : std::uint8_t { kFree = 0, kOpen = 1, kUsed = 2 };
 

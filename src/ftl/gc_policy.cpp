@@ -57,15 +57,16 @@ std::pair<double, std::uint64_t> IsrPolicy::age_sum(const nand::Block& block,
 }
 
 std::pair<double, std::uint64_t> IsrPolicy::age_sum_exact(
-    const nand::Block& block, SimTime now) {
+    const nand::FlashArray& array, BlockId block, SimTime now) {
+  const nand::Block& blk = array.block(block);
   const double now_ms = ns_to_ms(now);
-  const std::uint32_t spp = block.subpages_per_page();
+  const std::uint32_t spp = blk.subpages_per_page();
   double sum = 0.0;
   std::uint64_t valid = 0;
-  for (std::uint32_t p = 0; p < block.write_frontier(); ++p) {
-    const auto& page = block.page(static_cast<PageId>(p));
+  for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
     for (std::uint32_t s = 0; s < spp; ++s) {
-      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      const nand::Subpage sp = array.subpage(
+          block, static_cast<PageId>(p), static_cast<SubpageId>(s));
       if (sp.state == nand::SubpageState::kValid) {
         sum += now_ms - sp.write_time_ms;
         ++valid;
@@ -88,19 +89,21 @@ double IsrPolicy::cold_weight(const nand::Block& block, SimTime now,
   });
 }
 
-double IsrPolicy::cold_weight_exact(const nand::Block& block, SimTime now,
+double IsrPolicy::cold_weight_exact(const nand::FlashArray& array,
+                                    BlockId block, SimTime now,
                                     double mean_age_ms) {
   if (mean_age_ms <= 0.0) return 0.0;
+  const nand::Block& blk = array.block(block);
   const double now_ms = ns_to_ms(now);
-  const std::uint32_t spp = block.subpages_per_page();
+  const std::uint32_t spp = blk.subpages_per_page();
 
   // IS' sums the age weight of valid subpages in never-updated pages.
   double weight = 0.0;
-  for (std::uint32_t p = 0; p < block.write_frontier(); ++p) {
-    const auto& page = block.page(static_cast<PageId>(p));
-    if (page_updated(page)) continue;
+  for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
+    if (page_updated(blk.page(static_cast<PageId>(p)))) continue;
     for (std::uint32_t s = 0; s < spp; ++s) {
-      const auto& sp = page.subpage(static_cast<SubpageId>(s));
+      const nand::Subpage sp = array.subpage(
+          block, static_cast<PageId>(p), static_cast<SubpageId>(s));
       if (sp.state == nand::SubpageState::kValid) {
         const double age = now_ms - sp.write_time_ms;
         weight += 1.0 - std::exp(-age / mean_age_ms);
@@ -117,11 +120,12 @@ double IsrPolicy::isr(const nand::Block& block, SimTime now,
          total;
 }
 
-double IsrPolicy::isr_exact(const nand::Block& block, SimTime now,
-                            double mean_age_ms) {
-  const double total = block.total_subpages();
-  return (block.invalid_subpages() +
-          cold_weight_exact(block, now, mean_age_ms)) /
+double IsrPolicy::isr_exact(const nand::FlashArray& array, BlockId block,
+                            SimTime now, double mean_age_ms) {
+  const nand::Block& blk = array.block(block);
+  const double total = blk.total_subpages();
+  return (blk.invalid_subpages() +
+          cold_weight_exact(array, block, now, mean_age_ms)) /
          total;
 }
 
@@ -168,7 +172,7 @@ BlockId IsrPolicy::select_victim_reference(const nand::FlashArray& array,
   std::vector<BlockId> candidates;
   bm.for_each_candidate(plane, mode, [&](BlockId b) {
     candidates.push_back(b);
-    const auto [sum, count] = age_sum_exact(array.block(b), now);
+    const auto [sum, count] = age_sum_exact(array, b, now);
     age_total += sum;
     valid_total += count;
   });
@@ -181,7 +185,7 @@ BlockId IsrPolicy::select_victim_reference(const nand::FlashArray& array,
   for (const BlockId b : candidates) {
     const auto& blk = array.block(b);
     if (blk.programmed_subpages() == 0) continue;  // nothing to reclaim
-    const double v = isr_exact(blk, now, mean_age);
+    const double v = isr_exact(array, b, now, mean_age);
     if (v > best_isr) {
       best = b;
       best_isr = v;

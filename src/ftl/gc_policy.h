@@ -132,14 +132,17 @@ class IsrPolicy final : public GcPolicy {
       const nand::Block& block, SimTime now);
 
   /// Per-subpage page-walk forms of the three terms above — the exact
-  /// semantics the aggregate-driven versions approximate.
-  [[nodiscard]] static double isr_exact(const nand::Block& block, SimTime now,
+  /// semantics the aggregate-driven versions approximate. They walk the
+  /// array's SoA subpage rows, so they take (array, block) instead of a
+  /// Block reference.
+  [[nodiscard]] static double isr_exact(const nand::FlashArray& array,
+                                        BlockId block, SimTime now,
                                         double mean_age_ms);
-  [[nodiscard]] static double cold_weight_exact(const nand::Block& block,
-                                                SimTime now,
+  [[nodiscard]] static double cold_weight_exact(const nand::FlashArray& array,
+                                                BlockId block, SimTime now,
                                                 double mean_age_ms);
   [[nodiscard]] static std::pair<double, std::uint64_t> age_sum_exact(
-      const nand::Block& block, SimTime now);
+      const nand::FlashArray& array, BlockId block, SimTime now);
 
  private:
   // Candidate scratch for select_victim(): reused across calls so the

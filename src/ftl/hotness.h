@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/state_io.h"
 #include "common/types.h"
 
 namespace ppssd::ftl {
@@ -43,6 +45,21 @@ class UpdateTracker {
 
   /// Fraction of written addresses with >= kHotThreshold writes.
   [[nodiscard]] double hot_fraction() const;
+
+  /// Warm-start checkpointing (DESIGN.md §14).
+  void save(io::StateSink& sink) const {
+    sink.vec(counts_);
+    sink.vec(last_write_ms_);
+  }
+  void restore(io::StateSource& src) {
+    std::vector<std::uint8_t> counts = src.vec<std::uint8_t>();
+    std::vector<std::uint32_t> last = src.vec<std::uint32_t>();
+    PPSSD_CHECK_MSG(src.ok() && counts.size() == counts_.size() &&
+                        last.size() == last_write_ms_.size(),
+                    "warm-start checkpoint does not match tracker shape");
+    counts_ = std::move(counts);
+    last_write_ms_ = std::move(last);
+  }
 
  private:
   std::vector<std::uint8_t> counts_;

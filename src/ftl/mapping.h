@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/state_io.h"
 #include "common/types.h"
 
 namespace ppssd::ftl {
@@ -80,6 +81,21 @@ class DeviceMap {
 
   /// Number of currently mapped logical subpages.
   [[nodiscard]] std::uint64_t mapped_count() const { return mapped_count_; }
+
+  /// Warm-start checkpointing (DESIGN.md §14): the whole table verbatim.
+  void save(io::StateSink& sink) const {
+    sink.vec(table_);
+    sink.u64(mapped_count_);
+  }
+  void restore(io::StateSource& src) {
+    // In place: the table is already sized for the device's LSN space and
+    // vec_into sticky-fails on a length mismatch.
+    (void)src.vec_into(table_);
+    const std::uint64_t mapped = src.u64();
+    PPSSD_CHECK_MSG(src.ok(),
+                    "warm-start checkpoint does not match mapping shape");
+    mapped_count_ = mapped;
+  }
 
  private:
   struct Packed {

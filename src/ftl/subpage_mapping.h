@@ -16,9 +16,11 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/state_io.h"
 #include "common/types.h"
 #include "nand/geometry.h"
 
@@ -42,6 +44,20 @@ class SecondLevelTable {
   [[nodiscard]] std::uint64_t live_entries() const { return live_; }
   /// Total slot capacity of the table.
   [[nodiscard]] std::uint64_t capacity() const { return slots_.size(); }
+
+  /// Warm-start checkpointing (DESIGN.md §14).
+  void save(io::StateSink& sink) const {
+    sink.vec(slots_);
+    sink.u64(live_);
+  }
+  void restore(io::StateSource& src) {
+    std::vector<Lsn> slots = src.vec<Lsn>();
+    const std::uint64_t live = src.u64();
+    PPSSD_CHECK_MSG(src.ok() && slots.size() == slots_.size(),
+                    "warm-start checkpoint does not match MGA table shape");
+    slots_ = std::move(slots);
+    live_ = live;
+  }
 
  private:
   [[nodiscard]] std::size_t index(const nand::Geometry& geom,
@@ -83,6 +99,30 @@ class IpuOffsetTable {
   /// Number of pages with a live tag.
   [[nodiscard]] std::uint64_t live_pages() const { return live_; }
   [[nodiscard]] std::uint64_t capacity() const { return tags_.size(); }
+
+  /// Warm-start checkpointing (DESIGN.md §14). Tags are written
+  /// field-wise: the struct has padding bytes, and a memcpy'd vector
+  /// would leak indeterminate padding into the checkpoint stream.
+  void save(io::StateSink& sink) const {
+    sink.u64(tags_.size());
+    for (const Tag& t : tags_) {
+      sink.u64(t.extent_base);
+      sink.u8(t.latest_offset);
+      sink.u8(t.extent_len);
+    }
+    sink.u64(live_);
+  }
+  void restore(io::StateSource& src) {
+    PPSSD_CHECK_MSG(src.u64() == tags_.size(),
+                    "warm-start checkpoint does not match IPU table shape");
+    for (Tag& t : tags_) {
+      t.extent_base = src.u64();
+      t.latest_offset = src.u8();
+      t.extent_len = src.u8();
+    }
+    live_ = src.u64();
+    PPSSD_CHECK_MSG(src.ok(), "warm-start checkpoint truncated");
+  }
 
  private:
   [[nodiscard]] std::size_t index(const nand::Geometry& geom, BlockId block,

@@ -16,55 +16,6 @@ Block::Block(CellMode mode, std::uint32_t pages,
               subpages_per_page <= kMaxSubpagesPerPage);
 }
 
-bool Block::program(PageId p, std::span<const SlotWrite> writes, SimTime now) {
-  PPSSD_CHECK(p < page_count());
-  for (const SlotWrite& w : writes) {
-    PPSSD_CHECK(w.slot < subpages_per_page_);
-  }
-  Page& pg = pages_[p];
-  const std::uint8_t pre_ops = pg.program_ops();
-  if (pre_ops == 0) {
-    // First program of a page must land on the write frontier: NAND blocks
-    // are programmed page-sequentially after an erase.
-    PPSSD_CHECK_MSG(p == frontier_, "out-of-order first program of a page");
-    ++frontier_;
-  } else if (pre_ops == 1) {
-    // The page transitions to "updated": its valid subpages leave the
-    // cold (never-updated) population tracked by the age histogram.
-    for (std::uint32_t s = 0; s < subpages_per_page_; ++s) {
-      const Subpage& sp = pg.subpage(static_cast<SubpageId>(s));
-      if (sp.state == SubpageState::kValid) {
-        age_histogram_.remove(sp.write_time_ms);
-      }
-    }
-  }
-  const bool partial = pg.program(writes, now);
-  const auto n = static_cast<std::uint32_t>(writes.size());
-  // The write time the page stamped on the new subpages (ms truncation
-  // happens in one place — read it back instead of recomputing).
-  const std::uint32_t wt = pg.subpage(writes[0].slot).write_time_ms;
-  valid_ += n;
-  sum_write_time_ms_ += static_cast<std::uint64_t>(wt) * n;
-  if (pre_ops == 0) {
-    age_histogram_.add(wt, n);
-  }
-  return partial;
-}
-
-void Block::invalidate(PageId p, SubpageId s) {
-  PPSSD_CHECK(p < page_count());
-  Page& pg = pages_[p];
-  const std::uint32_t wt = pg.subpage(s).write_time_ms;
-  pg.invalidate(s);
-  PPSSD_CHECK(valid_ > 0);
-  --valid_;
-  ++invalid_;
-  sum_write_time_ms_ -= wt;
-  if (pg.program_ops() == 1) {
-    age_histogram_.remove(wt);
-  }
-}
-
 void Block::erase(SimTime now) {
   for (auto& pg : pages_) {
     pg.reset();
@@ -74,7 +25,7 @@ void Block::erase(SimTime now) {
   invalid_ = 0;
   sum_write_time_ms_ = 0;
   // Rebase the histogram on this erase so bucket widths are log-spaced in
-  // the block's own fill window (same ms truncation as Page::program).
+  // the block's own fill window (same ms truncation as the program path).
   age_histogram_.clear(static_cast<std::uint32_t>(now / 1'000'000));
   ++erase_count_;
   last_erase_time_ = now;

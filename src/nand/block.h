@@ -25,6 +25,8 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
+#include "common/state_io.h"
 #include "common/types.h"
 #include "nand/page.h"
 
@@ -117,6 +119,46 @@ class AgeHistogram {
 
   bool operator==(const AgeHistogram&) const = default;
 
+  /// Checkpoint serialization: the sparse set of occupied buckets (the
+  /// dense arrays are ~1.6 KB/block, but post-warm-up blocks occupy only
+  /// a handful of buckets). restore() reproduces exact equality; totals
+  /// are rebuilt from the bucket counts.
+  void save(io::StateSink& sink) const {
+    sink.u32(base_ms_);
+    std::uint32_t n = 0;
+    for (const std::uint64_t w : occupied_) n += std::popcount(w);
+    sink.u32(n);
+    for (std::uint32_t w = 0; w < occupied_.size(); ++w) {
+      std::uint64_t bits = occupied_[w];
+      while (bits != 0) {
+        const auto b =
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(bits));
+        sink.u16(static_cast<std::uint16_t>(b));
+        sink.u32(count_[b]);
+        sink.u64(sum_[b]);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Inverse of save(). The caller (FlashArray::restore) has already
+  /// checksum-validated the stream, so shape violations are hard errors.
+  void restore(io::StateSource& src) {
+    clear(src.u32());
+    const std::uint32_t n = src.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t b = src.u16();
+      const std::uint32_t count = src.u32();
+      const std::uint64_t sum = src.u64();
+      PPSSD_CHECK_MSG(b < kBuckets && count > 0,
+                      "age histogram bucket out of range in checkpoint");
+      count_[b] = count;
+      sum_[b] = sum;
+      occupied_[b / 64] |= 1ull << (b % 64);
+      total_ += count;
+    }
+  }
+
  private:
   std::array<std::uint32_t, kBuckets> count_{};
   std::array<std::uint64_t, kBuckets> sum_{};
@@ -174,26 +216,8 @@ class Block {
   [[nodiscard]] const Page& page(PageId p) const { return pages_[p]; }
   [[nodiscard]] Page& page(PageId p) { return pages_[p]; }
 
-  /// Apply one program operation to page `p` filling the given slots.
-  /// Advances the frontier on a first program; updates valid counters.
-  /// Returns true if this was a partial program.
-  ///
-  /// Reference implementation (layer-by-layer dispatch into Page). The
-  /// production hot path is the fused FlashArray::program; the randomized
-  /// equivalence test keeps the two state-identical.
-  bool program(PageId p, std::span<const SlotWrite> writes, SimTime now);
-
-  /// Invalidate one valid subpage. Reference counterpart of the fused
-  /// FlashArray::invalidate.
-  void invalidate(PageId p, SubpageId s);
-
-  /// Record a program on the page adjacent to `p` (disturb propagation is
-  /// performed by FlashArray which knows wordline adjacency).
-  void absorb_neighbor_program(PageId p) {
-    pages_[p].absorb_neighbor_program();
-  }
-
-  /// Erase: clears all pages, bumps the P/E counter.
+  /// Erase: clears all pages, bumps the P/E counter. Subpage slot contents
+  /// live in the FlashArray SoA rows; FlashArray::erase clears those.
   void erase(SimTime now);
 
  private:

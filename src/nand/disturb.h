@@ -5,13 +5,14 @@
 //     subpage was written stress that subpage's cells directly;
 //   * neighbouring-page disturb — programs on wordline-adjacent pages.
 // Page/Block track the raw counters; DisturbSnapshot packages everything
-// the BER model needs to price a read of one subpage.
+// the BER model needs to price a read of one subpage. The snapshot is
+// assembled by FlashArray::disturb_of, which owns the SoA subpage rows
+// the subtraction terms come from (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
 
 #include "common/types.h"
-#include "nand/block.h"
 
 namespace ppssd::nand {
 
@@ -27,23 +28,5 @@ struct DisturbSnapshot {
   /// than a fresh dense program, priced as a BER penalty.
   bool reprogrammed = false;
 };
-
-/// Build the snapshot for `block.page(p).subpage(s)` given the device's
-/// baseline P/E count. `base_pe` models pre-existing wear (the paper ages
-/// the device to a fixed P/E before replay); per-block erases accumulate on
-/// top of it. Header-inline: this runs once per resolved subpage on the
-/// host-read path (DESIGN.md §10).
-[[nodiscard]] inline DisturbSnapshot snapshot_disturb(const Block& block,
-                                                      PageId p, SubpageId s,
-                                                      std::uint32_t base_pe) {
-  DisturbSnapshot snap;
-  snap.mode = block.mode();
-  snap.pe_cycles = base_pe + block.erase_count();
-  const Page& pg = block.page(p);
-  snap.in_page_disturbs = pg.in_page_disturbs(s);
-  snap.neighbor_disturbs = pg.neighbor_disturbs(s);
-  snap.reprogrammed = pg.reprogrammed();
-  return snap;
-}
 
 }  // namespace ppssd::nand

@@ -1,6 +1,9 @@
 #include "nand/flash_array.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/state_io.h"
 
 namespace ppssd::nand {
 
@@ -9,8 +12,11 @@ FlashArray::FlashArray(const SsdConfig& cfg)
   const std::string err = cfg.validate();
   PPSSD_CHECK_MSG(err.empty(), err.c_str());
 
+  spp_ = geom_.subpages_per_page();
   blocks_.reserve(geom_.total_blocks());
   statics_.reserve(geom_.total_blocks());
+  slot_base_.reserve(geom_.total_blocks());
+  std::size_t slots = 0;
   for (BlockId b = 0; b < geom_.total_blocks(); ++b) {
     const CellMode mode =
         geom_.is_slc_block(b) ? CellMode::kSlc : CellMode::kMlc;
@@ -19,7 +25,16 @@ FlashArray::FlashArray(const SsdConfig& cfg)
     statics_.push_back(BlockStatic{
         geom_.plane_of(b), static_cast<std::uint16_t>(geom_.chip_of(b)),
         static_cast<std::uint16_t>(geom_.channel_of(b)), mode});
+    slot_base_.push_back(slots);
+    slots += static_cast<std::size_t>(geom_.pages_per_block(mode)) * spp_;
   }
+  sp_state_.assign(slots, 0);
+  sp_owner_.assign(slots, 0);
+  sp_wtime_.assign(slots, 0);
+  sp_version_.assign(slots, 0);
+  sp_programs_before_.assign(slots, 0);
+  sp_neighbors_before_.assign(slots, 0);
+
   planes_.reserve(geom_.planes());
   for (std::uint32_t p = 0; p < geom_.planes(); ++p) {
     const BlockId first = geom_.plane_first_block(p);
@@ -35,23 +50,66 @@ bool FlashArray::program_reference(BlockId b, PageId p,
   PPSSD_CHECK(b < blocks_.size());
   PPSSD_CHECK(!writes.empty());
   Block& blk = blocks_[b];
-  if (blk.page(p).programmed()) {
+  PPSSD_CHECK(p < blk.page_count());
+  Page& pg = blk.pages_[p];
+  if (pg.programmed()) {
     PPSSD_CHECK_MSG(can_partial_program(b, p),
                     "partial-program limit exceeded or no free slot");
   }
-  const bool partial = blk.program(p, writes, now);
+  const std::size_t base = slot_base_[b] + static_cast<std::size_t>(p) * spp_;
+
+  // Layer "block": frontier rule and the cold-population transition.
+  const std::uint8_t pre_ops = pg.program_ops_;
+  if (pre_ops == 0) {
+    PPSSD_CHECK_MSG(p == blk.frontier_, "out-of-order first program of a page");
+    ++blk.frontier_;
+  } else if (pre_ops == 1) {
+    for (std::uint32_t s = 0; s < spp_; ++s) {
+      if (sp_state_[base + s] ==
+          static_cast<std::uint8_t>(SubpageState::kValid)) {
+        blk.age_histogram_.remove(sp_wtime_[base + s]);
+      }
+    }
+  }
+
+  // Layer "page": write-once slot stamping in its own pass.
+  PPSSD_CHECK_MSG(pre_ops < std::numeric_limits<std::uint8_t>::max(),
+                  "page program-op counter overflow");
+  const auto wt = static_cast<std::uint32_t>(now / 1'000'000);
+  for (const SlotWrite& w : writes) {
+    PPSSD_CHECK(w.slot < spp_);
+    const std::size_t i = base + w.slot;
+    PPSSD_CHECK_MSG(sp_state_[i] ==
+                        static_cast<std::uint8_t>(SubpageState::kFree),
+                    "programming a non-free subpage (NAND write-once rule)");
+    sp_state_[i] = static_cast<std::uint8_t>(SubpageState::kValid);
+    sp_owner_[i] = static_cast<std::uint32_t>(w.lsn);
+    sp_version_[i] = w.version;
+    sp_wtime_[i] = wt;
+    sp_programs_before_[i] = pre_ops;
+    sp_neighbors_before_[i] = pg.neighbor_programs_;
+  }
+  pg.program_ops_ = static_cast<std::uint8_t>(pre_ops + 1);
+  const bool partial = pre_ops > 0;
+
+  // Layer "block" aggregates, separate pass.
+  const auto n = static_cast<std::uint32_t>(writes.size());
+  blk.valid_ += n;
+  blk.sum_write_time_ms_ += static_cast<std::uint64_t>(wt) * n;
+  if (pre_ops == 0) {
+    blk.age_histogram_.add(wt, n);
+  }
 
   // Wordline adjacency: programming page p disturbs pages p-1 and p+1 of
   // the same block if they already hold data (Figure 1).
-  if (p > 0 && blk.page(static_cast<PageId>(p - 1)).programmed()) {
-    blk.absorb_neighbor_program(static_cast<PageId>(p - 1));
+  if (p > 0 && blk.pages_[p - 1].programmed()) {
+    blk.pages_[p - 1].absorb_neighbor_program();
   }
   const auto next = static_cast<PageId>(p + 1);
-  if (next < blk.page_count() && blk.page(next).programmed()) {
-    blk.absorb_neighbor_program(next);
+  if (next < blk.page_count() && blk.pages_[next].programmed()) {
+    blk.pages_[next].absorb_neighbor_program();
   }
 
-  const auto n = static_cast<std::uint64_t>(writes.size());
   if (blk.mode() == CellMode::kSlc) {
     ++counters_.slc_program_ops;
     counters_.slc_subpages_written += n;
@@ -71,19 +129,20 @@ void FlashArray::prefill_page(BlockId b, PageId p,
   Block& blk = blocks_[b];
   PPSSD_CHECK_MSG(p == blk.frontier_, "out-of-order first program of a page");
   ++blk.frontier_;
-  Page& pg = blk.pages_[p];
+  const std::size_t base = slot_base_[b] + static_cast<std::size_t>(p) * spp_;
   for (const SlotWrite& w : writes) {
-    PPSSD_DCHECK(w.slot < blk.subpages_per_page_);
-    Subpage& sp = pg.subpages_[w.slot];
-    PPSSD_CHECK_MSG(sp.state == SubpageState::kFree,
+    PPSSD_DCHECK(w.slot < spp_);
+    const std::size_t i = base + w.slot;
+    PPSSD_CHECK_MSG(sp_state_[i] ==
+                        static_cast<std::uint8_t>(SubpageState::kFree),
                     "programming a non-free subpage (NAND write-once rule)");
-    sp.state = SubpageState::kValid;
-    sp.owner_lsn = static_cast<std::uint32_t>(w.lsn);
-    sp.version = w.version;
+    sp_state_[i] = static_cast<std::uint8_t>(SubpageState::kValid);
+    sp_owner_[i] = static_cast<std::uint32_t>(w.lsn);
+    sp_version_[i] = w.version;
     // write_time_ms, programs_before, neighbors_before stay 0: a frontier
     // fill at sim time 0 has seen no prior programs or neighbour disturbs.
   }
-  pg.program_ops_ = 1;
+  blk.pages_[p].program_ops_ = 1;
 
   const auto n = static_cast<std::uint32_t>(writes.size());
   blk.valid_ += n;
@@ -108,16 +167,36 @@ void FlashArray::prefill_page(BlockId b, PageId p,
 
 bool FlashArray::can_partial_program(BlockId b, PageId p) const {
   const Block& blk = blocks_[b];
-  const Page& pg = blk.page(p);
-  if (pg.program_ops() >= cfg_.cache.max_partial_programs) return false;
-  return pg.first_free(blk.subpages_per_page()) != kInvalidSubpage;
+  if (blk.pages_[p].program_ops() >= cfg_.cache.max_partial_programs) {
+    return false;
+  }
+  return page_first_free(b, p) != kInvalidSubpage;
 }
 
 void FlashArray::invalidate_reference(BlockId b, PageId p, SubpageId s) {
   PPSSD_CHECK(b < blocks_.size());
-  blocks_[b].invalidate(p, s);
+  Block& blk = blocks_[b];
+  PPSSD_CHECK(p < blk.page_count());
+  PPSSD_CHECK(s < spp_);
+  const std::size_t i = slot_base_[b] + static_cast<std::size_t>(p) * spp_ + s;
+
+  // Layer "page": the state flip.
+  PPSSD_CHECK_MSG(sp_state_[i] ==
+                      static_cast<std::uint8_t>(SubpageState::kValid),
+                  "invalidating a subpage that is not valid");
+  sp_state_[i] = static_cast<std::uint8_t>(SubpageState::kInvalid);
+
+  // Layer "block": aggregates in a separate pass.
+  const std::uint32_t wt = sp_wtime_[i];
+  PPSSD_CHECK(blk.valid_ > 0);
+  --blk.valid_;
+  ++blk.invalid_;
+  blk.sum_write_time_ms_ -= wt;
+  if (blk.pages_[p].program_ops() == 1) {
+    blk.age_histogram_.remove(wt);
+  }
   if (observer_ != nullptr) {
-    observer_->on_subpage_invalidated(b, blocks_[b].invalid_subpages());
+    observer_->on_subpage_invalidated(b, blk.invalid_);
   }
 }
 
@@ -127,6 +206,15 @@ void FlashArray::erase(BlockId b, SimTime now) {
   PPSSD_CHECK_MSG(blk.valid_subpages() == 0,
                   "erasing a block that still holds valid data");
   blk.erase(now);
+  // Clear the block's SoA slot range back to the erased state.
+  const std::size_t base = slot_base_[b];
+  const std::size_t n = static_cast<std::size_t>(blk.page_count()) * spp_;
+  std::fill_n(sp_state_.begin() + base, n, std::uint8_t{0});
+  std::fill_n(sp_owner_.begin() + base, n, std::uint32_t{0});
+  std::fill_n(sp_wtime_.begin() + base, n, std::uint32_t{0});
+  std::fill_n(sp_version_.begin() + base, n, std::uint32_t{0});
+  std::fill_n(sp_programs_before_.begin() + base, n, std::uint8_t{0});
+  std::fill_n(sp_neighbors_before_.begin() + base, n, std::uint16_t{0});
   const BlockStatic& bs = statics_[b];
   if (bs.mode == CellMode::kSlc) {
     ++counters_.slc_erases;
@@ -147,6 +235,138 @@ std::uint64_t FlashArray::total_erases(CellMode mode) const {
     if (blk.mode() == mode) sum += blk.erase_count();
   }
   return sum;
+}
+
+void FlashArray::save(io::StateSink& sink) const {
+  // Keep the layout in sync with the read-only checkpoint adapter
+  // (telemetry/introspect/warmstart_reader.cpp), which re-parses this
+  // section standalone; bump io::warmstart::kVersion on any change.
+  //
+  // Shape header: lets restore() reject a checkpoint whose geometry does
+  // not match the constructed array (the container's key should already
+  // guarantee this; the check is defense in depth).
+  sink.u32(spp_);
+  sink.u32(static_cast<std::uint32_t>(blocks_.size()));
+  sink.u64(sp_state_.size());
+
+  sink.vec(sp_state_);
+  sink.vec(sp_owner_);
+  sink.vec(sp_wtime_);
+  sink.vec(sp_version_);
+  sink.vec(sp_programs_before_);
+  sink.vec(sp_neighbors_before_);
+
+  // Page fields as three global SoA rows (block-major, page order), so
+  // restore ingests them as three bulk copies instead of a per-page
+  // scalar loop over the stream.
+  std::size_t total_pages = 0;
+  for (const Block& blk : blocks_) total_pages += blk.page_count();
+  std::vector<std::uint8_t> pg_ops;
+  std::vector<std::uint16_t> pg_neighbors;
+  std::vector<std::uint8_t> pg_reprogrammed;
+  pg_ops.reserve(total_pages);
+  pg_neighbors.reserve(total_pages);
+  pg_reprogrammed.reserve(total_pages);
+  for (const Block& blk : blocks_) {
+    for (const Page& pg : blk.pages_) {
+      pg_ops.push_back(pg.program_ops_);
+      pg_neighbors.push_back(pg.neighbor_programs_);
+      pg_reprogrammed.push_back(pg.reprogrammed_ ? 1 : 0);
+    }
+  }
+  sink.vec(pg_ops);
+  sink.vec(pg_neighbors);
+  sink.vec(pg_reprogrammed);
+
+  // Per-block scalars *and* the running aggregates: the aggregates are
+  // derivable from the rows above, but serializing them makes restore a
+  // straight copy instead of a fold over every subpage slot — the
+  // invariant walk (Scheme::check_consistency) still re-derives and
+  // cross-checks them after every checkpoint round-trip in tests.
+  for (const Block& blk : blocks_) {
+    sink.u8(static_cast<std::uint8_t>(blk.level()));
+    sink.u32(blk.erase_count());
+    sink.u64(blk.last_erase_time());
+    sink.u32(blk.frontier_);
+    sink.u32(blk.valid_);
+    sink.u32(blk.invalid_);
+    sink.u64(blk.sum_write_time_ms_);
+    blk.age_histogram_.save(sink);
+  }
+
+  for (const Plane& pl : planes_) {
+    sink.u64(pl.programs());
+    sink.u64(pl.reads());
+    sink.u64(pl.erases());
+  }
+
+  sink.pod(counters_);
+}
+
+void FlashArray::restore(io::StateSource& src) {
+  PPSSD_CHECK_MSG(src.u32() == spp_ &&
+                      src.u32() == static_cast<std::uint32_t>(blocks_.size()) &&
+                      src.u64() == sp_state_.size(),
+                  "warm-start checkpoint does not match device geometry");
+
+  // In-place row reads: the arrays are already sized by the constructor
+  // (the geometry check above passed), so each row is one bulk copy;
+  // vec_into sticky-fails on any length mismatch.
+  (void)src.vec_into(sp_state_);
+  (void)src.vec_into(sp_owner_);
+  (void)src.vec_into(sp_wtime_);
+  (void)src.vec_into(sp_version_);
+  (void)src.vec_into(sp_programs_before_);
+  (void)src.vec_into(sp_neighbors_before_);
+  PPSSD_CHECK_MSG(src.ok(), "warm-start checkpoint rows truncated");
+
+  const std::vector<std::uint8_t> pg_ops = src.vec<std::uint8_t>();
+  const std::vector<std::uint16_t> pg_neighbors = src.vec<std::uint16_t>();
+  const std::vector<std::uint8_t> pg_reprogrammed = src.vec<std::uint8_t>();
+  std::size_t total_pages = 0;
+  for (const Block& blk : blocks_) total_pages += blk.page_count();
+  PPSSD_CHECK_MSG(src.ok() && pg_ops.size() == total_pages &&
+                      pg_neighbors.size() == total_pages &&
+                      pg_reprogrammed.size() == total_pages,
+                  "warm-start checkpoint page rows truncated");
+
+  // Scatter the page rows back, then take the serialized aggregates as
+  // is — they were read off a consistent device and the stream already
+  // passed the container checksum; the cheap per-block shape checks
+  // below catch writer/reader drift, and the invariant walk re-derives
+  // the aggregates in full wherever tests call it.
+  std::size_t cursor = 0;
+  for (Block& blk : blocks_) {
+    blk.level_ = static_cast<BlockLevel>(src.u8());
+    blk.erase_count_ = src.u32();
+    blk.last_erase_time_ = src.u64();
+    for (Page& pg : blk.pages_) {
+      pg.program_ops_ = pg_ops[cursor];
+      pg.neighbor_programs_ = pg_neighbors[cursor];
+      pg.reprogrammed_ = pg_reprogrammed[cursor] != 0;
+      ++cursor;
+    }
+    blk.frontier_ = src.u32();
+    blk.valid_ = src.u32();
+    blk.invalid_ = src.u32();
+    blk.sum_write_time_ms_ = src.u64();
+    blk.age_histogram_.restore(src);
+    PPSSD_CHECK_MSG(
+        blk.frontier_ <= blk.page_count() &&
+            blk.valid_ + blk.invalid_ <=
+                static_cast<std::uint64_t>(blk.frontier_) * spp_,
+        "warm-start checkpoint block aggregates out of shape");
+  }
+
+  for (Plane& pl : planes_) {
+    const std::uint64_t programs = src.u64();
+    const std::uint64_t reads = src.u64();
+    const std::uint64_t erases = src.u64();
+    pl.restore_counters(programs, reads, erases);
+  }
+
+  counters_ = src.pod<ArrayCounters>();
+  PPSSD_CHECK_MSG(src.ok(), "warm-start checkpoint truncated");
 }
 
 }  // namespace ppssd::nand

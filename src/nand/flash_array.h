@@ -7,16 +7,17 @@
 // partial-program limit, disturb propagation to wordline neighbours, and
 // erase/wear accounting.
 //
-// Hot-path layout (DESIGN.md §10): program() and invalidate() are *fused*
-// single-pass implementations — they update subpage state, block running
-// aggregates, the age histogram, array counters and the block observer in
-// one walk over the touched slots, instead of dispatching through
-// Block::program → Page::program per layer. The layer-by-layer chains
-// survive as program_reference()/invalidate_reference() oracles, held
-// state-identical by tests/nand/fused_path_test.cpp. Contract invariants
-// (write-once, frontier order, partial-program limit, valid-state) stay
-// PPSSD_CHECK in every build; bounds and secondary state checks are
-// PPSSD_DCHECK and compile out of Release.
+// Hot-path layout (DESIGN.md §10, §14): program() and invalidate() are
+// *fused* single-pass implementations, and the per-subpage fields they
+// walk are stored as structure-of-arrays rows (one flat vector per field,
+// indexed by a precomputed per-block slot base) so a state scan touches
+// one densely packed row instead of striding over interleaved structs.
+// The layer-by-layer chains survive as program_reference()/
+// invalidate_reference() oracles, held state-identical by
+// tests/nand/fused_path_test.cpp. Contract invariants (write-once,
+// frontier order, partial-program limit, valid-state) stay PPSSD_CHECK in
+// every build; bounds and secondary state checks are PPSSD_DCHECK and
+// compile out of Release.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +33,11 @@
 #include "nand/disturb.h"
 #include "nand/geometry.h"
 #include "nand/plane.h"
+
+namespace ppssd::io {
+class StateSink;
+class StateSource;
+}  // namespace ppssd::io
 
 namespace ppssd::nand {
 
@@ -93,12 +99,89 @@ class FlashArray {
     return static_cast<std::uint32_t>(chips_.size());
   }
 
+  /// Subpages per page — uniform across cell modes; the SoA rows rely on
+  /// that uniformity for their fixed per-page stride.
+  [[nodiscard]] std::uint32_t subpages_per_page() const { return spp_; }
+
+  /// Flat SoA slot index of subpage (b, p, s).
+  [[nodiscard]] std::size_t slot_index(BlockId b, PageId p,
+                                       SubpageId s) const {
+    PPSSD_DCHECK(b < blocks_.size());
+    PPSSD_DCHECK(p < blocks_[b].page_count());
+    PPSSD_DCHECK(s < spp_);
+    return slot_base_[b] + static_cast<std::size_t>(p) * spp_ + s;
+  }
+
+  [[nodiscard]] SubpageState subpage_state(BlockId b, PageId p,
+                                           SubpageId s) const {
+    return static_cast<SubpageState>(sp_state_[slot_index(b, p, s)]);
+  }
+
+  /// Materialized copy of one subpage's stored fields (SoA gather).
+  [[nodiscard]] Subpage subpage(BlockId b, PageId p, SubpageId s) const {
+    const std::size_t i = slot_index(b, p, s);
+    Subpage sp;
+    sp.owner_lsn = sp_owner_[i];
+    sp.write_time_ms = sp_wtime_[i];
+    sp.version = sp_version_[i];
+    sp.state = static_cast<SubpageState>(sp_state_[i]);
+    sp.programs_before = sp_programs_before_[i];
+    sp.neighbors_before = sp_neighbors_before_[i];
+    return sp;
+  }
+
+  /// Count of page (b, p)'s subpages in state `st`.
+  [[nodiscard]] std::uint32_t page_count_state(BlockId b, PageId p,
+                                               SubpageState st) const {
+    const std::size_t base = slot_index(b, p, 0);
+    std::uint32_t c = 0;
+    for (std::uint32_t s = 0; s < spp_; ++s) {
+      if (sp_state_[base + s] == static_cast<std::uint8_t>(st)) ++c;
+    }
+    return c;
+  }
+
+  /// Index of the first free slot of page (b, p), or kInvalidSubpage.
+  /// Slots are consumed in order and invalidation never frees them, so
+  /// the free slots of a page always form a suffix.
+  [[nodiscard]] SubpageId page_first_free(BlockId b, PageId p) const {
+    const std::size_t base = slot_index(b, p, 0);
+    for (std::uint32_t s = 0; s < spp_; ++s) {
+      if (sp_state_[base + s] ==
+          static_cast<std::uint8_t>(SubpageState::kFree)) {
+        return static_cast<SubpageId>(s);
+      }
+    }
+    return kInvalidSubpage;
+  }
+
+  /// In-page disturb events absorbed by (b, p, s) since it was written:
+  /// the number of partial programs applied to the page afterwards.
+  [[nodiscard]] std::uint32_t in_page_disturbs(BlockId b, PageId p,
+                                               SubpageId s) const {
+    const std::size_t i = slot_index(b, p, s);
+    PPSSD_DCHECK(sp_state_[i] !=
+                 static_cast<std::uint8_t>(SubpageState::kFree));
+    return blocks_[b].pages_[p].program_ops_ - sp_programs_before_[i] - 1;
+  }
+
+  /// Neighbour disturb events absorbed by (b, p, s) since it was written.
+  [[nodiscard]] std::uint32_t neighbor_disturbs(BlockId b, PageId p,
+                                                SubpageId s) const {
+    const std::size_t i = slot_index(b, p, s);
+    PPSSD_DCHECK(sp_state_[i] !=
+                 static_cast<std::uint8_t>(SubpageState::kFree));
+    return blocks_[b].pages_[p].neighbor_programs_ -
+           sp_neighbors_before_[i];
+  }
+
   /// Apply one program operation to block `b`, page `p`, filling the given
   /// slots. Enforces the per-page partial-program limit and propagates
   /// neighbour disturb. Returns true if it was a partial program.
   ///
-  /// Fused single-pass implementation: page state, block aggregates, the
-  /// age histogram and array counters update in one walk over `writes`.
+  /// Fused single-pass implementation: subpage rows, page counters, block
+  /// aggregates, the age histogram and array counters update in one walk
+  /// over `writes`.
   bool program(BlockId b, PageId p, std::span<const SlotWrite> writes,
                SimTime now) {
     PPSSD_DCHECK(b < blocks_.size());
@@ -106,6 +189,7 @@ class FlashArray {
     Block& blk = blocks_[b];
     PPSSD_DCHECK(p < blk.page_count());
     Page& pg = blk.pages_[p];
+    const std::size_t base = slot_base_[b] + static_cast<std::size_t>(p) * spp_;
     const std::uint8_t pre_ops = pg.program_ops_;
     if (pre_ops == 0) {
       // First program of a page must land on the write frontier: NAND
@@ -119,10 +203,10 @@ class FlashArray {
       if (pre_ops == 1) {
         // The page transitions to "updated": its valid subpages leave the
         // cold (never-updated) population tracked by the age histogram.
-        for (std::uint32_t s = 0; s < blk.subpages_per_page_; ++s) {
-          const Subpage& sp = pg.subpages_[s];
-          if (sp.state == SubpageState::kValid) {
-            blk.age_histogram_.remove(sp.write_time_ms);
+        for (std::uint32_t s = 0; s < spp_; ++s) {
+          if (sp_state_[base + s] ==
+              static_cast<std::uint8_t>(SubpageState::kValid)) {
+            blk.age_histogram_.remove(sp_wtime_[base + s]);
           }
         }
       }
@@ -132,16 +216,17 @@ class FlashArray {
                      "page program-op counter overflow");
     const auto wt = static_cast<std::uint32_t>(now / 1'000'000);
     for (const SlotWrite& w : writes) {
-      PPSSD_DCHECK(w.slot < blk.subpages_per_page_);
-      Subpage& sp = pg.subpages_[w.slot];
-      PPSSD_CHECK_MSG(sp.state == SubpageState::kFree,
+      PPSSD_DCHECK(w.slot < spp_);
+      const std::size_t i = base + w.slot;
+      PPSSD_CHECK_MSG(sp_state_[i] ==
+                          static_cast<std::uint8_t>(SubpageState::kFree),
                       "programming a non-free subpage (NAND write-once rule)");
-      sp.state = SubpageState::kValid;
-      sp.owner_lsn = static_cast<std::uint32_t>(w.lsn);
-      sp.version = w.version;
-      sp.write_time_ms = wt;
-      sp.programs_before = pre_ops;
-      sp.neighbors_before = pg.neighbor_programs_;
+      sp_state_[i] = static_cast<std::uint8_t>(SubpageState::kValid);
+      sp_owner_[i] = static_cast<std::uint32_t>(w.lsn);
+      sp_version_[i] = w.version;
+      sp_wtime_[i] = wt;
+      sp_programs_before_[i] = pre_ops;
+      sp_neighbors_before_[i] = pg.neighbor_programs_;
     }
     pg.program_ops_ = static_cast<std::uint8_t>(pre_ops + 1);
 
@@ -175,8 +260,9 @@ class FlashArray {
     return pre_ops > 0;
   }
 
-  /// Layer-by-layer program chain (FlashArray → Block → Page), kept as
-  /// the equivalence oracle for the fused program().
+  /// Layer-by-layer program chain (checks, then per-slot stamping, then
+  /// aggregate updates as separate passes), kept as the equivalence
+  /// oracle for the fused program().
   bool program_reference(BlockId b, PageId p,
                          std::span<const SlotWrite> writes, SimTime now);
 
@@ -223,24 +309,25 @@ class FlashArray {
   /// program limit not yet reached and free subpage slots remain).
   [[nodiscard]] bool can_partial_program(BlockId b, PageId p) const;
 
-  /// Fused invalidate: one page lookup updates subpage state, block
+  /// Fused invalidate: one slot lookup updates the state row, block
   /// aggregates, the age histogram and the observer in a single pass.
   void invalidate(BlockId b, PageId p, SubpageId s) {
     PPSSD_DCHECK(b < blocks_.size());
     Block& blk = blocks_[b];
     PPSSD_DCHECK(p < blk.page_count());
-    Page& pg = blk.pages_[p];
-    PPSSD_DCHECK(s < blk.subpages_per_page_);
-    Subpage& sp = pg.subpages_[s];
-    PPSSD_CHECK_MSG(sp.state == SubpageState::kValid,
+    PPSSD_DCHECK(s < spp_);
+    const std::size_t i =
+        slot_base_[b] + static_cast<std::size_t>(p) * spp_ + s;
+    PPSSD_CHECK_MSG(sp_state_[i] ==
+                        static_cast<std::uint8_t>(SubpageState::kValid),
                     "invalidating a subpage that is not valid");
-    sp.state = SubpageState::kInvalid;
-    const std::uint32_t wt = sp.write_time_ms;
+    sp_state_[i] = static_cast<std::uint8_t>(SubpageState::kInvalid);
+    const std::uint32_t wt = sp_wtime_[i];
     PPSSD_DCHECK(blk.valid_ > 0);
     --blk.valid_;
     ++blk.invalid_;
     blk.sum_write_time_ms_ -= wt;
-    if (pg.program_ops_ == 1) {
+    if (blk.pages_[p].program_ops_ == 1) {
       blk.age_histogram_.remove(wt);
     }
     if (observer_ != nullptr) {
@@ -262,7 +349,14 @@ class FlashArray {
   /// Disturb snapshot of a stored subpage for the BER model.
   [[nodiscard]] DisturbSnapshot disturb_of(BlockId b, PageId p,
                                            SubpageId s) const {
-    return snapshot_disturb(blocks_[b], p, s, cfg_.wear.initial_pe_cycles);
+    const Block& blk = blocks_[b];
+    DisturbSnapshot snap;
+    snap.mode = blk.mode();
+    snap.pe_cycles = cfg_.wear.initial_pe_cycles + blk.erase_count();
+    snap.in_page_disturbs = in_page_disturbs(b, p, s);
+    snap.neighbor_disturbs = neighbor_disturbs(b, p, s);
+    snap.reprogrammed = blk.pages_[p].reprogrammed_;
+    return snap;
   }
 
   [[nodiscard]] const ArrayCounters& counters() const { return counters_; }
@@ -278,6 +372,16 @@ class FlashArray {
   /// observer must outlive the array or unregister before destruction.
   void set_block_observer(BlockObserver* observer) { observer_ = observer; }
 
+  /// Serialize the complete mutable array state (SoA rows, per-page and
+  /// per-block counters, wear, histograms, operation counters) for the
+  /// warm-start checkpoint. Geometry/config are not written — the restore
+  /// target must be constructed from the same SsdConfig.
+  void save(io::StateSink& sink) const;
+
+  /// Inverse of save(). PPSSD_CHECKs that the checkpoint's shape matches
+  /// this array's geometry; the caller validates checksum/version first.
+  void restore(io::StateSource& src);
+
  private:
   SsdConfig cfg_;
   Geometry geom_;
@@ -287,6 +391,18 @@ class FlashArray {
   std::vector<Chip> chips_;
   ArrayCounters counters_;
   BlockObserver* observer_ = nullptr;
+
+  // Structure-of-arrays subpage rows (DESIGN.md §14). Slot index =
+  // slot_base_[b] + page * spp_ + slot; slot_base_ is precomputed per
+  // block because pages-per-block differs between cell modes.
+  std::uint32_t spp_ = 0;
+  std::vector<std::size_t> slot_base_;
+  std::vector<std::uint8_t> sp_state_;
+  std::vector<std::uint32_t> sp_owner_;
+  std::vector<std::uint32_t> sp_wtime_;
+  std::vector<std::uint32_t> sp_version_;
+  std::vector<std::uint8_t> sp_programs_before_;
+  std::vector<std::uint16_t> sp_neighbors_before_;
 };
 
 }  // namespace ppssd::nand

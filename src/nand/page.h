@@ -1,4 +1,4 @@
-// Page and subpage state machines.
+// Page metadata and subpage value types.
 //
 // A 16 KiB page holds four 4 KiB subpages — the partial-programming unit.
 // Each program operation writes one or more subpage slots of a page; the
@@ -7,13 +7,18 @@
 // remembers how many program operations and neighbouring-page programs the
 // page had seen when the subpage was written, so the disturb *it* has
 // absorbed since is a subtraction, not a per-event fan-out.
+//
+// Storage layout (DESIGN.md §14): per-subpage fields live in
+// structure-of-arrays rows owned by FlashArray — the fused program/
+// invalidate paths and the GC oracles walk one field's row each instead of
+// striding over interleaved structs. `Subpage` survives as the *value*
+// type those rows gather into (accessors, tests, BER snapshots); `Page`
+// keeps only the per-page counters the disturb model subtracts against.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <span>
+#include <limits>
 
-#include "common/check.h"
 #include "common/types.h"
 
 namespace ppssd::nand {
@@ -24,7 +29,7 @@ enum class SubpageState : std::uint8_t {
   kInvalid = 2,
 };
 
-/// One 4 KiB subpage slot.
+/// One 4 KiB subpage slot, materialized from the FlashArray SoA rows.
 struct Subpage {
   /// Logical subpage stored here (valid only when state == kValid).
   std::uint32_t owner_lsn = 0;
@@ -37,6 +42,8 @@ struct Subpage {
   std::uint8_t programs_before = 0;
   /// Page neighbour-program count when this subpage was written.
   std::uint16_t neighbors_before = 0;
+
+  bool operator==(const Subpage&) const = default;
 };
 
 /// Maximum subpages per page supported without heap allocation.
@@ -49,6 +56,9 @@ struct SlotWrite {
   std::uint32_t version = 0;
 };
 
+/// Per-page counters. Subpage slot contents live in the FlashArray rows;
+/// what remains here is the page-granular state the disturb subtractions
+/// and the hot/cold split (page_updated) read.
 class Page {
  public:
   /// Number of program operations applied since the last erase.
@@ -66,75 +76,21 @@ class Page {
   /// BER penalty; cleared by erase.
   [[nodiscard]] bool reprogrammed() const { return reprogrammed_; }
 
-  [[nodiscard]] const Subpage& subpage(SubpageId i) const {
-    PPSSD_DCHECK(i < kMaxSubpagesPerPage);
-    return subpages_[i];
-  }
-
-  /// Count of subpages in a given state over the first `n` slots.
-  [[nodiscard]] std::uint32_t count(SubpageState s, std::uint32_t n) const {
-    PPSSD_DCHECK(n <= kMaxSubpagesPerPage);
-    std::uint32_t c = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (subpages_[i].state == s) ++c;
-    }
-    return c;
-  }
-
-  /// Index of the first free slot in the first `n`, or kInvalidSubpage.
-  [[nodiscard]] SubpageId first_free(std::uint32_t n) const {
-    PPSSD_DCHECK(n <= kMaxSubpagesPerPage);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (subpages_[i].state == SubpageState::kFree) {
-        return static_cast<SubpageId>(i);
-      }
-    }
-    return kInvalidSubpage;
-  }
-
-  /// Apply one program operation filling the given slots. Returns true if
-  /// the operation was a partial program (page already had data).
-  ///
-  /// Every targeted slot must be free (NAND write-once rule). The caller is
-  /// responsible for enforcing the per-page partial-program limit.
-  ///
-  /// This is the per-layer *reference* implementation: the production hot
-  /// path is the fused FlashArray::program, which updates page, block
-  /// aggregates and array counters in one pass (DESIGN.md §10). The two
-  /// are held state-identical by tests/nand/fused_path_test.cpp.
-  bool program(std::span<const SlotWrite> writes, SimTime now);
-
-  /// Mark a valid subpage invalid (data superseded elsewhere). Reference
-  /// counterpart of the fused FlashArray::invalidate.
-  void invalidate(SubpageId i);
-
   /// Called when a wordline-adjacent page is programmed.
-  void absorb_neighbor_program();
-
-  /// In-page disturb events absorbed by subpage `i` since it was written:
-  /// the number of partial programs applied to this page afterwards.
-  [[nodiscard]] std::uint32_t in_page_disturbs(SubpageId i) const {
-    const auto& sp = subpages_[i];
-    PPSSD_DCHECK(sp.state != SubpageState::kFree);
-    return program_ops_ - sp.programs_before - 1;
-  }
-
-  /// Neighbour disturb events absorbed by subpage `i` since it was written.
-  [[nodiscard]] std::uint32_t neighbor_disturbs(SubpageId i) const {
-    const auto& sp = subpages_[i];
-    PPSSD_DCHECK(sp.state != SubpageState::kFree);
-    return neighbor_programs_ - sp.neighbors_before;
+  void absorb_neighbor_program() {
+    if (neighbor_programs_ < std::numeric_limits<std::uint16_t>::max()) {
+      ++neighbor_programs_;
+    }
   }
 
   /// Reset to the erased state.
-  void reset();
+  void reset() { *this = Page{}; }
 
  private:
-  /// The fused array-level program/invalidate paths stamp subpage state
-  /// directly (one pass over the slots instead of one per layer).
+  /// The fused array-level paths stamp page counters directly (one pass
+  /// over the touched slots instead of one per layer).
   friend class FlashArray;
 
-  std::array<Subpage, kMaxSubpagesPerPage> subpages_{};
   std::uint8_t program_ops_ = 0;
   std::uint16_t neighbor_programs_ = 0;
   bool reprogrammed_ = false;

@@ -33,6 +33,14 @@ class Plane {
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
   [[nodiscard]] std::uint64_t erases() const { return erases_; }
 
+  /// Warm-start restore: overwrite the activity counters wholesale.
+  void restore_counters(std::uint64_t programs, std::uint64_t reads,
+                        std::uint64_t erases) {
+    programs_ = programs;
+    reads_ = reads;
+    erases_ = erases;
+  }
+
  private:
   std::uint32_t id_;
   BlockId first_block_;

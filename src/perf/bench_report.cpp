@@ -140,6 +140,11 @@ bool BenchComparison::has_regression() const {
                      [](const CellDelta& c) { return c.regression; });
 }
 
+bool BenchComparison::has_phase_regression() const {
+  return std::any_of(cells.begin(), cells.end(),
+                     [](const CellDelta& c) { return c.phase_regression(); });
+}
+
 double BenchComparison::worst_ratio() const {
   double worst = 1.0;
   for (const CellDelta& c : cells) {
@@ -159,6 +164,20 @@ std::string BenchComparison::render() const {
                   c.key.c_str(), c.base_reqs_per_sec, c.cur_reqs_per_sec,
                   c.ratio, c.regression ? "  REGRESSION" : "");
     os << line;
+    // Phase breakdown lines only where a gated phase slowed down: the
+    // table stays one line per healthy cell.
+    const struct {
+      const char* name;
+      const PhaseDelta& p;
+    } phases[] = {{"setup", c.setup}, {"warmup", c.warmup},
+                  {"measure", c.measure}};
+    for (const auto& [name, p] : phases) {
+      if (!p.regression) continue;
+      std::snprintf(line, sizeof line,
+                    "  phase %-8s %13.2fs %13.2fs %7.2fx  REGRESSION\n",
+                    name, p.base_seconds, p.cur_seconds, p.ratio);
+      os << line;
+    }
   }
   for (const std::string& k : only_in_baseline) {
     os << k << "  (missing from current run)\n";
@@ -166,10 +185,12 @@ std::string BenchComparison::render() const {
   for (const std::string& k : only_in_current) {
     os << k << "  (new cell, no baseline)\n";
   }
+  const bool phase_reg = has_phase_regression();
   std::snprintf(line, sizeof line,
-                "worst ratio %.2fx against tolerance -%d%%: %s\n",
+                "worst ratio %.2fx against tolerance -%d%%: %s%s\n",
                 worst_ratio(), static_cast<int>(tolerance * 100.0),
-                has_regression() ? "REGRESSION" : "ok");
+                has_regression() ? "REGRESSION" : "ok",
+                phase_reg ? " (phase REGRESSION)" : "");
   os << line;
   return os.str();
 }
@@ -196,6 +217,24 @@ BenchComparison compare_bench(const BenchReport& baseline,
                   ? d.cur_reqs_per_sec / d.base_reqs_per_sec
                   : 0.0;
     d.regression = d.base_reqs_per_sec > 0.0 && d.ratio < 1.0 - tolerance;
+    const auto phase_delta = [tolerance](double base, double cur) {
+      PhaseDelta p;
+      p.base_seconds = base;
+      p.cur_seconds = cur;
+      p.ratio = base > 0.0 ? cur / base : 0.0;
+      // Phases gate at twice the cell tolerance: they are raw wall
+      // times (not request-normalized throughput), so host noise hits
+      // them harder, while the failure modes the gate exists for — a
+      // warm-start cache that stopped hitting, a setup path that began
+      // rescanning — are multiples, not percentages.
+      p.regression = std::max(base, cur) >= kPhaseGateFloorSeconds &&
+                     base > 0.0 && p.ratio > 1.0 + 2.0 * tolerance;
+      return p;
+    };
+    const BenchPhases& bp = it->second->phases;
+    d.setup = phase_delta(bp.setup_seconds, c.phases.setup_seconds);
+    d.warmup = phase_delta(bp.warmup_seconds, c.phases.warmup_seconds);
+    d.measure = phase_delta(bp.measure_seconds, c.phases.measure_seconds);
     out.cells.push_back(std::move(d));
   }
   for (const BenchCell& c : baseline.cells) {

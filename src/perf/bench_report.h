@@ -71,7 +71,26 @@ struct BenchReport {
   [[nodiscard]] bool save(const std::string& path) const;
 };
 
-/// One cell's baseline-vs-current throughput comparison.
+/// One phase's baseline-vs-current wall-time comparison. Phases are
+/// time-based (lower is better), the opposite sense of the throughput
+/// ratio: cur/base > 1 is a slowdown.
+struct PhaseDelta {
+  double base_seconds = 0.0;
+  double cur_seconds = 0.0;
+  /// cur/base; > 1 is a slowdown. 0 when the baseline time is 0.
+  double ratio = 0.0;
+  bool regression = false;  // ratio above 1 + tolerance on a gated phase
+};
+
+/// Phases shorter than this on both sides are never gated: sub-50 ms
+/// timings are scheduler noise, not signal.
+inline constexpr double kPhaseGateFloorSeconds = 0.05;
+
+/// One cell's baseline-vs-current throughput comparison, plus the
+/// per-phase wall-time breakdown (setup / warmup / measure). The phase
+/// gates catch regressions the end-to-end rate hides — e.g. a warm-start
+/// cache that silently stopped hitting shows up as a warmup-phase
+/// regression long before it moves the overall req/s.
 struct CellDelta {
   std::string key;
   double base_reqs_per_sec = 0.0;
@@ -79,6 +98,13 @@ struct CellDelta {
   /// cur/base; < 1 is a slowdown. 0 when the baseline rate is 0.
   double ratio = 0.0;
   bool regression = false;  // ratio below 1 - tolerance
+  PhaseDelta setup;
+  PhaseDelta warmup;
+  PhaseDelta measure;
+
+  [[nodiscard]] bool phase_regression() const {
+    return setup.regression || warmup.regression || measure.regression;
+  }
 };
 
 struct BenchComparison {
@@ -88,6 +114,8 @@ struct BenchComparison {
   std::vector<std::string> only_in_current;
 
   [[nodiscard]] bool has_regression() const;
+  /// Any matched cell with a gated phase slowdown (see CellDelta).
+  [[nodiscard]] bool has_phase_regression() const;
   /// Worst (smallest) cur/base ratio over matched cells; 1.0 when none.
   [[nodiscard]] double worst_ratio() const;
   /// Human-readable per-cell delta table plus a verdict line.

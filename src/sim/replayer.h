@@ -56,6 +56,11 @@ class Replayer {
   /// stay invisible in the replay loop's profile.
   static constexpr std::uint64_t kProgressMask = (1u << 14) - 1;
 
+  /// Records fetched per TraceSource::next_batch call. Small enough that
+  /// the arena stays cache-resident, large enough that virtual dispatch
+  /// and decode-loop overhead amortize to noise.
+  static constexpr std::size_t kBatch = 256;
+
   Ssd* ssd_;
   perf::ProgressSink* progress_ = nullptr;
   telemetry::introspect::Snapshotter* snapshot_ = nullptr;

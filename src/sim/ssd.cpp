@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/check.h"
+#include "common/state_io.h"
 #include "common/units.h"
 #include "telemetry/introspect/snapshotter.h"
 
@@ -197,6 +198,56 @@ SimTime Ssd::drain_background(SimTime now) {
   deferred_.clear();
   deferred_head_ = 0;
   return end;
+}
+
+void Ssd::save(io::StateSink& sink) const {
+  PPSSD_CHECK_MSG(pending_.empty(),
+                  "checkpointing with unharvested host completions");
+  scheme_->save(sink);
+  sink.u64(next_request_id_);
+  sink.u64(deferred_head_);
+  // Field-wise (PhysOp and Deferred carry padding bytes; a memcpy'd
+  // vector would leak indeterminate padding into the checkpoint stream).
+  sink.u64(deferred_.size());
+  for (const Deferred& d : deferred_) {
+    sink.u32(d.op.chip);
+    sink.u32(d.op.channel);
+    sink.u8(static_cast<std::uint8_t>(d.op.kind));
+    sink.u8(static_cast<std::uint8_t>(d.op.mode));
+    sink.u32(d.op.subpages);
+    sink.f64(d.op.ber);
+    sink.boolean(d.op.background);
+    sink.u8(static_cast<std::uint8_t>(d.op.origin));
+    sink.u32(d.op.depends_on);
+    sink.u64(d.dep_finish);
+    sink.u64(d.dep_entry);
+    sink.u64(d.finish);
+    sink.boolean(d.scheduled);
+  }
+}
+
+void Ssd::restore(io::StateSource& src) {
+  scheme_->restore(src);
+  next_request_id_ = src.u64();
+  deferred_head_ = static_cast<std::size_t>(src.u64());
+  deferred_.assign(static_cast<std::size_t>(src.u64()), Deferred{});
+  for (Deferred& d : deferred_) {
+    d.op.chip = src.u32();
+    d.op.channel = src.u32();
+    d.op.kind = static_cast<cache::PhysOp::Kind>(src.u8());
+    d.op.mode = static_cast<CellMode>(src.u8());
+    d.op.subpages = src.u32();
+    d.op.ber = src.f64();
+    d.op.background = src.boolean();
+    d.op.origin = static_cast<cache::OpOrigin>(src.u8());
+    d.op.depends_on = src.u32();
+    d.dep_finish = src.u64();
+    d.dep_entry = static_cast<std::size_t>(src.u64());
+    d.finish = src.u64();
+    d.scheduled = src.boolean();
+  }
+  PPSSD_CHECK_MSG(src.ok() && deferred_head_ <= deferred_.size(),
+                  "warm-start checkpoint truncated at device level");
 }
 
 }  // namespace ppssd::sim

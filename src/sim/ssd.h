@@ -102,6 +102,14 @@ class Ssd {
   /// Schedule every deferred background op now (end-of-replay flush).
   SimTime drain_background(SimTime now);
 
+  /// Warm-start checkpointing (DESIGN.md §14): the scheme's full device
+  /// state plus the host-interface bits that survive the warm-up boundary
+  /// (request-id counter, deferred background-op queue). Call at a
+  /// quiescent point — right after reset_timing(), with every completion
+  /// harvested — so the timing layer is clean on both sides.
+  void save(io::StateSink& sink) const;
+  void restore(io::StateSource& src);
+
   /// Fan the bundle out to the scheme (placement/GC instruments) and the
   /// controller (flash-op spans). Null detaches.
   void attach_telemetry(telemetry::Telemetry* telemetry);

@@ -134,6 +134,14 @@ bool MsrTraceParser::next(TraceRecord& out) {
   return false;
 }
 
+std::size_t MsrTraceParser::next_batch(std::span<TraceRecord> out) {
+  // `next` devirtualizes here (final class): one call decodes the whole
+  // batch through the chunked line splitter.
+  std::size_t n = 0;
+  while (n < out.size() && next(out[n])) ++n;
+  return n;
+}
+
 void MsrTraceParser::reset() {
   in_.close();
   in_.open(path_, std::ios::binary);

@@ -30,6 +30,9 @@ class MsrTraceParser final : public TraceSource {
   explicit MsrTraceParser(const std::string& path);
 
   bool next(TraceRecord& out) override;
+  /// Batched decode: identical stream to repeated next(); the chunked
+  /// line splitter runs devirtualized for the whole batch.
+  std::size_t next_batch(std::span<TraceRecord> out) override;
   void reset() override;
 
   /// Lines skipped because they failed to parse.

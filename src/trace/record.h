@@ -1,6 +1,7 @@
 // Block-I/O trace records and streaming sources.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -27,6 +28,18 @@ class TraceSource {
   /// Produce the next record; returns false at end of stream.
   virtual bool next(TraceRecord& out) = 0;
 
+  /// Fill `out` with up to out.size() records; returns the count
+  /// produced. A short count means end of stream. The record sequence is
+  /// identical to repeated next() calls regardless of batch size — the
+  /// batch path exists so the replay loop pays one virtual dispatch per
+  /// ~256 records instead of per record; concrete sources override it
+  /// with a devirtualized decode loop.
+  virtual std::size_t next_batch(std::span<TraceRecord> out) {
+    std::size_t n = 0;
+    while (n < out.size() && next(out[n])) ++n;
+    return n;
+  }
+
   /// Rewind to the beginning (regenerates identically for synthetic
   /// sources).
   virtual void reset() = 0;
@@ -45,6 +58,14 @@ class VectorTraceSource final : public TraceSource {
     if (pos_ >= records_.size()) return false;
     out = records_[pos_++];
     return true;
+  }
+
+  std::size_t next_batch(std::span<TraceRecord> out) override {
+    const std::size_t n = std::min(out.size(), records_.size() - pos_);
+    std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                out.begin());
+    pos_ += n;
+    return n;
   }
 
   void reset() override { pos_ = 0; }

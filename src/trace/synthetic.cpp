@@ -126,6 +126,14 @@ bool SyntheticWorkload::next(TraceRecord& out) {
   return true;
 }
 
+std::size_t SyntheticWorkload::next_batch(std::span<TraceRecord> out) {
+  // `next` devirtualizes here (final class), so the whole batch generates
+  // in one call with the RNG state hot.
+  std::size_t n = 0;
+  while (n < out.size() && next(out[n])) ++n;
+  return n;
+}
+
 void SyntheticWorkload::reset() {
   rng_ = Rng(profile_.seed);
   produced_ = 0;

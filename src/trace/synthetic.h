@@ -63,6 +63,9 @@ class SyntheticWorkload final : public TraceSource {
                     double scale = 1.0);
 
   bool next(TraceRecord& out) override;
+  /// Batched decode: identical stream to repeated next() (same RNG
+  /// draws), but the generation loop is devirtualized.
+  std::size_t next_batch(std::span<TraceRecord> out) override;
   void reset() override;
   [[nodiscard]] std::uint64_t expected_records() const override {
     return total_;

@@ -117,11 +117,12 @@ TEST(IpuScheme, PagesHoldSingleExtent) {
   for (std::uint32_t ord = 0; ord < geom.slc_block_count(); ++ord) {
     const auto& blk = h.scheme.array().block(geom.slc_block_at(ord));
     for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
-      const auto& page = blk.page(static_cast<PageId>(p));
       const auto& tag = h.scheme.offsets().lookup(
           geom, geom.slc_block_at(ord), static_cast<PageId>(p));
       for (std::uint32_t s = 0; s < 4; ++s) {
-        const auto& sp = page.subpage(static_cast<SubpageId>(s));
+        const nand::Subpage sp = h.scheme.array().subpage(
+            geom.slc_block_at(ord), static_cast<PageId>(p),
+            static_cast<SubpageId>(s));
         if (sp.state == nand::SubpageState::kFree) continue;
         ASSERT_NE(tag.extent_base, kInvalidLsn);
         EXPECT_GE(sp.owner_lsn, tag.extent_base);

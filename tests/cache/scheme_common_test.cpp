@@ -68,11 +68,9 @@ TEST(SchemeCommon, OverwriteInvalidatesOldVersion) {
   EXPECT_NE(first, second);
   EXPECT_EQ(h.scheme->version_of(10), 2u);
   // The old slot is invalid now.
-  const auto& sp = h.scheme->array()
-                       .block(first.block)
-                       .page(first.page)
-                       .subpage(first.subpage);
-  EXPECT_EQ(sp.state, nand::SubpageState::kInvalid);
+  EXPECT_EQ(h.scheme->array().subpage_state(first.block, first.page,
+                                            first.subpage),
+            nand::SubpageState::kInvalid);
   h.scheme->check_consistency();
 }
 
@@ -119,11 +117,9 @@ TEST(SchemeCommon, UpdateOfMlcDataEntersCacheAndInvalidatesMlc) {
   const auto old_addr = h.scheme->device_map().lookup(40);
   h.write(40, 1);
   EXPECT_TRUE(h.scheme->cached_in_slc(40));
-  const auto& sp = h.scheme->array()
-                       .block(old_addr.block)
-                       .page(old_addr.page)
-                       .subpage(old_addr.subpage);
-  EXPECT_EQ(sp.state, nand::SubpageState::kInvalid);
+  EXPECT_EQ(h.scheme->array().subpage_state(old_addr.block, old_addr.page,
+                                            old_addr.subpage),
+            nand::SubpageState::kInvalid);
   h.scheme->check_consistency();
 }
 

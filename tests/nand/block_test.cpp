@@ -1,13 +1,24 @@
+// Block-level invariants (frontier rule, running aggregates, erase
+// lifecycle) driven through the FlashArray — program/invalidate live on
+// the array since the SoA refactor — plus the AgeHistogram unit tests.
 #include "nand/block.h"
 
 #include <gtest/gtest.h>
 
+#include "common/config.h"
 #include "common/units.h"
+#include "nand/flash_array.h"
 
 namespace ppssd::nand {
 namespace {
 
 SlotWrite w(SubpageId slot, Lsn lsn) { return SlotWrite{slot, lsn, 1}; }
+
+SsdConfig small_config() {
+  SsdConfig cfg = SsdConfig::scaled(1024);
+  cfg.cache.max_partial_programs = 4;
+  return cfg;
+}
 
 TEST(Block, Construction) {
   Block slc(CellMode::kSlc, 64, 4);
@@ -21,60 +32,60 @@ TEST(Block, Construction) {
 }
 
 TEST(Block, SequentialFrontierAdvances) {
-  Block b(CellMode::kSlc, 4, 4);
-  EXPECT_EQ(b.write_frontier(), 0u);
+  FlashArray arr(small_config());
+  EXPECT_EQ(arr.block(0).write_frontier(), 0u);
   const SlotWrite ws[] = {w(0, 1)};
-  b.program(0, ws, 0);
-  EXPECT_EQ(b.write_frontier(), 1u);
+  arr.program(0, 0, ws, 0);
+  EXPECT_EQ(arr.block(0).write_frontier(), 1u);
   const SlotWrite ws2[] = {w(0, 2)};
-  b.program(1, ws2, 0);
-  EXPECT_EQ(b.write_frontier(), 2u);
-  EXPECT_TRUE(b.has_free_page());
+  arr.program(0, 1, ws2, 0);
+  EXPECT_EQ(arr.block(0).write_frontier(), 2u);
+  EXPECT_TRUE(arr.block(0).has_free_page());
 }
 
 TEST(BlockDeathTest, OutOfOrderFirstProgramAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Block b(CellMode::kSlc, 4, 4);
+  FlashArray arr(small_config());
   const SlotWrite ws[] = {w(0, 1)};
-  EXPECT_DEATH(b.program(2, ws, 0), "out-of-order");
+  EXPECT_DEATH(arr.program(0, 2, ws, 0), "out-of-order");
 }
 
 TEST(Block, PartialProgramDoesNotAdvanceFrontier) {
-  Block b(CellMode::kSlc, 4, 4);
+  FlashArray arr(small_config());
   const SlotWrite first[] = {w(0, 1)};
-  b.program(0, first, 0);
+  arr.program(0, 0, first, 0);
   const SlotWrite second[] = {w(1, 2)};
-  EXPECT_TRUE(b.program(0, second, 0));  // partial
-  EXPECT_EQ(b.write_frontier(), 1u);
+  EXPECT_TRUE(arr.program(0, 0, second, 0));  // partial
+  EXPECT_EQ(arr.block(0).write_frontier(), 1u);
 }
 
 TEST(Block, ValidInvalidCounters) {
-  Block b(CellMode::kSlc, 4, 4);
+  FlashArray arr(small_config());
   const SlotWrite ws[] = {w(0, 1), w(1, 2), w(2, 3)};
-  b.program(0, ws, 0);
-  EXPECT_EQ(b.valid_subpages(), 3u);
-  EXPECT_EQ(b.invalid_subpages(), 0u);
-  b.invalidate(0, 1);
-  EXPECT_EQ(b.valid_subpages(), 2u);
-  EXPECT_EQ(b.invalid_subpages(), 1u);
-  EXPECT_EQ(b.programmed_subpages(), 3u);
+  arr.program(0, 0, ws, 0);
+  EXPECT_EQ(arr.block(0).valid_subpages(), 3u);
+  EXPECT_EQ(arr.block(0).invalid_subpages(), 0u);
+  arr.invalidate(0, 0, 1);
+  EXPECT_EQ(arr.block(0).valid_subpages(), 2u);
+  EXPECT_EQ(arr.block(0).invalid_subpages(), 1u);
+  EXPECT_EQ(arr.block(0).programmed_subpages(), 3u);
 }
 
 TEST(Block, EraseResetsAndCounts) {
-  Block b(CellMode::kSlc, 4, 4);
+  FlashArray arr(small_config());
   const SlotWrite ws[] = {w(0, 1)};
-  b.program(0, ws, 0);
-  b.invalidate(0, 0);
-  EXPECT_EQ(b.erase_count(), 0u);
-  b.erase(ms_to_ns(5.0));
-  EXPECT_EQ(b.erase_count(), 1u);
-  EXPECT_EQ(b.write_frontier(), 0u);
-  EXPECT_EQ(b.valid_subpages(), 0u);
-  EXPECT_EQ(b.invalid_subpages(), 0u);
-  EXPECT_EQ(b.last_erase_time(), ms_to_ns(5.0));
+  arr.program(0, 0, ws, 0);
+  arr.invalidate(0, 0, 0);
+  EXPECT_EQ(arr.block(0).erase_count(), 0u);
+  arr.erase(0, ms_to_ns(5.0));
+  EXPECT_EQ(arr.block(0).erase_count(), 1u);
+  EXPECT_EQ(arr.block(0).write_frontier(), 0u);
+  EXPECT_EQ(arr.block(0).valid_subpages(), 0u);
+  EXPECT_EQ(arr.block(0).invalid_subpages(), 0u);
+  EXPECT_EQ(arr.block(0).last_erase_time(), ms_to_ns(5.0));
   // Page 0 is programmable again.
-  b.program(0, ws, 0);
-  EXPECT_EQ(b.valid_subpages(), 1u);
+  arr.program(0, 0, ws, ms_to_ns(5.0));
+  EXPECT_EQ(arr.block(0).valid_subpages(), 1u);
 }
 
 TEST(Block, LevelLabelRoundTrip) {
@@ -84,11 +95,13 @@ TEST(Block, LevelLabelRoundTrip) {
 }
 
 TEST(Block, FullBlockHasNoFreePage) {
-  Block b(CellMode::kSlc, 2, 4);
-  const SlotWrite ws[] = {w(0, 1)};
-  b.program(0, ws, 0);
-  b.program(1, ws, 0);
-  EXPECT_FALSE(b.has_free_page());
+  FlashArray arr(small_config());
+  const std::uint32_t pages = arr.block(0).page_count();
+  for (PageId p = 0; p < pages; ++p) {
+    const SlotWrite ws[] = {w(0, p + 1)};
+    arr.program(0, p, ws, 0);
+  }
+  EXPECT_FALSE(arr.block(0).has_free_page());
 }
 
 TEST(AgeHistogram, AddRemoveFold) {
@@ -126,50 +139,55 @@ TEST(AgeHistogram, SubBucketsSeparateSameOctave) {
 class BlockAggregates : public ::testing::TestWithParam<CellMode> {};
 
 TEST_P(BlockAggregates, MaintainedAcrossLifecycle) {
-  Block b(GetParam(), 4, 4);
+  FlashArray arr(small_config());
+  const BlockId b = GetParam() == CellMode::kSlc
+                        ? BlockId{0}
+                        : arr.geometry().slc_blocks_per_plane();
+  ASSERT_EQ(arr.block(b).mode(), GetParam());
+  const Block& blk = arr.block(b);
 
   // First program: both subpages enter the sum and the cold histogram.
   const SlotWrite first[] = {w(0, 1), w(1, 2)};
-  b.program(0, first, ms_to_ns(2.0));
-  EXPECT_EQ(b.sum_write_time_ms(), 4u);  // 2 * 2 ms
-  EXPECT_EQ(b.never_updated_valid(), 2u);
+  arr.program(b, 0, first, ms_to_ns(2.0));
+  EXPECT_EQ(blk.sum_write_time_ms(), 4u);  // 2 * 2 ms
+  EXPECT_EQ(blk.never_updated_valid(), 2u);
 
   // Partial program: the page becomes "updated", so its valid subpages
   // leave the cold population but stay in the age sum.
   const SlotWrite upd[] = {w(2, 3)};
-  b.program(0, upd, ms_to_ns(7.0));
-  EXPECT_EQ(b.sum_write_time_ms(), 11u);  // 2 + 2 + 7
-  EXPECT_EQ(b.never_updated_valid(), 0u);
+  arr.program(b, 0, upd, ms_to_ns(7.0));
+  EXPECT_EQ(blk.sum_write_time_ms(), 11u);  // 2 + 2 + 7
+  EXPECT_EQ(blk.never_updated_valid(), 0u);
 
   // A fresh page keeps its own subpages cold.
   const SlotWrite second[] = {w(0, 4), w(1, 5), w(2, 6), w(3, 7)};
-  b.program(1, second, ms_to_ns(9.0));
-  EXPECT_EQ(b.sum_write_time_ms(), 11u + 4 * 9);
-  EXPECT_EQ(b.never_updated_valid(), 4u);
+  arr.program(b, 1, second, ms_to_ns(9.0));
+  EXPECT_EQ(blk.sum_write_time_ms(), 11u + 4 * 9);
+  EXPECT_EQ(blk.never_updated_valid(), 4u);
 
   // Invalidation drops the subpage from the sum; only never-updated pages
   // also shed a histogram entry.
-  b.invalidate(0, 0);  // updated page: histogram untouched
-  EXPECT_EQ(b.sum_write_time_ms(), 9u + 4 * 9);
-  EXPECT_EQ(b.never_updated_valid(), 4u);
-  b.invalidate(1, 3);  // never-updated page
-  EXPECT_EQ(b.sum_write_time_ms(), 9u + 3 * 9);
-  EXPECT_EQ(b.never_updated_valid(), 3u);
+  arr.invalidate(b, 0, 0);  // updated page: histogram untouched
+  EXPECT_EQ(blk.sum_write_time_ms(), 9u + 4 * 9);
+  EXPECT_EQ(blk.never_updated_valid(), 4u);
+  arr.invalidate(b, 1, 3);  // never-updated page
+  EXPECT_EQ(blk.sum_write_time_ms(), 9u + 3 * 9);
+  EXPECT_EQ(blk.never_updated_valid(), 3u);
 
   // Erase zeroes everything and rebases the histogram on the erase time.
-  for (SubpageId s = 0; s < 3; ++s) b.invalidate(1, s);
-  b.invalidate(0, 1);
-  b.invalidate(0, 2);
-  b.erase(ms_to_ns(50.0));
-  EXPECT_EQ(b.sum_write_time_ms(), 0u);
-  EXPECT_EQ(b.never_updated_valid(), 0u);
-  EXPECT_EQ(b.age_histogram().base_ms(), 50u);
+  for (SubpageId s = 0; s < 3; ++s) arr.invalidate(b, 1, s);
+  arr.invalidate(b, 0, 1);
+  arr.invalidate(b, 0, 2);
+  arr.erase(b, ms_to_ns(50.0));
+  EXPECT_EQ(blk.sum_write_time_ms(), 0u);
+  EXPECT_EQ(blk.never_updated_valid(), 0u);
+  EXPECT_EQ(blk.age_histogram().base_ms(), 50u);
 
   // Reprogram after erase: aggregates restart from the new base.
   const SlotWrite again[] = {w(0, 8)};
-  b.program(0, again, ms_to_ns(60.0));
-  EXPECT_EQ(b.sum_write_time_ms(), 60u);
-  EXPECT_EQ(b.never_updated_valid(), 1u);
+  arr.program(b, 0, again, ms_to_ns(60.0));
+  EXPECT_EQ(blk.sum_write_time_ms(), 60u);
+  EXPECT_EQ(blk.never_updated_valid(), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothModes, BlockAggregates,

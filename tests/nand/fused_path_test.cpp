@@ -60,8 +60,8 @@ void expect_same_state(const FlashArray& fused, const FlashArray& ref) {
       ASSERT_EQ(fp.neighbor_programs(), rp.neighbor_programs())
           << "block " << b << " page " << p;
       for (SubpageId s = 0; s < fb.subpages_per_page(); ++s) {
-        const Subpage& fs = fp.subpage(s);
-        const Subpage& rs = rp.subpage(s);
+        const Subpage fs = fused.subpage(b, p, s);
+        const Subpage rs = ref.subpage(b, p, s);
         ASSERT_EQ(fs.state, rs.state)
             << "block " << b << " page " << p << " slot " << int(s);
         ASSERT_EQ(fs.owner_lsn, rs.owner_lsn);
@@ -139,7 +139,7 @@ TEST_P(FusedPathEquivalence, RandomSequencesAgree) {
       // Fill 1..free_slots random free slots.
       std::vector<SlotWrite> writes;
       for (SubpageId s = 0; s < blk.subpages_per_page(); ++s) {
-        if (blk.page(p).subpage(s).state == SubpageState::kFree &&
+        if (fused.subpage_state(b, p, s) == SubpageState::kFree &&
             (writes.empty() || rng.chance(0.4))) {
           writes.push_back({s, next_lsn, static_cast<std::uint32_t>(
                                              1 + rng.next_below(9))});

@@ -40,9 +40,11 @@ TEST(Reprogram, DestinationStateMatchesConventionalProgram) {
   const Page& pb = t.b.block(t.mlc).page(0);
   EXPECT_EQ(pa.program_ops(), pb.program_ops());
   for (SubpageId s = 0; s < 4; ++s) {
-    EXPECT_EQ(pa.subpage(s).state, pb.subpage(s).state) << s;
-    EXPECT_EQ(pa.subpage(s).owner_lsn, pb.subpage(s).owner_lsn) << s;
-    EXPECT_EQ(pa.subpage(s).version, pb.subpage(s).version) << s;
+    const Subpage sa = t.a.subpage(t.mlc, 0, s);
+    const Subpage sb = t.b.subpage(t.mlc, 0, s);
+    EXPECT_EQ(sa.state, sb.state) << s;
+    EXPECT_EQ(sa.owner_lsn, sb.owner_lsn) << s;
+    EXPECT_EQ(sa.version, sb.version) << s;
   }
   EXPECT_EQ(t.a.block(t.mlc).valid_subpages(),
             t.b.block(t.mlc).valid_subpages());
@@ -88,8 +90,10 @@ TEST(Reprogram, RandomizedTwinArrayEquivalence) {
     const Page& pb = t.b.block(t.mlc).page(dst_page);
     ASSERT_EQ(pa.program_ops(), pb.program_ops());
     for (SubpageId s = 0; s < spp; ++s) {
-      ASSERT_EQ(pa.subpage(s).state, pb.subpage(s).state);
-      ASSERT_EQ(pa.subpage(s).owner_lsn, pb.subpage(s).owner_lsn);
+      const Subpage sa = t.a.subpage(t.mlc, dst_page, s);
+      const Subpage sb = t.b.subpage(t.mlc, dst_page, s);
+      ASSERT_EQ(sa.state, sb.state);
+      ASSERT_EQ(sa.owner_lsn, sb.owner_lsn);
     }
     ASSERT_TRUE(pa.reprogrammed());
     ++src_page;

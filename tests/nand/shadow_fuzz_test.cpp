@@ -102,12 +102,11 @@ class ShadowModel {
       std::uint32_t invalid = 0;
       for (PageId p = 0; p < sblk.pages.size(); ++p) {
         const ShadowPage& spage = sblk.pages[p];
-        const Page& rpage = rblk.page(p);
-        ASSERT_EQ(spage.program_ops, rpage.program_ops())
+        ASSERT_EQ(spage.program_ops, rblk.page(p).program_ops())
             << "block " << b << " page " << p;
         for (SubpageId s = 0; s < spage.slots.size(); ++s) {
           const ShadowSubpage& sslot = spage.slots[s];
-          const Subpage& rslot = rpage.subpage(s);
+          const Subpage rslot = arr.subpage(b, p, s);
           ASSERT_EQ(sslot.state, rslot.state)
               << "block " << b << " page " << p << " slot " << int(s);
           if (sslot.state != SubpageState::kFree) {
@@ -167,7 +166,7 @@ TEST_P(NandShadowFuzz, RandomOpsAgreeWithReference) {
       std::array<SlotWrite, kMaxSubpagesPerPage> ws;
       std::size_t n = 0;
       for (std::uint32_t s = 0; s < blk.subpages_per_page(); ++s) {
-        if (blk.page(p).subpage(static_cast<SubpageId>(s)).state ==
+        if (arr.subpage_state(b, p, static_cast<SubpageId>(s)) ==
                 SubpageState::kFree &&
             rng.chance(0.5)) {
           ws[n++] = {static_cast<SubpageId>(s), next_lsn++, version++};
@@ -189,7 +188,7 @@ TEST_P(NandShadowFuzz, RandomOpsAgreeWithReference) {
             rng.next_below(std::max(1u, blk.write_frontier())));
         const auto s =
             static_cast<SubpageId>(rng.next_below(blk.subpages_per_page()));
-        if (blk.page(p).subpage(s).state == SubpageState::kValid) {
+        if (arr.subpage_state(b, p, s) == SubpageState::kValid) {
           shadow.invalidate(b, p, s);
           arr.invalidate(b, p, s);
           break;
@@ -202,9 +201,9 @@ TEST_P(NandShadowFuzz, RandomOpsAgreeWithReference) {
         const auto& blk = arr.block(b);
         for (std::uint32_t p = 0; p < blk.write_frontier(); ++p) {
           for (std::uint32_t s = 0; s < blk.subpages_per_page(); ++s) {
-            if (blk.page(static_cast<PageId>(p))
-                    .subpage(static_cast<SubpageId>(s))
-                    .state == SubpageState::kValid) {
+            if (arr.subpage_state(b, static_cast<PageId>(p),
+                                  static_cast<SubpageId>(s)) ==
+                SubpageState::kValid) {
               shadow.invalidate(b, static_cast<PageId>(p),
                                 static_cast<SubpageId>(s));
               arr.invalidate(b, static_cast<PageId>(p),

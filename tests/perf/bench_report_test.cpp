@@ -135,6 +135,53 @@ TEST(CompareBench, UnmatchedCellsAreReportedNotFailed) {
   EXPECT_FALSE(cmp.has_regression());
 }
 
+TEST(CompareBench, PhaseSlowdownGatesEvenWhenThroughputHolds) {
+  const BenchReport base = sample_report();
+  BenchReport cur = base;
+  // Throughput unchanged, but warmup wall time tripled (0.4s -> 1.2s):
+  // exactly the shape of a warm-start cache that stopped hitting.
+  cur.cells[0].phases.warmup_seconds = 1.2;
+  const BenchComparison cmp = compare_bench(base, cur, 0.10);
+  ASSERT_EQ(cmp.cells.size(), 2u);
+  EXPECT_FALSE(cmp.cells[0].regression);
+  EXPECT_TRUE(cmp.cells[0].warmup.regression);
+  EXPECT_NEAR(cmp.cells[0].warmup.ratio, 3.0, 1e-9);
+  EXPECT_FALSE(cmp.cells[0].setup.regression);
+  EXPECT_FALSE(cmp.cells[0].measure.regression);
+  EXPECT_TRUE(cmp.cells[0].phase_regression());
+  EXPECT_FALSE(cmp.has_regression());
+  EXPECT_TRUE(cmp.has_phase_regression());
+  EXPECT_NE(cmp.render().find("phase warmup"), std::string::npos);
+  EXPECT_NE(cmp.render().find("phase REGRESSION"), std::string::npos);
+}
+
+TEST(CompareBench, PhaseGateIsTwiceTheCellTolerance) {
+  // Phases are raw wall times, so they gate at 2x the throughput
+  // tolerance: +15% warmup noise passes at tolerance 0.10, +25% gates.
+  const BenchReport base = sample_report();
+  BenchReport cur = base;
+  cur.cells[0].phases.warmup_seconds = 0.4 * 1.15;
+  EXPECT_FALSE(compare_bench(base, cur, 0.10).has_phase_regression());
+  cur.cells[0].phases.warmup_seconds = 0.4 * 1.25;
+  EXPECT_TRUE(compare_bench(base, cur, 0.10).has_phase_regression());
+}
+
+TEST(CompareBench, PhaseSpeedupAndTinyPhasesAreClean) {
+  const BenchReport base = sample_report();
+  BenchReport cur = base;
+  cur.cells[0].phases.warmup_seconds = 0.01;  // warm-start hit: much faster
+  // Sub-floor noise on both sides never gates, however large the ratio.
+  cur.cells[1].phases.setup_seconds = 0.04;
+  BenchReport base2 = base;
+  base2.cells[1].phases.setup_seconds = 0.001;
+  const BenchComparison cmp = compare_bench(base2, cur, 0.10);
+  EXPECT_FALSE(cmp.has_phase_regression());
+  // Above the floor the same ratio would gate.
+  BenchReport cur2 = base;
+  cur2.cells[1].phases.setup_seconds = 0.2;
+  EXPECT_TRUE(compare_bench(base, cur2, 0.10).has_phase_regression());
+}
+
 TEST(CompareBench, ZeroBaselineRateNeverDividesOrRegresses) {
   BenchReport base = sample_report();
   base.cells[0].reqs_per_sec = 0.0;

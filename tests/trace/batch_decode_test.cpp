@@ -1,0 +1,141 @@
+// Batched trace decode: TraceSource::next_batch must produce the exact
+// record sequence of repeated next() calls, for every source and any
+// batch size — the replay loop depends on this equivalence to switch to
+// the batched path without changing simulation results.
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/msr_parser.h"
+#include "trace/profiles.h"
+#include "trace/record.h"
+#include "trace/synthetic.h"
+
+namespace ppssd::trace {
+namespace {
+
+constexpr std::size_t kBatchSizes[] = {1, 2, 3, 7, 256};
+
+/// Drain a source through next_batch with a fixed batch size.
+std::vector<TraceRecord> collect_batched(TraceSource& src,
+                                         std::size_t batch_size) {
+  std::vector<TraceRecord> out;
+  std::vector<TraceRecord> arena(batch_size);
+  for (;;) {
+    const std::size_t n = src.next_batch(std::span(arena));
+    out.insert(out.end(), arena.begin(),
+               arena.begin() + static_cast<std::ptrdiff_t>(n));
+    if (n < batch_size) break;
+  }
+  return out;
+}
+
+/// Drain a source one record at a time through next().
+std::vector<TraceRecord> collect_single(TraceSource& src) {
+  std::vector<TraceRecord> out;
+  TraceRecord rec;
+  while (src.next(rec)) out.push_back(rec);
+  return out;
+}
+
+void expect_equivalent(TraceSource& a, TraceSource& b) {
+  const std::vector<TraceRecord> reference = collect_single(a);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t bs : kBatchSizes) {
+    b.reset();
+    EXPECT_EQ(collect_batched(b, bs), reference) << "batch size " << bs;
+  }
+}
+
+/// A source that only implements next(): exercises the default
+/// next_batch loop.
+class CountingSource final : public TraceSource {
+ public:
+  explicit CountingSource(std::uint64_t total) : total_(total) {}
+  bool next(TraceRecord& out) override {
+    if (produced_ >= total_) return false;
+    out.arrival = produced_ * 100;
+    out.op = produced_ % 3 == 0 ? OpType::kRead : OpType::kWrite;
+    out.offset = produced_ * 4096;
+    out.size = 4096;
+    ++produced_;
+    return true;
+  }
+  void reset() override { produced_ = 0; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t produced_ = 0;
+};
+
+TEST(BatchDecode, DefaultImplementationMatchesNext) {
+  CountingSource a(1000);
+  CountingSource b(1000);
+  expect_equivalent(a, b);
+}
+
+TEST(BatchDecode, DefaultImplementationShortFinalBatch) {
+  CountingSource src(10);
+  std::vector<TraceRecord> arena(7);
+  EXPECT_EQ(src.next_batch(std::span(arena)), 7u);
+  EXPECT_EQ(src.next_batch(std::span(arena)), 3u);
+  EXPECT_EQ(src.next_batch(std::span(arena)), 0u);
+}
+
+TEST(BatchDecode, VectorSourceMatchesNext) {
+  std::vector<TraceRecord> records;
+  for (std::uint64_t i = 0; i < 997; ++i) {
+    records.push_back(TraceRecord{i * 7, OpType::kWrite, i * 512, 512});
+  }
+  VectorTraceSource a(records);
+  VectorTraceSource b(records);
+  expect_equivalent(a, b);
+}
+
+TEST(BatchDecode, SyntheticWorkloadMatchesNext) {
+  const TraceProfile profile = profile_by_name("ts0");
+  const std::uint64_t logical = 1ull << 30;
+  SyntheticWorkload a(profile, logical, 0.002);
+  SyntheticWorkload b(profile, logical, 0.002);
+  expect_equivalent(a, b);
+}
+
+TEST(BatchDecode, SyntheticWorkloadBatchThenResetRegenerates) {
+  const TraceProfile profile = profile_by_name("wdev0");
+  SyntheticWorkload src(profile, 1ull << 30, 0.001);
+  const std::vector<TraceRecord> first = collect_batched(src, 64);
+  src.reset();
+  const std::vector<TraceRecord> second = collect_batched(src, 64);
+  EXPECT_EQ(first, second);
+}
+
+TEST(BatchDecode, MsrParserMatchesNext) {
+  // A trace with comments, blank lines, a malformed line, and a final
+  // line without a newline — everything the line splitter handles.
+  const std::string path =
+      ::testing::TempDir() + "ppssd_batch_decode_msr.csv";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# header comment\n";
+    for (int i = 0; i < 500; ++i) {
+      out << (128000000000ull + static_cast<std::uint64_t>(i) * 10000) << ","
+          << "srv0,0," << (i % 2 == 0 ? "Read" : "Write") << ","
+          << i * 8192 << "," << (i % 3 + 1) * 4096 << ",100\n";
+    }
+    out << "\n";
+    out << "not,a,valid,line\n";
+    out << "128000006000000,srv0,0,Write,12345728,4096,100";  // no newline
+  }
+  MsrTraceParser a(path);
+  MsrTraceParser b(path);
+  expect_equivalent(a, b);
+  EXPECT_EQ(a.skipped_lines(), b.skipped_lines());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppssd::trace

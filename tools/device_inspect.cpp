@@ -2,6 +2,12 @@
 //
 //   device_inspect <snapshots.bin> [options]
 //
+// The input (and the --diff operand) may also be a warm-start checkpoint
+// written by PPSSD_WARMSTART (PPSSDWRM magic): it is presented as a
+// one-frame stream at t=0, so heatmaps, diffs, timelines, and --verify
+// apply unchanged — e.g. diff a checkpoint against a post-run snapshot,
+// or two checkpoints against each other.
+//
 // Modes (combinable; default with no mode flag is the stream summary):
 //
 //   --verify           independently re-check conservation invariants in
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "telemetry/introspect/format.h"
+#include "telemetry/introspect/warmstart_reader.h"
 
 namespace {
 
@@ -47,15 +54,27 @@ constexpr int kExitBadInput = 3;
 
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
-               "usage: %s <snapshots.bin> [--verify] [--heatmap wear|util]\n"
-               "       [--timeline] [--csv] [--diff <other.bin>]\n"
-               "       [--flight <flight.bin>] [--stream <i>] [--help]\n"
+               "usage: %s <snapshots.bin|checkpoint.ckpt> [--verify]\n"
+               "       [--heatmap wear|util] [--timeline] [--csv]\n"
+               "       [--diff <other.bin|.ckpt>] [--flight <flight.bin>]\n"
+               "       [--stream <i>] [--help]\n"
                "exit codes:\n"
                "  0  success (with --verify: all invariants held)\n"
                "  1  usage error\n"
                "  2  conservation invariant failed (--verify)\n"
                "  3  unreadable or malformed input file\n",
                argv0);
+}
+
+/// Dispatch on magic: PPSSDWRM checkpoints load through the warm-start
+/// adapter (one synthetic frame), anything else through the stream
+/// loader.
+bool load_any(const std::string& path, SnapshotFile* out,
+              std::string* error) {
+  if (is_warmstart_file(path)) {
+    return load_warmstart_as_snapshot(path, out, error);
+  }
+  return load_snapshots(path, out, error);
 }
 
 std::uint64_t kv_or(const StateSink& values, const char* name,
@@ -433,7 +452,7 @@ int main(int argc, char** argv) {
 
   SnapshotFile file;
   std::string error;
-  if (!load_snapshots(path, &file, &error)) {
+  if (!load_any(path, &file, &error)) {
     std::fprintf(stderr, "device_inspect: %s: %s\n", path.c_str(),
                  error.c_str());
     return kExitBadInput;
@@ -469,7 +488,7 @@ int main(int argc, char** argv) {
   }
   if (!diff_path.empty()) {
     SnapshotFile other;
-    if (!load_snapshots(diff_path, &other, &error)) {
+    if (!load_any(diff_path, &other, &error)) {
       std::fprintf(stderr, "device_inspect: %s: %s\n", diff_path.c_str(),
                    error.c_str());
       return kExitBadInput;

@@ -8,6 +8,12 @@
 // unreadable/invalid input. Cells present on only one side are reported
 // but never fail the run — the matrix legitimately grows.
 //
+// Each matched cell is also gated per phase (setup / warmup / measure
+// wall seconds, same tolerance, lower-is-better): a phase slowdown fails
+// like a throughput regression even when the end-to-end rate still looks
+// healthy — e.g. a warm-start cache that stopped hitting shows up as a
+// warmup regression first. Sub-50 ms phases are never gated (noise).
+//
 // --require marks cells whose key contains the substring as
 // load-bearing: a regression there fails the run even under
 // --warn-only, and a required baseline cell missing from the current
@@ -104,9 +110,10 @@ int main(int argc, char** argv) {
 
   bool required_failure = false;
   for (const ppssd::perf::CellDelta& d : cmp.cells) {
-    if (d.regression && matches_any(d.key, required)) {
-      std::fprintf(stderr, "perf_compare: required cell regressed: %s\n",
-                   d.key.c_str());
+    if ((d.regression || d.phase_regression()) &&
+        matches_any(d.key, required)) {
+      std::fprintf(stderr, "perf_compare: required cell regressed%s: %s\n",
+                   d.regression ? "" : " (phase)", d.key.c_str());
       required_failure = true;
     }
   }
@@ -141,7 +148,7 @@ int main(int argc, char** argv) {
     }
   }
   if (required_failure) return 1;
-  if (cmp.has_regression()) {
+  if (cmp.has_regression() || cmp.has_phase_regression()) {
     return warn_only ? 0 : 1;
   }
   return 0;
