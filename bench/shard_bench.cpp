@@ -1,0 +1,217 @@
+// Sharded window-pricing bench (DESIGN.md §15): drives the controller
+// layer directly with synthetic admission windows on a million-block-
+// class device geometry (TB-class: 32 chips over 8 channels — the
+// controller prices against chip/channel horizons, so the block count
+// enters only through the geometry, not through array state).
+//
+//   ./shard_bench [report.json]      default output: BENCH_perf.json
+//
+// Cells (family "shard/", merged into the shared report):
+//   shard/ctrl/seq  — sequential Controller::schedule() reference
+//   shard/ctrl/sN   — ShardExecutor::price_window at N shards plus the
+//                     aggregate apply_window merge (the fast commit mode
+//                     a replay with no observers uses), N in {1,2,4,8}
+//
+// The windows mirror a replay's structure: arrival-ordered floors, ~25%
+// of ops chained to the previous op on the same chip (GC relocation
+// chains — shard-local, no synchronization), and ~0.5% random
+// cross-window dependencies (the cross-shard cuts that force segment
+// barriers). Before timing, the s4 outcomes are checked bit-identical
+// against the sequential reference on every window.
+//
+// Wall-clock speedup needs hardware threads: on a single-core host the
+// sN cells measure synchronization overhead, not scaling — compare
+// shard cells only across machines with the same core budget (the CI
+// perf-smoke runner pins this).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "perf/bench_report.h"
+#include "sim/controller.h"
+#include "sim/shard_executor.h"
+
+using namespace ppssd;
+using namespace ppssd::bench;
+
+namespace {
+
+constexpr std::size_t kWindowOps = 8192;
+constexpr int kWindows = 8;
+
+/// One synthetic admission window against the device geometry.
+std::vector<sim::ShardExecutor::WinItem> make_window(Rng& rng,
+                                                     std::uint32_t chips,
+                                                     std::uint32_t channels,
+                                                     SimTime* now) {
+  std::vector<sim::ShardExecutor::WinItem> items;
+  items.reserve(kWindowOps);
+  std::vector<std::uint32_t> last_on_chip(chips, sim::ShardExecutor::kNoDep);
+  for (std::size_t i = 0; i < kWindowOps; ++i) {
+    *now += rng.next_below(us_to_ns(10.0));
+    sim::ShardExecutor::WinItem it;
+    cache::PhysOp& op = it.op;
+    op.chip = static_cast<std::uint32_t>(rng.next_below(chips));
+    op.channel = op.chip % channels;
+    const std::uint64_t kind = rng.next_below(20);
+    if (kind < 9) {
+      op.kind = cache::PhysOp::Kind::kRead;
+    } else if (kind < 18) {
+      op.kind = cache::PhysOp::Kind::kProgram;
+    } else if (kind < 19) {
+      op.kind = cache::PhysOp::Kind::kReprogram;
+    } else {
+      op.kind = cache::PhysOp::Kind::kErase;
+    }
+    op.mode = op.kind == cache::PhysOp::Kind::kReprogram || rng.next_below(2)
+                  ? CellMode::kMlc
+                  : CellMode::kSlc;
+    op.subpages = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    op.ber = 0.0;
+    op.background =
+        op.kind == cache::PhysOp::Kind::kErase || rng.next_below(3) == 0;
+    op.origin = op.background ? cache::OpOrigin::kGc : cache::OpOrigin::kHost;
+    it.floor = *now;
+
+    const std::uint64_t r = rng.next_below(1000);
+    if (r < 250 && last_on_chip[op.chip] != sim::ShardExecutor::kNoDep) {
+      it.dep = last_on_chip[op.chip];  // shard-local GC chain
+    } else if (r < 255 && i > 0) {
+      it.dep = static_cast<std::uint32_t>(rng.next_below(i));  // cross cut
+    }
+    last_on_chip[op.chip] = static_cast<std::uint32_t>(i);
+    items.push_back(it);
+  }
+  return items;
+}
+
+using Windows = std::vector<std::vector<sim::ShardExecutor::WinItem>>;
+
+/// Sequential reference: one pass of schedule() over every window.
+Timing time_sequential(const SsdConfig& cfg, std::uint32_t chips,
+                       std::uint32_t channels, const Windows& windows) {
+  using clock = std::chrono::steady_clock;
+  Timing t;
+  std::vector<SimTime> ends(kWindowOps);
+  while (t.seconds < kMinMeasureSeconds) {
+    sim::Controller ctrl(cfg, chips, channels);
+    const auto start = clock::now();
+    for (const auto& items : windows) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        SimTime ready = items[i].floor;
+        if (items[i].dep != sim::ShardExecutor::kNoDep) {
+          ready = std::max(ready, ends[items[i].dep]);
+        }
+        ends[i] = ctrl.schedule(items[i].op, ready);
+      }
+      ctrl.advance_to(kNoTime);
+      t.calls += items.size();
+    }
+    t.seconds += std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return t;
+}
+
+/// Windowed fast path: price_window across `shards`, one aggregate merge.
+Timing time_sharded(const SsdConfig& cfg, std::uint32_t chips,
+                    std::uint32_t channels, const Windows& windows,
+                    std::uint32_t shards) {
+  using clock = std::chrono::steady_clock;
+  Timing t;
+  sim::ShardExecutor exec(shards);
+  std::vector<sim::Controller::OpOutcome> out;
+  while (t.seconds < kMinMeasureSeconds) {
+    sim::Controller ctrl(cfg, chips, channels);
+    const auto start = clock::now();
+    for (const auto& items : windows) {
+      exec.price_window(ctrl, items, out);
+      ctrl.apply_window(exec.aggregate());
+      ctrl.advance_to(kNoTime);
+      t.calls += items.size();
+    }
+    t.seconds += std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = report_path_from_args(argc, argv);
+
+  // Million-block-class geometry: paper-shape device at 2^20 blocks.
+  const SsdConfig cfg = SsdConfig::scaled(1u << 20);
+  const std::uint32_t chips = cfg.geometry.chips();
+  const std::uint32_t channels = cfg.geometry.channels;
+  std::printf(
+      "Sharded pricing bench (%u blocks, %u chips / %u channels, "
+      "%d windows x %zu ops)\n\n",
+      cfg.geometry.total_blocks, chips, channels, kWindows,
+      static_cast<std::size_t>(kWindowOps));
+
+  Rng rng(2021);
+  SimTime now = 0;
+  Windows windows;
+  for (int w = 0; w < kWindows; ++w) {
+    windows.push_back(make_window(rng, chips, channels, &now));
+  }
+
+  // Bit-identity sanity before any timing: the sharded outcomes must
+  // equal the sequential reference on every window.
+  {
+    sim::Controller seq(cfg, chips, channels);
+    sim::Controller win(cfg, chips, channels);
+    sim::ShardExecutor exec(4);
+    std::vector<sim::Controller::OpOutcome> out;
+    std::vector<SimTime> ends(kWindowOps);
+    for (const auto& items : windows) {
+      exec.price_window(win, items, out);
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        SimTime ready = items[i].floor;
+        if (items[i].dep != sim::ShardExecutor::kNoDep) {
+          ready = std::max(ready, ends[items[i].dep]);
+        }
+        ends[i] = seq.schedule(items[i].op, ready);
+        if (out[i].end != ends[i]) {
+          std::fprintf(stderr,
+                       "shard_bench: sharded pricing diverged from the "
+                       "sequential reference (op end %llu != %llu)\n",
+                       static_cast<unsigned long long>(out[i].end),
+                       static_cast<unsigned long long>(ends[i]));
+          return 1;
+        }
+      }
+      win.apply_window(exec.aggregate());
+    }
+    std::printf("bit-identity check: s4 == sequential over %d windows\n\n",
+                kWindows);
+  }
+
+  perf::BenchReport report = load_report_replacing(out_path, "shard/ctrl/");
+  const auto spec = Runner::default_spec();
+  report.blocks = spec.total_blocks;
+  report.scale = spec.trace_scale;
+
+  const Timing seq = time_sequential(cfg, chips, channels, windows);
+  add_micro_cell(report, "shard/ctrl/seq", "ctrl", "synthetic", seq);
+  std::printf("%-16s %8.1f ns/op  %10.0f ops/s\n", "shard/ctrl/seq",
+              seq.ns_per_call(), seq.calls_per_sec());
+
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const Timing t = time_sharded(cfg, chips, channels, windows, shards);
+    const std::string key = "shard/ctrl/s" + std::to_string(shards);
+    add_micro_cell(report, key, "ctrl", "synthetic", t);
+    std::printf("%-16s %8.1f ns/op  %10.0f ops/s  (%.2fx vs seq)\n",
+                key.c_str(), t.ns_per_call(), t.calls_per_sec(),
+                seq.seconds > 0 ? t.calls_per_sec() / seq.calls_per_sec()
+                                : 0.0);
+  }
+
+  return save_report(report, out_path, "shard_bench", "shard/ctrl/");
+}

@@ -1,0 +1,152 @@
+#include "sim/shard_executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppssd::sim {
+
+ShardExecutor::ShardExecutor(std::uint32_t shards)
+    : shards_(std::max(1u, shards)) {
+  if (shards_ > 1) pool_ = std::make_unique<ThreadPool>(shards_);
+  shard_items_.resize(shards_);
+}
+
+void ShardExecutor::price_window(const Controller& ctrl,
+                                 std::span<const WinItem> items,
+                                 std::vector<Controller::OpOutcome>& out) {
+  using Kind = cache::PhysOp::Kind;
+  const std::uint32_t chips = ctrl.chip_count();
+  const std::uint32_t channels = ctrl.channel_count();
+
+  // Mirror the controller's horizons. Pricing advances the mirrors only;
+  // the caller folds them back through commit() or apply_window().
+  lane_busy_.resize(chips);
+  lane_erase_.resize(chips);
+  chan_busy_.resize(channels);
+  occupancy_.assign(chips, 0);
+  for (std::uint32_t c = 0; c < chips; ++c) {
+    lane_busy_[c] = ctrl.chip_free_at(c);
+    lane_erase_[c] = ctrl.chip_erase_free_at(c);
+  }
+  for (std::uint32_t ch = 0; ch < channels; ++ch) {
+    chan_busy_[ch] = ctrl.channel_free_at(ch);
+  }
+
+  out.resize(items.size());
+  ends_.resize(items.size());
+  accum_.assign(shards_, ShardAccum{});
+
+  const auto shard_of = [this](const WinItem& it) {
+    return it.op.channel % shards_;
+  };
+
+  const auto price_one = [&](std::uint32_t i, ShardAccum& acc) {
+    const WinItem& it = items[i];
+    PPSSD_DCHECK(it.op.chip < chips && it.op.channel < channels);
+    // Partitioning invariant: a chip's channel is chip % channels, so
+    // sharding by channel also partitions the chips — two shards never
+    // touch the same lane or channel horizon.
+    PPSSD_DCHECK(it.op.channel == it.op.chip % channels);
+    SimTime ready = it.floor;
+    if (it.dep != kNoDep) ready = std::max(ready, ends_[it.dep]);
+    Controller::OpOutcome& oc = out[i];
+    ctrl.price(it.op, ready, lane_busy_[it.op.chip], lane_erase_[it.op.chip],
+               chan_busy_[it.op.channel], oc);
+    ends_[i] = oc.end;
+    // Mirror commit()'s usage/occupancy sums so the no-observer fast path
+    // can fold the whole window in one apply_window() call.
+    SimTime dur = 0;
+    switch (it.op.kind) {
+      case Kind::kRead:
+        dur = oc.sense_end - oc.svc_start;
+        (it.op.background ? acc.usage.read_bg : acc.usage.read_fg) += dur;
+        break;
+      case Kind::kProgram:
+      case Kind::kReprogram:
+        dur = oc.end - oc.svc_start;
+        (it.op.background ? acc.usage.program_bg : acc.usage.program_fg) +=
+            dur;
+        break;
+      case Kind::kErase:
+        dur = oc.end - oc.svc_start;
+        acc.usage.erase_bg += dur;
+        break;
+    }
+    occupancy_[it.op.chip] += dur;
+    acc.retire_max = std::max(acc.retire_max, oc.end);
+    ++acc.ops;
+  };
+
+  if (shards_ == 1 || items.size() < kInlineItems) {
+    // Global submission order is a supersequence of every shard's order,
+    // so inline pricing lands on exactly the parallel result.
+    for (std::uint32_t i = 0; i < items.size(); ++i) {
+      price_one(i, accum_[shard_of(items[i])]);
+    }
+  } else {
+    // Cut the window into segments: an op whose in-window dependency is
+    // on another shard *and* not yet priced (same segment) starts a new
+    // segment, so by the time its shard prices it, the barrier has
+    // published the dependency's end.
+    for (auto& v : shard_items_) v.clear();
+    cuts_.clear();
+    marks_.clear();
+    cuts_.push_back(0);
+    for (std::uint32_t s = 0; s < shards_; ++s) marks_.push_back(0);
+    std::uint32_t seg_begin = 0;
+    for (std::uint32_t i = 0; i < items.size(); ++i) {
+      const std::uint32_t s = shard_of(items[i]);
+      const std::uint32_t dep = items[i].dep;
+      if (dep != kNoDep && dep >= seg_begin && shard_of(items[dep]) != s) {
+        cuts_.push_back(i);
+        for (std::uint32_t s2 = 0; s2 < shards_; ++s2) {
+          marks_.push_back(
+              static_cast<std::uint32_t>(shard_items_[s2].size()));
+        }
+        seg_begin = i;
+      }
+      shard_items_[s].push_back(i);
+    }
+    cuts_.push_back(static_cast<std::uint32_t>(items.size()));
+    for (std::uint32_t s2 = 0; s2 < shards_; ++s2) {
+      marks_.push_back(static_cast<std::uint32_t>(shard_items_[s2].size()));
+    }
+
+    const std::size_t segs = cuts_.size() - 1;
+    for (std::size_t g = 0; g < segs; ++g) {
+      const std::uint32_t gb = cuts_[g];
+      const std::uint32_t ge = cuts_[g + 1];
+      if (ge - gb < kInlineItems) {
+        for (std::uint32_t i = gb; i < ge; ++i) {
+          price_one(i, accum_[shard_of(items[i])]);
+        }
+        continue;
+      }
+      pool_->parallel_for(shards_, [&](std::size_t s) {
+        const auto& list = shard_items_[s];
+        const std::uint32_t lo = marks_[g * shards_ + s];
+        const std::uint32_t hi = marks_[(g + 1) * shards_ + s];
+        ShardAccum& acc = accum_[s];
+        for (std::uint32_t k = lo; k < hi; ++k) price_one(list[k], acc);
+      });
+    }
+  }
+
+  agg_ = Controller::WindowAggregate{};
+  for (const ShardAccum& a : accum_) {
+    agg_.usage.read_fg += a.usage.read_fg;
+    agg_.usage.read_bg += a.usage.read_bg;
+    agg_.usage.program_fg += a.usage.program_fg;
+    agg_.usage.program_bg += a.usage.program_bg;
+    agg_.usage.erase_bg += a.usage.erase_bg;
+    agg_.ops += a.ops;
+    agg_.retire_max = std::max(agg_.retire_max, a.retire_max);
+  }
+  agg_.lane_busy = lane_busy_.data();
+  agg_.lane_erase = lane_erase_.data();
+  agg_.chan_busy = chan_busy_.data();
+  agg_.occupancy_delta = occupancy_.data();
+}
+
+}  // namespace ppssd::sim

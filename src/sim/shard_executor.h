@@ -1,0 +1,97 @@
+// Sharded window pricing for the event-driven controller (DESIGN.md §15).
+//
+// The controller's timing state is a set of per-chip and per-channel
+// horizons, and the topology contract (a chip's channel is chip %
+// channels) means partitioning the channels by `channel % shards` also
+// partitions the chips: two ops on different shards never touch the same
+// horizon. Pricing — the pure arithmetic half of Controller::schedule()
+// — can therefore run concurrently across shards, as long as every
+// cross-shard dependency is already resolved.
+//
+// price_window() takes a whole admission window of staged ops, mirrors
+// the controller's horizons, cuts the window into segments at each op
+// whose in-window dependency lives on another shard, and prices each
+// segment with one worker per shard (ThreadPool barrier between
+// segments). Within a shard, ops price in global submission order, so
+// every horizon advances through exactly the sequence the sequential
+// controller would produce — the priced outcomes are bit-identical, and
+// the caller replays them into the controller in submission order
+// (Controller::commit) or folds them in one merge
+// (Controller::apply_window) when no observer is attached.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cache/scheme.h"
+#include "common/thread_pool.h"
+#include "sim/controller.h"
+
+namespace ppssd::sim {
+
+class ShardExecutor {
+ public:
+  static constexpr std::uint32_t kNoDep = 0xffffffffu;
+
+  /// One staged op of an admission window: the physical op, the earliest
+  /// start implied by already-known times (arrival joined with resolved
+  /// dependency finishes), and an optional dependency on an earlier item
+  /// of the same window whose priced end joins the floor.
+  struct WinItem {
+    cache::PhysOp op;
+    SimTime floor = 0;
+    std::uint32_t dep = kNoDep;
+  };
+
+  /// `shards` worker shards (clamped to >= 1). One worker thread per
+  /// shard when shards > 1; shards == 1 prices inline on the caller.
+  explicit ShardExecutor(std::uint32_t shards);
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// Price every item of the window against `ctrl`'s current horizons,
+  /// filling `out[i]` with the outcome of item i. The controller itself
+  /// is not modified — the caller applies the outcomes (commit /
+  /// apply_window). Outcomes are bit-identical to pricing the same
+  /// sequence through Controller::schedule() in submission order.
+  void price_window(const Controller& ctrl, std::span<const WinItem> items,
+                    std::vector<Controller::OpOutcome>& out);
+
+  /// Window totals and final horizons of the last price_window() call,
+  /// in the exact shape Controller::apply_window consumes. The pointed-to
+  /// arrays live in this executor and stay valid until the next call.
+  [[nodiscard]] const Controller::WindowAggregate& aggregate() const {
+    return agg_;
+  }
+
+ private:
+  /// Segments smaller than this price inline on the calling thread: the
+  /// pool dispatch + barrier costs more than the pricing it would spread.
+  static constexpr std::uint32_t kInlineItems = 96;
+
+  struct ShardAccum {
+    Controller::Usage usage;
+    std::uint64_t ops = 0;
+    SimTime retire_max = 0;
+  };
+
+  std::uint32_t shards_;
+  std::unique_ptr<ThreadPool> pool_;  // null when shards_ == 1
+
+  // Horizon mirrors, reloaded from the controller at each window.
+  std::vector<SimTime> lane_busy_;
+  std::vector<SimTime> lane_erase_;
+  std::vector<SimTime> chan_busy_;
+  std::vector<SimTime> occupancy_;  // per-chip delta of this window
+
+  std::vector<SimTime> ends_;        // priced end per item
+  std::vector<ShardAccum> accum_;    // per-shard usage partials
+  std::vector<std::vector<std::uint32_t>> shard_items_;  // item ids by shard
+  std::vector<std::uint32_t> cuts_;   // global item index of each segment start
+  std::vector<std::uint32_t> marks_;  // per-shard list sizes at each cut
+  Controller::WindowAggregate agg_;
+};
+
+}  // namespace ppssd::sim

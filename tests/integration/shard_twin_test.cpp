@@ -1,0 +1,246 @@
+// Sharded-replay twins: a device replaying through the windowed sharded
+// path (DESIGN.md §15) must produce bit-identical results to the plain
+// sequential device — same latencies, queue depths, GC decisions, array
+// counters and controller accounting — for every scheme, both
+// GC-interleave settings, and shard counts 1/2/4. The instrumented
+// variant additionally pins the observer streams: the blame ledger's
+// request records and the crash flight recorder's event sequence must
+// match the sequential run record for record.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/replayer.h"
+#include "sim/shard_executor.h"
+#include "sim/ssd.h"
+#include "telemetry/introspect/snapshotter.h"
+#include "telemetry/telemetry.h"
+#include "trace/profiles.h"
+#include "trace/synthetic.h"
+
+namespace ppssd {
+namespace {
+
+namespace intro = telemetry::introspect;
+
+struct TwinCase {
+  const char* scheme;
+  std::uint32_t interleave;
+  std::uint32_t shards;
+};
+
+SsdConfig twin_config(std::uint32_t interleave) {
+  SsdConfig cfg = SsdConfig::scaled(2048);
+  cfg.cache.gc_interleave_ops = interleave;
+  return cfg;
+}
+
+/// Warm-up replay (distinct seed), then land on the measurement boundary.
+void warm_device(sim::Ssd& ssd) {
+  trace::TraceProfile warm = trace::profile_by_name("ts0");
+  warm.seed += 7777;
+  trace::SyntheticWorkload workload(warm, ssd.logical_bytes(), 0.02);
+  sim::Replayer replayer(ssd);
+  replayer.replay(workload);
+  ssd.scheme().reset_metrics();
+  ssd.reset_timing();
+}
+
+sim::ReplayResult measure_device(sim::Ssd& ssd) {
+  trace::SyntheticWorkload workload(trace::profile_by_name("ts0"),
+                                    ssd.logical_bytes(), 0.02);
+  sim::Replayer replayer(ssd);
+  return replayer.replay(workload);
+}
+
+void expect_same_results(const sim::ReplayResult& a,
+                         const sim::ReplayResult& b) {
+  ASSERT_GT(a.requests, 0u);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+  EXPECT_EQ(a.avg_queue_depth, b.avg_queue_depth);
+  EXPECT_EQ(a.avg_queue_depth_at_arrival, b.avg_queue_depth_at_arrival);
+  EXPECT_EQ(a.latency.read_count(), b.latency.read_count());
+  EXPECT_EQ(a.latency.write_count(), b.latency.write_count());
+  EXPECT_EQ(a.latency.avg_read_ms(), b.latency.avg_read_ms());
+  EXPECT_EQ(a.latency.avg_write_ms(), b.latency.avg_write_ms());
+  EXPECT_EQ(a.latency.read_p99_ms(), b.latency.read_p99_ms());
+  EXPECT_EQ(a.latency.write_p99_ms(), b.latency.write_p99_ms());
+}
+
+void expect_same_device(const sim::Ssd& a, const sim::Ssd& b) {
+  // Policy decisions.
+  const cache::SchemeMetrics& ma = a.scheme().metrics();
+  const cache::SchemeMetrics& mb = b.scheme().metrics();
+  EXPECT_EQ(ma.slc_gc_count, mb.slc_gc_count);
+  EXPECT_EQ(ma.mlc_gc_count, mb.mlc_gc_count);
+  EXPECT_EQ(ma.evicted_subpages, mb.evicted_subpages);
+  EXPECT_EQ(ma.gc_moved_subpages, mb.gc_moved_subpages);
+  EXPECT_EQ(ma.slc_subpages_written, mb.slc_subpages_written);
+  EXPECT_EQ(ma.mlc_subpages_written, mb.mlc_subpages_written);
+  EXPECT_EQ(ma.host_subpages_written, mb.host_subpages_written);
+  EXPECT_EQ(ma.intra_page_updates, mb.intra_page_updates);
+  EXPECT_EQ(std::memcmp(ma.level_subpages, mb.level_subpages,
+                        sizeof(ma.level_subpages)),
+            0);
+  const nand::ArrayCounters ca = a.scheme().array().counters();
+  const nand::ArrayCounters cb = b.scheme().array().counters();
+  EXPECT_EQ(std::memcmp(&ca, &cb, sizeof(ca)), 0);
+
+  // Controller accounting.
+  const sim::Controller& x = a.controller();
+  const sim::Controller& y = b.controller();
+  EXPECT_EQ(x.scheduled_ops(), y.scheduled_ops());
+  EXPECT_EQ(x.usage().read_fg, y.usage().read_fg);
+  EXPECT_EQ(x.usage().read_bg, y.usage().read_bg);
+  EXPECT_EQ(x.usage().program_fg, y.usage().program_fg);
+  EXPECT_EQ(x.usage().program_bg, y.usage().program_bg);
+  EXPECT_EQ(x.usage().erase_bg, y.usage().erase_bg);
+  EXPECT_EQ(x.chip_occupancy(), y.chip_occupancy());
+  EXPECT_EQ(a.deferred_background_ops(), b.deferred_background_ops());
+}
+
+class ShardTwin : public ::testing::TestWithParam<TwinCase> {};
+
+// Fast-path twin (no observers attached, so the windowed device takes
+// the aggregate commit mode): warmed the same way, the sequential and
+// sharded devices must agree on every result-visible quantity — and
+// still agree after a *second* measured replay, which proves the two
+// devices also left the measurement in semantically identical states.
+TEST_P(ShardTwin, WindowedReplayIsBitIdenticalToSequential) {
+  const TwinCase& tc = GetParam();
+  const SsdConfig cfg = twin_config(tc.interleave);
+
+  sim::Ssd seq(cfg, tc.scheme);
+  sim::ShardExecutor exec(tc.shards);
+  sim::Ssd win(cfg, tc.scheme);
+  win.set_shard_executor(&exec);
+  ASSERT_TRUE(win.windowed());
+
+  warm_device(seq);
+  warm_device(win);
+  expect_same_device(seq, win);
+
+  const sim::ReplayResult ra = measure_device(seq);
+  const sim::ReplayResult rb = measure_device(win);
+  expect_same_results(ra, rb);
+  expect_same_device(seq, win);
+
+  // Round two from the post-measurement state.
+  seq.scheme().reset_metrics();
+  seq.reset_timing();
+  win.scheme().reset_metrics();
+  win.reset_timing();
+  expect_same_results(measure_device(seq), measure_device(win));
+  expect_same_device(seq, win);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesInterleaveShards, ShardTwin,
+    ::testing::Values(TwinCase{"Baseline", 0, 2}, TwinCase{"Baseline", 1, 4},
+                      TwinCase{"MGA", 0, 4}, TwinCase{"MGA", 1, 2},
+                      TwinCase{"IPU", 0, 1}, TwinCase{"IPU", 0, 4},
+                      TwinCase{"IPU", 1, 4}, TwinCase{"IPS", 0, 2},
+                      TwinCase{"IPS", 1, 4}),
+    [](const ::testing::TestParamInfo<TwinCase>& info) {
+      return std::string(info.param.scheme) +
+             (info.param.interleave ? "_interleaved" : "_inline") + "_s" +
+             std::to_string(info.param.shards);
+    });
+
+class ShardTwinInstrumented : public ::testing::TestWithParam<TwinCase> {};
+
+// Observer twin: with the blame ledger and flight recorder attached the
+// windowed device switches to exact per-op commit replay, and every
+// observer stream must match the sequential one record for record.
+TEST_P(ShardTwinInstrumented, ObserverStreamsMatchSequential) {
+  const TwinCase& tc = GetParam();
+  const SsdConfig cfg = twin_config(tc.interleave);
+  telemetry::TelemetryOptions topt;
+  topt.attribution = true;
+
+  sim::Ssd seq(cfg, tc.scheme);
+  sim::ShardExecutor exec(tc.shards);
+  sim::Ssd win(cfg, tc.scheme);
+  win.set_shard_executor(&exec);
+
+  warm_device(seq);
+  warm_device(win);
+
+  // Attach the full observer set at the measurement boundary on both.
+  telemetry::Telemetry tel_a(topt), tel_b(topt);
+  tel_a.attribution()->set_keep_records(true);
+  tel_b.attribution()->set_keep_records(true);
+  seq.attach_telemetry(&tel_a);
+  win.attach_telemetry(&tel_b);
+
+  intro::IntrospectOptions iopt;
+  iopt.snapshot_path = ::testing::TempDir() + "shard_twin_a.bin";
+  iopt.flight_capacity = 1u << 15;
+  intro::Snapshotter snap_a(iopt);
+  iopt.snapshot_path = ::testing::TempDir() + "shard_twin_b.bin";
+  intro::Snapshotter snap_b(iopt);
+  seq.attach_introspection(&snap_a);
+  win.attach_introspection(&snap_b);
+
+  expect_same_results(measure_device(seq), measure_device(win));
+  expect_same_device(seq, win);
+
+  // Blame ledger: identical request decompositions in identical order.
+  const auto& ra = tel_a.attribution()->records();
+  const auto& rb = tel_b.attribution()->records();
+  ASSERT_EQ(ra.size(), rb.size());
+  ASSERT_GT(ra.size(), 0u);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].id, rb[i].id) << "record " << i;
+    ASSERT_EQ(ra[i].arrival, rb[i].arrival) << "record " << i;
+    ASSERT_EQ(ra[i].finish, rb[i].finish) << "record " << i;
+    ASSERT_EQ(ra[i].fg_ops, rb[i].fg_ops) << "record " << i;
+    ASSERT_EQ(std::memcmp(ra[i].comp, rb[i].comp, sizeof(ra[i].comp)), 0)
+        << "record " << i;
+    ASSERT_EQ(ra[i].blocked_ns, rb[i].blocked_ns) << "record " << i;
+    ASSERT_EQ(ra[i].blocker_op, rb[i].blocker_op) << "record " << i;
+  }
+  EXPECT_EQ(tel_a.attribution()->ops(), tel_b.attribution()->ops());
+
+  // Flight recorder: identical event sequence (the windowed side routes
+  // scheme events through the staging ring and merges at the barrier).
+  ASSERT_NE(snap_a.flight(), nullptr);
+  ASSERT_NE(snap_b.flight(), nullptr);
+  EXPECT_EQ(snap_a.flight()->recorded(), snap_b.flight()->recorded());
+  const auto ea = snap_a.flight()->events();
+  const auto eb = snap_b.flight()->events();
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_GT(ea.size(), 0u);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].time, eb[i].time) << "event " << i;
+    ASSERT_EQ(ea[i].id, eb[i].id) << "event " << i;
+    ASSERT_EQ(ea[i].a, eb[i].a) << "event " << i;
+    ASSERT_EQ(ea[i].b, eb[i].b) << "event " << i;
+    ASSERT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+    ASSERT_EQ(ea[i].detail, eb[i].detail) << "event " << i;
+  }
+
+  seq.attach_introspection(nullptr);
+  win.attach_introspection(nullptr);
+  std::remove((::testing::TempDir() + "shard_twin_a.bin").c_str());
+  std::remove((::testing::TempDir() + "shard_twin_b.bin").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesInterleaveShards, ShardTwinInstrumented,
+    ::testing::Values(TwinCase{"Baseline", 0, 4}, TwinCase{"IPU", 0, 4},
+                      TwinCase{"IPU", 1, 4}, TwinCase{"IPS", 1, 2}),
+    [](const ::testing::TestParamInfo<TwinCase>& info) {
+      return std::string(info.param.scheme) +
+             (info.param.interleave ? "_interleaved" : "_inline") + "_s" +
+             std::to_string(info.param.shards);
+    });
+
+}  // namespace
+}  // namespace ppssd
